@@ -1,0 +1,78 @@
+"""T4 — (k, l)-SPF in O(log n log² k) rounds (Theorem 56).
+
+Two sweeps: k at fixed n (polylogarithmic growth in k) and n at fixed k
+(logarithmic growth in n), plus the ablation against the naive
+sequential merge (O(k log n)): the divide & conquer must win for larger
+k, and the crossover is reported.
+"""
+
+from repro.baselines import sequential_merge_forest
+from repro.metrics.records import ResultTable
+from repro.sim.engine import CircuitEngine
+from repro.spf.forest import shortest_path_forest
+from repro.workloads import random_hole_free, spread_nodes
+
+from benchmarks.conftest import emit
+
+N_FIXED = 300
+K_SWEEP = (2, 4, 8, 16, 32)
+K_FIXED = 6
+N_SWEEP = (80, 160, 320, 640)
+
+
+def forest_rounds(n: int, k: int, algorithm: str = "dc") -> int:
+    structure = random_hole_free(n, seed=5)
+    sources = spread_nodes(structure, k)
+    engine = CircuitEngine(structure)
+    if algorithm == "dc":
+        shortest_path_forest(engine, structure, sources)
+    else:
+        sequential_merge_forest(engine, structure, sources)
+    return engine.rounds.total
+
+
+def test_forest_rounds_vs_k(benchmark):
+    table = ResultTable(
+        f"T4a: forest rounds vs k  (n = {N_FIXED})",
+        ["k", "divide&conquer", "sequential (k log n)", "winner"],
+    )
+    dc_rounds = {}
+    seq_rounds = {}
+    for k in K_SWEEP:
+        dc_rounds[k] = forest_rounds(N_FIXED, k, "dc")
+        seq_rounds[k] = forest_rounds(N_FIXED, k, "seq")
+        winner = "D&C" if dc_rounds[k] < seq_rounds[k] else "sequential"
+        table.add(k, dc_rounds[k], seq_rounds[k], winner)
+    emit(
+        table,
+        claim="O(log n log^2 k) vs O(k log n): D&C wins for larger k (Thm 56)",
+        verdict=(
+            f"k=2: ratio {seq_rounds[2] / dc_rounds[2]:.2f}; "
+            f"k=32: ratio {seq_rounds[32] / dc_rounds[32]:.2f}"
+        ),
+    )
+    # Shape checks: sequential must grow ~linearly in k, D&C polylog.
+    assert seq_rounds[32] >= 6 * seq_rounds[2], "sequential baseline not linear in k"
+    assert dc_rounds[32] <= 8 * dc_rounds[2], "divide & conquer growth too steep"
+    assert dc_rounds[32] < seq_rounds[32], "D&C must win at k = 32"
+
+    benchmark(forest_rounds, 150, 8, "dc")
+
+
+def test_forest_rounds_vs_n(benchmark):
+    table = ResultTable(
+        f"T4b: forest rounds vs n  (k = {K_FIXED})", ["n", "rounds"]
+    )
+    rows = []
+    for n in N_SWEEP:
+        rounds = forest_rounds(n, K_FIXED, "dc")
+        rows.append((n, rounds))
+        table.add(n, rounds)
+    emit(
+        table,
+        claim="O(log n log^2 k): logarithmic in n at fixed k (Theorem 56)",
+        verdict=f"growth over 8x n: {rows[-1][1] - rows[0][1]} rounds",
+    )
+    assert rows[-1][1] <= 2.5 * rows[0][1], "growth in n must be logarithmic"
+
+    benchmark(forest_rounds, N_SWEEP[0], K_FIXED, "dc")

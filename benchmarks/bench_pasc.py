@@ -1,0 +1,49 @@
+"""T5 — PASC: two rounds per iteration, O(log m) iterations (Lemma 4).
+
+Chain length swept over three orders of magnitude; the measured
+iteration count must track ceil(log2 m) + 1 exactly and rounds must be
+exactly twice the iterations.
+"""
+
+import math
+
+from repro.grid.coords import Node
+from repro.metrics.records import ResultTable
+from repro.pasc.chain import PascChainRun, chain_links_for_nodes
+from repro.pasc.runner import run_pasc
+from repro.sim.engine import CircuitEngine
+from repro.workloads import line_structure
+
+from benchmarks.conftest import emit
+
+LENGTHS = (4, 16, 64, 256, 1024)
+
+
+def pasc_run(length: int):
+    structure = line_structure(length)
+    nodes = [Node(i, 0) for i in range(length)]
+    engine = CircuitEngine(structure)
+    run = PascChainRun([(u, "") for u in nodes], chain_links_for_nodes(nodes))
+    result = run_pasc(engine, [run])
+    assert run.node_values() == {u: i for i, u in enumerate(nodes)}
+    return result
+
+
+def test_pasc_iterations(benchmark):
+    table = ResultTable(
+        "T5: PASC on a chain of m amoebots",
+        ["m", "iterations", "rounds", "ceil(log2 m)+1"],
+    )
+    for m in LENGTHS:
+        result = pasc_run(m)
+        bound = math.ceil(math.log2(m)) + 1
+        table.add(m, result.iterations, result.rounds, bound)
+        assert result.rounds == 2 * result.iterations, "Lemma 4: 2 rounds/iteration"
+        assert result.iterations <= bound, "Lemma 4: O(log m) iterations"
+    emit(
+        table,
+        claim="2 rounds per iteration, O(log m) iterations (Lemmas 3-4)",
+        verdict="iterations == ceil(log2 m)+1 slack, rounds == 2x iterations",
+    )
+
+    benchmark(pasc_run, 256)

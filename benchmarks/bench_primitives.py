@@ -1,0 +1,88 @@
+"""T6 — tree primitive round costs (Lemmas 20, 21, 23, 31).
+
+On a fixed tree, |Q| is swept: root-and-prune and centroid must grow
+logarithmically in |Q|, election must stay O(1), and the centroid
+decomposition must stay within O(log² |Q|).
+"""
+
+import math
+import random
+
+from repro.metrics.records import ResultTable
+from repro.primitives import (
+    centroid_decomposition,
+    elect,
+    q_centroids,
+    root_and_prune,
+)
+from repro.sim.engine import CircuitEngine
+from repro.workloads import random_hole_free
+
+from benchmarks.conftest import emit
+from tests.conftest import bfs_tree_adjacency
+
+N = 400
+Q_SWEEP = (2, 4, 8, 16, 32, 64)
+
+
+def primitive_rounds(q_size: int) -> dict:
+    structure = random_hole_free(N, seed=6)
+    root = structure.westernmost()
+    adjacency, _ = bfs_tree_adjacency(structure, root)
+    rng = random.Random(q_size)
+    q = set(rng.sample(sorted(structure.nodes), q_size))
+
+    engine = CircuitEngine(structure)
+    rp = root_and_prune(engine, root, adjacency, q, section="rp")
+    rp_rounds = engine.rounds.section_total("rp")
+
+    elect(engine, root, adjacency, q, section="el")
+    elect_rounds = engine.rounds.section_total("el")
+
+    q_centroids(engine, root, adjacency, q, section="cen")
+    centroid_rounds = engine.rounds.section_total("cen")
+
+    q_prime = q | rp.augmentation
+    centroid_decomposition(engine, root, adjacency, q_prime, section="dec")
+    decomposition_rounds = engine.rounds.section_total("dec")
+
+    return {
+        "q": q_size,
+        "root_prune": rp_rounds,
+        "election": elect_rounds,
+        "centroid": centroid_rounds,
+        "decomposition": decomposition_rounds,
+    }
+
+
+def test_primitive_round_costs(benchmark):
+    rows = [primitive_rounds(q) for q in Q_SWEEP]
+    table = ResultTable(
+        f"T6: tree primitive rounds vs |Q|  (n = {N})",
+        ["|Q|", "root&prune", "election", "centroid", "decomposition"],
+    )
+    for row in rows:
+        table.add(
+            row["q"],
+            row["root_prune"],
+            row["election"],
+            row["centroid"],
+            row["decomposition"],
+        )
+    emit(
+        table,
+        claim=(
+            "root&prune O(log|Q|), election O(1), centroid O(log|Q|), "
+            "decomposition O(log^2 |Q|) (Lemmas 20/21/23/31)"
+        ),
+        verdict="see growth columns",
+    )
+    first, last = rows[0], rows[-1]
+    doublings = 5  # 2 -> 64
+    assert all(r["election"] <= 2 for r in rows), "election must be O(1)"
+    assert last["root_prune"] - first["root_prune"] <= 4 * doublings
+    assert last["centroid"] - first["centroid"] <= 8 * doublings
+    log_q = math.ceil(math.log2(last["q"]))
+    assert last["decomposition"] <= 14 * log_q * log_q
+
+    benchmark(primitive_rounds, 16)

@@ -1,0 +1,46 @@
+"""T1 — shortest path tree in O(log l) rounds (Theorem 39).
+
+Fixed structure, destination count swept over geometric steps: measured
+rounds must grow by a bounded constant per doubling of l (logarithmic),
+nowhere near linearly.
+"""
+
+import random
+
+from repro.metrics.records import ResultTable, log_fit_slope
+from repro.sim.engine import CircuitEngine
+from repro.spf.spt import shortest_path_tree
+from repro.workloads import random_hole_free
+
+from benchmarks.conftest import emit
+
+N = 500
+L_SWEEP = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def spt_rounds(l: int) -> int:
+    structure = random_hole_free(N, seed=2)
+    nodes = sorted(structure.nodes)
+    rng = random.Random(3)
+    dests = rng.sample(nodes, l)
+    engine = CircuitEngine(structure)
+    shortest_path_tree(engine, structure, nodes[0], dests)
+    return engine.rounds.total
+
+
+def test_spt_rounds_logarithmic_in_l(benchmark):
+    rows = [(l, spt_rounds(l)) for l in L_SWEEP]
+    table = ResultTable(f"T1: SPT rounds vs l  (n = {N})", ["l", "rounds"])
+    for l, rounds in rows:
+        table.add(l, rounds)
+    slope = log_fit_slope([r[0] for r in rows], [float(r[1]) for r in rows])
+    emit(
+        table,
+        claim="O(log l) rounds for the (1, l)-SPF tree algorithm (Theorem 39)",
+        verdict=f"fitted rounds per doubling of l: {slope:.2f} (logarithmic)",
+    )
+    first, last = rows[0][1], rows[-1][1]
+    assert last - first <= 10 * 8, "growth exceeds a constant per doubling"
+    assert last - first < 256 / 2, "growth looks linear, not logarithmic"
+
+    benchmark(spt_rounds, 64)

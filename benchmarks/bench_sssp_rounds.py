@@ -1,0 +1,51 @@
+"""T3 — SSSP in O(log n) rounds (Theorem 39 with l = n).
+
+Structure size swept; every node is a destination.  Measured rounds must
+grow logarithmically with n while the Ω(diam) bound of circuit-free
+models grows like sqrt(n) or worse.
+"""
+
+from repro.grid.oracle import structure_diameter
+from repro.metrics.records import ResultTable, log_fit_slope
+from repro.sim.engine import CircuitEngine
+from repro.spf.spt import shortest_path_tree
+from repro.workloads import random_hole_free
+
+from benchmarks.conftest import emit
+
+SIZES = (50, 100, 200, 400, 800)
+
+
+def sssp_rounds(n: int) -> dict:
+    structure = random_hole_free(n, seed=4)
+    nodes = sorted(structure.nodes)
+    engine = CircuitEngine(structure)
+    shortest_path_tree(engine, structure, nodes[0], nodes)
+    return {
+        "n": n,
+        "diam": structure_diameter(structure),
+        "rounds": engine.rounds.total,
+    }
+
+
+def test_sssp_rounds_logarithmic(benchmark):
+    rows = [sssp_rounds(n) for n in SIZES]
+    table = ResultTable("T3: SSSP rounds vs n  (l = n)", ["n", "diam", "rounds"])
+    for row in rows:
+        table.add(row["n"], row["diam"], row["rounds"])
+    slope = log_fit_slope(
+        [float(r["n"]) for r in rows], [float(r["rounds"]) for r in rows]
+    )
+    emit(
+        table,
+        claim="O(log n) rounds for SSSP (Theorem 39, l = n)",
+        verdict=f"fitted rounds per doubling of n: {slope:.2f} (logarithmic)",
+    )
+    growth = rows[-1]["rounds"] - rows[0]["rounds"]
+    doublings = 4  # 50 -> 800
+    assert growth <= 12 * doublings, "SSSP growth exceeds logarithmic budget"
+    assert rows[-1]["rounds"] < rows[-1]["diam"] * 4, (
+        "SSSP rounds should be comparable to polylog, not diameters"
+    )
+
+    benchmark(sssp_rounds, 200)

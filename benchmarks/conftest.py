@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one experiment of DESIGN.md's index: it prints a
+table of *measured synchronous rounds* next to the paper's asymptotic
+claim, checks the growth shape, and times the simulator via
+pytest-benchmark.  Absolute round constants are implementation-specific;
+the shapes (flat / logarithmic / polylogarithmic / linear) are what the
+paper proves and what these benches validate.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.metrics.records import ResultTable
+
+
+def emit(table: ResultTable, claim: str, verdict: str) -> None:
+    """Print a bench table with the paper's claim and our verdict."""
+    print()
+    print(table.render())
+    print(f"paper claim : {claim}")
+    print(f"measured    : {verdict}")
+    sys.stdout.flush()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: solve a shortest path forest problem on an amoebot structure.
+
+Builds a hexagonal amoebot structure, picks sources and destinations,
+runs the paper's algorithms through the public API, validates the result
+against the BFS oracle, and renders the forest as ASCII art.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CircuitEngine,
+    assert_valid_forest,
+    hexagon,
+    solve_spf,
+    spread_nodes,
+)
+from repro.viz.ascii_art import render_forest_ascii
+
+
+def main() -> None:
+    # 1. An amoebot structure: a hexagon with 61 amoebots.
+    structure = hexagon(4)
+    print(f"structure: hexagon(4), n = {len(structure)} amoebots")
+
+    # 2. A (k, l)-SPF instance: 2 well-spread sources, 5 destinations.
+    sources = spread_nodes(structure, 2)
+    nodes = sorted(structure.nodes)
+    destinations = [nodes[7], nodes[23], nodes[31], nodes[49], nodes[58]]
+    print(f"k = {len(sources)} sources, l = {len(destinations)} destinations")
+
+    # 3. Solve.  k >= 2 dispatches to the divide & conquer forest
+    #    algorithm of Section 5 (Theorem 56).
+    solution = solve_spf(structure, sources, destinations)
+    print(f"algorithm: {solution.algorithm}")
+    print(f"synchronous rounds: {solution.rounds}")
+
+    # 4. Validate the five forest properties against the BFS oracle.
+    assert_valid_forest(structure, sources, destinations, solution.forest.parent)
+    print("forest validated: all five (S, D)-SPF properties hold")
+
+    # 5. Every destination knows its path to its closest source.
+    for dest in destinations:
+        depth = solution.forest.depth_of(dest)
+        root = solution.forest.root_of(dest)
+        print(f"  destination {tuple(dest)} -> source {tuple(root)} at distance {depth}")
+
+    # 6. Render.
+    print()
+    print(
+        render_forest_ascii(
+            structure, sources, destinations, solution.forest.members
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro — reproduction of "Polylogarithmic Time Algorithms for Shortest
+Path Forests in Programmable Matter" (Padalkin & Scheideler, PODC 2024).
+
+The package implements the geometric amoebot model with the
+reconfigurable circuit extension, the PASC algorithm, the Euler tour
+technique, tree and portal primitives, and the paper's shortest path
+tree / shortest path forest algorithms, all executed as synchronous
+beep rounds on a faithful circuit simulator.
+
+Quickstart::
+
+    from repro import hexagon, solve_spf
+
+    structure = hexagon(4)
+    nodes = sorted(structure.nodes)
+    solution = solve_spf(structure, sources=[nodes[0]], destinations=nodes[-5:])
+    print(solution.rounds, "synchronous rounds")
+"""
+
+from repro.grid import (
+    AmoebotStructure,
+    Axis,
+    Direction,
+    Node,
+    bfs_distances,
+    grid_distance,
+    structure_diameter,
+)
+from repro.metrics import RoundCounter
+from repro.sim import CircuitEngine
+from repro.spf import (
+    SPFSolution,
+    line_forest,
+    merge_forests,
+    propagate_forest,
+    shortest_path_forest,
+    shortest_path_tree,
+    solve_spf,
+)
+from repro.spf.types import Forest
+from repro.verify import assert_valid_forest, check_forest
+from repro.workloads import (
+    comb,
+    hexagon,
+    line_structure,
+    lollipop,
+    parallelogram,
+    random_hole_free,
+    sample_sources_destinations,
+    spread_nodes,
+    staircase,
+    triangle,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmoebotStructure",
+    "Axis",
+    "Direction",
+    "Node",
+    "bfs_distances",
+    "grid_distance",
+    "structure_diameter",
+    "RoundCounter",
+    "CircuitEngine",
+    "Forest",
+    "SPFSolution",
+    "line_forest",
+    "merge_forests",
+    "propagate_forest",
+    "shortest_path_forest",
+    "shortest_path_tree",
+    "solve_spf",
+    "assert_valid_forest",
+    "check_forest",
+    "comb",
+    "hexagon",
+    "line_structure",
+    "lollipop",
+    "parallelogram",
+    "random_hole_free",
+    "sample_sources_destinations",
+    "spread_nodes",
+    "staircase",
+    "triangle",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Baselines the paper compares against (Section 1.4).
+
+* :func:`bfs_wave_forest` — the circuit-free wave baseline: information
+  travels amoebot by amoebot, one hop per round, as in the plain
+  amoebot/beeping models.  Its ``Θ(ecc(S))`` round cost is the
+  ``Ω(diam)`` lower bound the reconfigurable circuit extension breaks.
+* :func:`sequential_merge_forest` — the naive multi-source algorithm
+  sketched at the top of Section 5: compute one source's tree at a
+  time and merge, ``O(k log n)`` rounds, the ablation target for the
+  divide & conquer approach.
+"""
+
+from repro.baselines.bfs_wave import bfs_wave_forest
+from repro.baselines.sequential_merge import sequential_merge_forest
+
+__all__ = ["bfs_wave_forest", "sequential_merge_forest"]

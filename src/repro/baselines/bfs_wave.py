@@ -1,0 +1,83 @@
+"""Circuit-free BFS wave baseline.
+
+Without reconfigurable circuits, a beep only reaches direct neighbors,
+so distance information spreads one hop per round — this is the regime
+of the plain geometric amoebot model and of the beeping model, with its
+``Ω(diam)`` lower bound for shortest path problems.  The wave is run on
+the circuit engine with every partition set a *singleton* (one pin),
+which by definition restricts each circuit to a single external link
+(Section 1.2: "if each partition set is a singleton, every circuit just
+connects two neighboring amoebots").
+
+Every round, wavefront amoebots beep on all incident links; an
+unreached amoebot that hears a beep joins the forest, taking the first
+beeping direction (counterclockwise) as its parent.  The wave runs
+until every destination is reached; reaching all of ``D`` is detected
+with one global-circuit beep per round by the freshly covered
+destinations' counter — charged one extra round at the end, keeping the
+baseline's cost at ``ecc(S) + O(1)`` rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.grid.coords import Node
+from repro.grid.structure import AmoebotStructure
+from repro.sim.engine import CircuitEngine
+from repro.spf.types import Forest
+
+
+def bfs_wave_forest(
+    engine: CircuitEngine,
+    structure: AmoebotStructure,
+    sources: Iterable[Node],
+    destinations: Optional[Iterable[Node]] = None,
+    section: str = "bfs_wave",
+) -> Forest:
+    """Multi-source BFS wave; ``Θ(max_d dist(S, d))`` rounds."""
+    source_set = set(sources)
+    if not source_set:
+        raise ValueError("need at least one source")
+    dest_set = (
+        set(destinations) if destinations is not None else set(structure.nodes)
+    )
+    pending = set(dest_set) - source_set
+
+    # Singleton pin configuration: one partition set per incident link.
+    layout = engine.new_layout()
+    for u in structure:
+        for d in structure.occupied_directions(u):
+            layout.assign(u, f"wave:{d.name}", [(d, 0)])
+    layout.freeze()
+
+    parent: Dict[Node, Node] = {}
+    reached: Set[Node] = set(source_set)
+    frontier: Set[Node] = set(source_set)
+
+    with engine.rounds.section(section):
+        while pending:
+            beeps = []
+            for u in frontier:
+                for d in structure.occupied_directions(u):
+                    beeps.append((u, f"wave:{d.name}"))
+            if not beeps:
+                raise AssertionError("wave died before covering all destinations")
+            received = engine.run_round(layout, beeps)
+            new_frontier: Set[Node] = set()
+            for u in structure:
+                if u in reached:
+                    continue
+                for d in structure.occupied_directions(u):
+                    if received.get((u, f"wave:{d.name}"), False):
+                        parent[u] = u.neighbor(d)
+                        new_frontier.add(u)
+                        break
+            reached |= new_frontier
+            pending -= new_frontier
+            frontier = new_frontier
+        # Termination announcement on a global circuit.
+        engine.charge_local_round()
+
+    members = reached
+    return Forest(sources=source_set, parent=parent, members=members)

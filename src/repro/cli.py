@@ -1,0 +1,195 @@
+"""Command line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``
+    Solve a (k, l)-SPF instance on a generated structure and print the
+    result (rounds, assignments, optional ASCII rendering).
+``sweep``
+    Quick round-complexity sweeps (spsp / sssp / forest) printing the
+    same tables as the benchmark harness, at smaller sizes.
+``info``
+    Describe a generated structure (portals, diameter, holes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.grid.directions import Axis
+from repro.grid.oracle import structure_diameter
+from repro.grid.structure import AmoebotStructure
+from repro.metrics.records import ResultTable
+from repro.sim.engine import CircuitEngine
+from repro.spf.api import solve_spf
+from repro.viz.ascii_art import render_forest_ascii
+from repro.workloads import (
+    comb,
+    hexagon,
+    line_structure,
+    parallelogram,
+    random_hole_free,
+    sample_sources_destinations,
+    spread_nodes,
+    staircase,
+    triangle,
+)
+
+
+def make_structure(spec: str) -> AmoebotStructure:
+    """Build a structure from a CLI spec like ``hexagon:3`` or ``random:200:7``.
+
+    Supported: ``hexagon:R``, ``parallelogram:W:H``, ``triangle:S``,
+    ``line:N``, ``comb:T:L``, ``staircase:S:W``, ``random:N[:SEED]``,
+    ``dendrite:N[:SEED]``.
+    """
+    name, *args = spec.split(":")
+    values = [int(a) for a in args]
+    try:
+        if name == "hexagon":
+            return hexagon(*values)
+        if name == "parallelogram":
+            return parallelogram(*values)
+        if name == "triangle":
+            return triangle(*values)
+        if name == "line":
+            return line_structure(*values)
+        if name == "comb":
+            return comb(*values)
+        if name == "staircase":
+            return staircase(*values)
+        if name == "random":
+            n = values[0]
+            seed = values[1] if len(values) > 1 else 0
+            return random_hole_free(n, seed=seed)
+        if name == "dendrite":
+            n = values[0]
+            seed = values[1] if len(values) > 1 else 0
+            return random_hole_free(n, seed=seed, compactness=0.05)
+    except TypeError as exc:
+        raise SystemExit(f"bad arguments for shape {name!r}: {exc}") from exc
+    raise SystemExit(f"unknown shape {name!r}")
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    """Handle ``repro solve``."""
+    structure = make_structure(args.shape)
+    if args.spread:
+        sources = spread_nodes(structure, args.k)
+        rest = [u for u in sorted(structure.nodes) if u not in set(sources)]
+        destinations = rest[: args.l]
+    else:
+        sources, destinations = sample_sources_destinations(
+            structure, args.k, args.l, seed=args.seed
+        )
+    solution = solve_spf(structure, sources, destinations)
+    print(f"n = {len(structure)}, k = {args.k}, l = {args.l}")
+    print(f"algorithm: {solution.algorithm}")
+    print(f"synchronous rounds: {solution.rounds}")
+    print(f"forest members: {len(solution.forest.members)}")
+    for d in destinations:
+        root = solution.forest.root_of(d)
+        depth = solution.forest.depth_of(d)
+        print(f"  {tuple(d)} -> {tuple(root)} ({depth} hops)")
+    if args.ascii:
+        print()
+        print(
+            render_forest_ascii(
+                structure, sources, destinations, solution.forest.members
+            )
+        )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Handle ``repro sweep``."""
+    if args.experiment == "spsp":
+        table = ResultTable("SPSP rounds vs n", ["n", "rounds"])
+        for n in (50, 100, 200, 400):
+            s = random_hole_free(n, seed=1)
+            nodes = sorted(s.nodes)
+            engine = CircuitEngine(s)
+            from repro.spf.spt import shortest_path_tree
+
+            shortest_path_tree(engine, s, nodes[0], [nodes[-1]])
+            table.add(n, engine.rounds.total)
+    elif args.experiment == "sssp":
+        table = ResultTable("SSSP rounds vs n", ["n", "rounds"])
+        for n in (50, 100, 200, 400):
+            s = random_hole_free(n, seed=1)
+            nodes = sorted(s.nodes)
+            engine = CircuitEngine(s)
+            from repro.spf.spt import shortest_path_tree
+
+            shortest_path_tree(engine, s, nodes[0], nodes)
+            table.add(n, engine.rounds.total)
+    elif args.experiment == "forest":
+        table = ResultTable("forest rounds vs k (n = 200)", ["k", "rounds"])
+        s = random_hole_free(200, seed=1)
+        for k in (2, 4, 8, 16):
+            sources = spread_nodes(s, k)
+            engine = CircuitEngine(s)
+            from repro.spf.forest import shortest_path_forest
+
+            shortest_path_forest(engine, s, sources)
+            table.add(k, engine.rounds.total)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown experiment {args.experiment!r}")
+    print(table.render())
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Handle ``repro info``."""
+    structure = make_structure(args.shape)
+    from repro.portals.portals import PortalSystem
+
+    print(f"n = {len(structure)}")
+    print(f"edges = {structure.edge_count()}")
+    print(f"diameter = {structure_diameter(structure)}")
+    for axis in Axis:
+        system = PortalSystem(structure, axis)
+        print(f"{axis.name}-portals: {system.portal_count()} "
+              f"(tree: {system.is_portal_graph_tree()})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Shortest path forests in programmable matter (PODC 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve a (k, l)-SPF instance")
+    solve.add_argument("--shape", default="hexagon:4", help="e.g. hexagon:4, random:200:7")
+    solve.add_argument("-k", type=int, default=2, help="number of sources")
+    solve.add_argument("-l", type=int, default=5, help="number of destinations")
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--spread", action="store_true", help="spread sources far apart")
+    solve.add_argument("--ascii", action="store_true", help="render the forest")
+    solve.set_defaults(func=cmd_solve)
+
+    sweep = sub.add_parser("sweep", help="round-complexity sweeps")
+    sweep.add_argument("experiment", choices=["spsp", "sssp", "forest"])
+    sweep.set_defaults(func=cmd_sweep)
+
+    info = sub.add_parser("info", help="describe a generated structure")
+    info.add_argument("--shape", default="hexagon:3")
+    info.set_defaults(func=cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""The simplified ETT used by the election primitive (Section 3.3).
+
+Removing the marked tour edges splits the Euler tour into subpaths; each
+subpath is wired into one circuit (a single wire suffices — no
+primary/secondary pair), the root beeps, and only the first subpath
+hears it.  The amoebot whose marked out-edge terminates that subpath is
+elected.  One beep round total (Lemma 21).
+
+Multiple elections on node-disjoint trees share the round:
+:func:`elect_first_marked_many` wires all requests into one layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set
+
+from repro.grid.coords import Node
+from repro.grid.directions import opposite
+from repro.ett.technique import _channels_for
+from repro.ett.tour import DirectedEdge, EulerTour
+from repro.sim.engine import CircuitEngine
+
+
+@dataclass
+class ElectionRequest:
+    """One election: a tour plus the marked out-edges of the candidates."""
+
+    tour: EulerTour
+    marked: Set[DirectedEdge]
+
+    def __post_init__(self) -> None:
+        if not self.marked:
+            raise ValueError("cannot elect from an empty candidate set")
+        unknown = set(self.marked).difference(self.tour.edges)
+        if unknown:
+            raise ValueError(f"marked edges not on the tour: {sorted(unknown)[:3]}")
+
+
+def elect_first_marked_many(
+    engine: CircuitEngine,
+    requests: Sequence[ElectionRequest],
+    tag: str = "elect",
+    section: str = "election",
+) -> List[Node]:
+    """Run all elections in one shared beep round.
+
+    The requests' trees must be node-disjoint (they are in every use in
+    this repository: parallel recursions of the decomposition primitive).
+    Returns one winner per request, in order.  Costs one round (zero if
+    ``requests`` is empty).
+    """
+    if not requests:
+        return []
+    with engine.rounds.section(section):
+        layout = engine.new_layout()
+        for request in requests:
+            tour, marked = request.tour, request.marked
+            # Unit i joins its incoming wire and, unless e_i is marked,
+            # its outgoing wire into one partition set: subpath circuits.
+            for i, (node, uid) in enumerate(tour.units):
+                label = f"{tag}:{uid}"
+                pins = []
+                if i > 0:
+                    u, v = tour.edges[i - 1]
+                    d = u.direction_to(v)
+                    pch, _ = _channels_for(d)
+                    pins.append((opposite(d), pch))
+                if i < len(tour.edges) and tour.edges[i] not in marked:
+                    u, v = tour.edges[i]
+                    d = u.direction_to(v)
+                    pch, _ = _channels_for(d)
+                    pins.append((d, pch))
+                layout.assign(node, label, pins)
+        layout.freeze()
+
+        beeps = [(request.tour.root, f"{tag}:0") for request in requests]
+        received = engine.run_round(layout, beeps)
+
+    winners: List[Node] = []
+    for request in requests:
+        tour, marked = request.tour, request.marked
+        # The elected amoebot hears the beep at an occurrence whose
+        # outgoing edge it marked (locally checkable).  The simulator
+        # scans all units; distributedly each amoebot checks only its
+        # own occurrences.
+        winner = None
+        for i, (node, uid) in enumerate(tour.units):
+            if i < len(tour.edges) and tour.edges[i] in marked:
+                if received.get((node, f"{tag}:{uid}"), False):
+                    winner = node
+                    break
+        if winner is None:
+            raise AssertionError("no unit identified itself as elected")
+        winners.append(winner)
+    return winners
+
+
+def elect_first_marked(
+    engine: CircuitEngine,
+    tour: EulerTour,
+    marked: Iterable[DirectedEdge],
+    tag: str = "elect",
+    section: str = "election",
+) -> Node:
+    """Elect the source of the first marked edge on the tour.
+
+    The marked edges realize :math:`w_Q` (each candidate marks one
+    outgoing edge), so the elected amoebot is a member of ``Q``.
+    Costs exactly one round.
+    """
+    request = ElectionRequest(tour, set(marked))
+    return elect_first_marked_many(engine, [request], tag=tag, section=section)[0]

@@ -1,0 +1,135 @@
+"""Classic Euler-tour tree functions (Tarjan & Vishkin [28]).
+
+Section 3.1 notes that the ETT "allows the computation of various tree
+functions, e.g., computing a rooted version of a tree, a pre- and
+postorder numbering of the nodes, the number of descendants of each
+node, the level of each node, and the centroid(s)".  The paper only
+needs the ``w_Q`` instances; this module provides the remaining
+functions on the same strict machinery:
+
+* :func:`descendant_counts` — one ETT with weight ``w_V`` (every node
+  marks one out-edge): the subtree count of Lemma 17 with ``Q = V``.
+* :func:`preorder_numbers` / :func:`postorder_numbers` — one ETT each:
+  a node's preorder number is the number of first occurrences before
+  its own first occurrence, i.e. the exclusive prefix sum read at that
+  instance; postorder uses last occurrences.
+* :func:`node_levels` — tree PASC (Corollary 5), re-exported here for
+  discoverability.
+
+Each costs ``O(log n)`` rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.grid.coords import Node
+from repro.ett.technique import ETTOp, mark_one_outgoing_edge
+from repro.ett.tour import DirectedEdge, EulerTour
+from repro.pasc.runner import run_pasc
+from repro.pasc.tree import PascTreeRun
+from repro.sim.engine import CircuitEngine
+
+
+def _first_occurrence_edges(tour: EulerTour) -> Dict[Node, int]:
+    """Index of each node's first out-edge instance on the tour."""
+    first: Dict[Node, int] = {}
+    for i, (u, _v) in enumerate(tour.edges):
+        if u not in first:
+            first[u] = i
+    return first
+
+
+def _last_occurrence_edges(tour: EulerTour) -> Dict[Node, int]:
+    """Index of each node's last out-edge instance on the tour."""
+    last: Dict[Node, int] = {}
+    for i, (u, _v) in enumerate(tour.edges):
+        last[u] = i
+    return last
+
+
+def descendant_counts(
+    engine: CircuitEngine, tour: EulerTour, section: str = "ett_descendants"
+) -> Dict[Node, int]:
+    """Number of descendants (including itself) of every node.
+
+    One ETT execution with ``Q = V``: the subtree count across the
+    parent edge (Lemma 17 with full weights); the root reads ``n``.
+    """
+    nodes = tour.nodes()
+    if len(nodes) == 1:
+        return {tour.root: 1}
+    marked = mark_one_outgoing_edge(tour, nodes)
+    op = ETTOp(tour, marked, tag="desc")
+    run_pasc(engine, [op.chain], section=section)
+    result = op.result()
+
+    counts: Dict[Node, int] = {tour.root: result.total}
+    parent = _tour_parents(tour)
+    for u, p in parent.items():
+        counts[u] = result.diff(u, p)
+    return counts
+
+
+def preorder_numbers(
+    engine: CircuitEngine, tour: EulerTour, section: str = "ett_preorder"
+) -> Dict[Node, int]:
+    """0-based preorder numbers with respect to the tour's rotation.
+
+    Each node marks its *first* outgoing tour edge; the exclusive
+    prefix sum at that instance counts the nodes first-visited earlier.
+    """
+    nodes = tour.nodes()
+    if len(nodes) == 1:
+        return {tour.root: 0}
+    first = _first_occurrence_edges(tour)
+    marked: Set[DirectedEdge] = {tour.edges[i] for i in first.values()}
+    op = ETTOp(tour, marked, tag="pre")
+    run_pasc(engine, [op.chain], section=section)
+    values = op.chain.values()
+    return {u: values[tour.units[i]] for u, i in first.items()}
+
+
+def postorder_numbers(
+    engine: CircuitEngine, tour: EulerTour, section: str = "ett_postorder"
+) -> Dict[Node, int]:
+    """0-based postorder numbers with respect to the tour's rotation.
+
+    Each node marks its *last* outgoing tour edge; the tour leaves a
+    node for good exactly when its subtree is complete, so the count of
+    earlier last-departures is the postorder number.  The root, which
+    has no departure after its last child, takes number ``n - 1``.
+    """
+    nodes = tour.nodes()
+    if len(nodes) == 1:
+        return {tour.root: 0}
+    last = _last_occurrence_edges(tour)
+    non_root = {u: i for u, i in last.items() if u != tour.root}
+    marked = {tour.edges[i] for i in non_root.values()}
+    op = ETTOp(tour, marked, tag="post")
+    run_pasc(engine, [op.chain], section=section)
+    inclusive = op.chain.inclusive_values()
+    numbers = {u: inclusive[tour.units[i]] - 1 for u, i in non_root.items()}
+    numbers[tour.root] = len(nodes) - 1
+    return numbers
+
+
+def node_levels(
+    engine: CircuitEngine, tour: EulerTour, section: str = "ett_levels"
+) -> Dict[Node, int]:
+    """Depth of every node below the tour root (Corollary 5)."""
+    parent = _tour_parents(tour)
+    run = PascTreeRun(tour.root, parent, tag="lvl")
+    run_pasc(engine, [run], section=section)
+    return run.values()
+
+
+def _tour_parents(tour: EulerTour) -> Dict[Node, Node]:
+    """Parents with respect to the tour root (first-entry edges)."""
+    parent: Dict[Node, Node] = {}
+    seen = {tour.root}
+    for u, v in tour.edges:
+        if v not in seen:
+            seen.add(v)
+            parent[v] = u
+    return parent

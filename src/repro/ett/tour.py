@@ -1,0 +1,128 @@
+"""Euler tour construction from local rotation orders.
+
+Amoebots do not know the tree globally; each knows its incident tree
+edges in counterclockwise order (shared chirality makes the order
+consistent).  The successor of directed edge ``(u, v)`` is ``(v, w)``
+where ``w`` is the next counterclockwise tree neighbor of ``v`` after
+``u`` — a purely local rule.  Following it from any directed edge yields
+a single cycle using every directed edge exactly once; splitting the
+cycle at the root gives the Euler tour the technique runs PASC over.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.grid.coords import Node
+from repro.pasc.chain import Unit
+
+DirectedEdge = Tuple[Node, Node]
+
+
+def adjacency_from_edges(edges: Iterable[Tuple[Node, Node]]) -> Dict[Node, List[Node]]:
+    """Adjacency lists in counterclockwise rotation order.
+
+    ``edges`` are undirected tree edges between *adjacent grid nodes*.
+    Each node's neighbor list is sorted by edge direction (E, NE, NW, W,
+    SW, SE), realizing the common chirality the model assumes.
+    """
+    adjacency: Dict[Node, List[Node]] = {}
+    seen = set()
+    for u, v in edges:
+        key = (u, v) if (u, v) <= (v, u) else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        adjacency.setdefault(u, []).append(v)
+        adjacency.setdefault(v, []).append(u)
+    for u, neighbors in adjacency.items():
+        neighbors.sort(key=lambda v: int(u.direction_to(v)))
+    return adjacency
+
+
+@dataclass
+class EulerTour:
+    """An Euler tour of a tree of amoebots.
+
+    Attributes
+    ----------
+    root:
+        The amoebot the cycle was split at.
+    edges:
+        The directed edges ``e_0, ..., e_{L-1}`` in tour order
+        (``L = 2 (m - 1)`` for a tree of ``m`` nodes).
+    units:
+        The PASC instances ``v_0, ..., v_L``; ``units[i]`` is operated by
+        the source of ``edges[i]`` and ``units[L]`` by the root.  The
+        occurrence id of a unit is its per-amoebot occurrence index, a
+        number every amoebot can maintain locally.
+    adjacency:
+        The rotation-ordered adjacency the tour was built from.
+    """
+
+    root: Node
+    edges: List[DirectedEdge]
+    units: List[Unit]
+    adjacency: Dict[Node, List[Node]]
+
+    @property
+    def length(self) -> int:
+        return len(self.edges)
+
+    def nodes(self) -> List[Node]:
+        """All tree nodes in sorted order."""
+        return sorted(self.adjacency)
+
+    def first_unit_of(self, node: Node) -> Unit:
+        """The unit of ``node``'s first occurrence on the tour."""
+        return (node, "0")
+
+    def out_edge_of_unit(self, index: int) -> DirectedEdge:
+        """The directed edge traversed right after unit ``index``."""
+        return self.edges[index]
+
+
+def build_euler_tour(root: Node, adjacency: Dict[Node, List[Node]]) -> EulerTour:
+    """Build the Euler tour of a tree rooted at ``root``.
+
+    ``adjacency`` must describe a tree (checked) whose nodes are mutually
+    adjacent grid nodes, with each list in rotation order.
+    """
+    if root not in adjacency:
+        raise ValueError(f"root {root} is not a tree node")
+    node_count = len(adjacency)
+    edge_count = sum(len(v) for v in adjacency.values()) // 2
+    if edge_count != node_count - 1:
+        raise ValueError("adjacency does not describe a tree")
+
+    if not adjacency[root]:
+        if node_count != 1:
+            raise ValueError("isolated root in a multi-node adjacency")
+        return EulerTour(root, [], [(root, "0")], {root: []})
+
+    index_of: Dict[DirectedEdge, int] = {}
+    edges: List[DirectedEdge] = []
+    cur: DirectedEdge = (root, adjacency[root][0])
+    expected = 2 * edge_count
+    for _ in range(expected):
+        if cur in index_of:
+            raise ValueError("rotation order does not induce a single cycle")
+        index_of[cur] = len(edges)
+        edges.append(cur)
+        u, v = cur
+        neighbors = adjacency[v]
+        i = neighbors.index(u)
+        w = neighbors[(i + 1) % len(neighbors)]
+        cur = (v, w)
+    if cur != edges[0]:
+        raise ValueError("tour did not close into a cycle")
+
+    occurrences: Counter = Counter()
+    units: List[Unit] = []
+    for u, _ in edges:
+        units.append((u, str(occurrences[u])))
+        occurrences[u] += 1
+    units.append((root, str(occurrences[root])))
+    return EulerTour(root=root, edges=edges, units=units, adjacency=adjacency)

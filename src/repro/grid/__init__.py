@@ -1,0 +1,52 @@
+"""Triangular grid substrate for the geometric amoebot model.
+
+The infinite regular triangular grid :math:`G_\\Delta` is represented with
+axial coordinates ``(x, y)``: every node has six neighbors reached by the
+offsets in :data:`repro.grid.directions.DIRECTION_OFFSETS`.  Edges are
+parallel to one of three axes (X, Y, Z), which is the foundation of the
+portal-graph machinery of the paper (Section 2.3).
+
+Public surface:
+
+* :class:`~repro.grid.coords.Node` — a grid node (hashable, ordered).
+* :class:`~repro.grid.directions.Direction` — the six edge directions.
+* :class:`~repro.grid.directions.Axis` — the three edge axes.
+* :class:`~repro.grid.structure.AmoebotStructure` — a finite connected
+  hole-free set of occupied nodes with adjacency queries.
+* :func:`~repro.grid.holes.has_holes` — hole detection.
+* :func:`~repro.grid.oracle.bfs_distances` — centralized shortest-path
+  oracle used only for verification.
+"""
+
+from repro.grid.coords import Node, grid_distance
+from repro.grid.directions import (
+    Axis,
+    Direction,
+    DIRECTION_OFFSETS,
+    AXIS_DIRECTIONS,
+    opposite,
+    counterclockwise,
+    clockwise,
+)
+from repro.grid.structure import AmoebotStructure
+from repro.grid.holes import has_holes, find_holes
+from repro.grid.oracle import bfs_distances, bfs_tree, eccentricity, structure_diameter
+
+__all__ = [
+    "Node",
+    "grid_distance",
+    "Axis",
+    "Direction",
+    "DIRECTION_OFFSETS",
+    "AXIS_DIRECTIONS",
+    "opposite",
+    "counterclockwise",
+    "clockwise",
+    "AmoebotStructure",
+    "has_holes",
+    "find_holes",
+    "bfs_distances",
+    "bfs_tree",
+    "eccentricity",
+    "structure_diameter",
+]

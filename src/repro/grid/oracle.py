@@ -1,0 +1,91 @@
+"""Centralized shortest-path oracles.
+
+These are *verification tools only*: the distributed algorithms in
+:mod:`repro.spf` never call them.  Tests and the forest checker compare the
+distributed output against these BFS computations on :math:`G_X`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.grid.coords import Node
+from repro.grid.structure import AmoebotStructure
+
+
+def bfs_distances(
+    structure: AmoebotStructure, sources: Iterable[Node]
+) -> Dict[Node, int]:
+    """Multi-source BFS distances ``dist(S, u)`` inside :math:`G_X`.
+
+    Unreachable nodes are absent from the result (cannot happen for
+    connected structures, but kept general for robustness tests).
+    """
+    dist: Dict[Node, int] = {}
+    queue: deque = deque()
+    for s in sources:
+        if s not in structure:
+            raise KeyError(f"source {s} is not part of the structure")
+        if s not in dist:
+            dist[s] = 0
+            queue.append(s)
+    while queue:
+        u = queue.popleft()
+        for v in structure.neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def bfs_tree(
+    structure: AmoebotStructure, source: Node
+) -> Tuple[Dict[Node, int], Dict[Node, Optional[Node]]]:
+    """Single-source BFS returning ``(distances, parents)``.
+
+    Parents form one particular shortest path tree; the distributed
+    algorithm may legitimately pick different parents, so checkers compare
+    *distances*, not parent identity.
+    """
+    dist = {source: 0}
+    parent: Dict[Node, Optional[Node]] = {source: None}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in structure.neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                parent[v] = u
+                queue.append(v)
+    return dist, parent
+
+
+def closest_sources(
+    structure: AmoebotStructure, sources: Iterable[Node]
+) -> Dict[Node, List[Node]]:
+    """For each node, all sources at minimal :math:`G_X` distance.
+
+    Used to verify property 5 of the (S, D)-shortest-path-forest
+    definition (each destination is connected to a *closest* source).
+    """
+    source_list = list(dict.fromkeys(sources))
+    per_source = {s: bfs_distances(structure, [s]) for s in source_list}
+    result: Dict[Node, List[Node]] = {}
+    for u in structure:
+        best = min(per_source[s].get(u, float("inf")) for s in source_list)
+        result[u] = [s for s in source_list if per_source[s].get(u) == best]
+    return result
+
+
+def eccentricity(structure: AmoebotStructure, node: Node) -> int:
+    """Maximum BFS distance from ``node`` to any node of the structure."""
+    return max(bfs_distances(structure, [node]).values())
+
+
+def structure_diameter(structure: AmoebotStructure) -> int:
+    """Exact diameter of :math:`G_X` (double sweep would only bound it).
+
+    Quadratic; intended for the modest sizes used in tests and benches.
+    """
+    return max(eccentricity(structure, u) for u in structure)

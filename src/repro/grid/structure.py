@@ -1,0 +1,173 @@
+"""Finite amoebot structures: connected node sets on the triangular grid.
+
+An :class:`AmoebotStructure` is the set ``X`` of occupied nodes.  It offers
+adjacency queries on the induced subgraph :math:`G_X` and validates the
+paper's standing assumptions (connectivity; optionally hole-freeness).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.grid.coords import Node
+from repro.grid.directions import Axis, Direction, all_directions_ccw
+
+
+class StructureError(ValueError):
+    """Raised when a node set violates the model's standing assumptions."""
+
+
+class AmoebotStructure:
+    """A connected set of occupied triangular-grid nodes.
+
+    Parameters
+    ----------
+    nodes:
+        The occupied nodes.  Duplicates are ignored.
+    require_hole_free:
+        If true (the default), reject structures with holes: the paper's
+        algorithms assume :math:`G_{V_\\Delta \\setminus X}` is connected
+        (Section 1.1).  Pass ``False`` for tests that exercise hole
+        detection itself.
+    """
+
+    def __init__(self, nodes: Iterable[Node], require_hole_free: bool = True):
+        node_set = frozenset(nodes)
+        if not node_set:
+            raise StructureError("amoebot structure must be non-empty")
+        self._nodes: FrozenSet[Node] = node_set
+        self._neighbor_cache: Dict[Node, Tuple[Node, ...]] = {}
+        if not self._is_connected():
+            raise StructureError("amoebot structure must be connected")
+        if require_hole_free:
+            from repro.grid.holes import has_holes  # local import: avoid cycle
+
+            if has_holes(node_set):
+                raise StructureError("amoebot structure must be hole-free")
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> FrozenSet[Node]:
+        """The occupied node set ``X``."""
+        return self._nodes
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AmoebotStructure):
+            return NotImplemented
+        return self._nodes == other._nodes
+
+    def __hash__(self) -> int:
+        return hash(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"AmoebotStructure(n={len(self._nodes)})"
+
+    # ------------------------------------------------------------------
+    # adjacency in the induced subgraph G_X
+    # ------------------------------------------------------------------
+    def neighbors(self, node: Node) -> Tuple[Node, ...]:
+        """Occupied neighbors of ``node`` in counterclockwise order."""
+        cached = self._neighbor_cache.get(node)
+        if cached is not None:
+            return cached
+        if node not in self._nodes:
+            raise KeyError(f"{node} is not part of the structure")
+        result = tuple(v for v in node.neighbors() if v in self._nodes)
+        self._neighbor_cache[node] = result
+        return result
+
+    def degree(self, node: Node) -> int:
+        """Number of occupied neighbors."""
+        return len(self.neighbors(node))
+
+    def has_neighbor(self, node: Node, direction: Direction) -> bool:
+        """Whether the adjacent node in ``direction`` is occupied."""
+        return node.neighbor(direction) in self._nodes
+
+    def occupied_directions(self, node: Node) -> List[Direction]:
+        """Directions toward occupied neighbors, counterclockwise order."""
+        return [d for d in all_directions_ccw() if self.has_neighbor(node, d)]
+
+    def edges(self) -> List[Tuple[Node, Node]]:
+        """All undirected edges of :math:`G_X` (each listed once)."""
+        result: List[Tuple[Node, Node]] = []
+        for u in self._nodes:
+            for d in (Direction.E, Direction.NE, Direction.NW):
+                v = u.neighbor(d)
+                if v in self._nodes:
+                    result.append((u, v))
+        return result
+
+    def edge_count(self) -> int:
+        """Number of undirected edges of :math:`G_X`."""
+        return len(self.edges())
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+    def bounding_box(self) -> Tuple[int, int, int, int]:
+        """Return ``(min_x, max_x, min_y, max_y)`` of the node set."""
+        xs = [u.x for u in self._nodes]
+        ys = [u.y for u in self._nodes]
+        return (min(xs), max(xs), min(ys), max(ys))
+
+    def westernmost(self, nodes: Optional[Iterable[Node]] = None) -> Node:
+        """The unique westernmost node of ``nodes`` (default: all).
+
+        Ties on ``x + y/2`` (the Cartesian horizontal) are broken by the
+        axial coordinates, making the choice deterministic — amoebots can
+        agree on it because they share a compass.
+        """
+        pool = self._nodes if nodes is None else list(nodes)
+        return min(pool, key=lambda u: (2 * u.x + u.y, u.y, u.x))
+
+    def northernmost(self, nodes: Optional[Iterable[Node]] = None) -> Node:
+        """The deterministic northernmost node of ``nodes`` (default: all)."""
+        pool = self._nodes if nodes is None else list(nodes)
+        return max(pool, key=lambda u: (u.y, -u.x))
+
+    def line_through(self, node: Node, axis: Axis) -> List[Node]:
+        """Maximal occupied contiguous line through ``node`` along ``axis``.
+
+        This is exactly the *portal* of ``node`` for ``axis``
+        (Definition 7 adapted to triangular grids).  Nodes are returned in
+        order along the positive axis direction.
+        """
+        pos, neg = axis.directions
+        line = [node]
+        cur = node.neighbor(neg)
+        while cur in self._nodes:
+            line.append(cur)
+            cur = cur.neighbor(neg)
+        line.reverse()
+        cur = node.neighbor(pos)
+        while cur in self._nodes:
+            line.append(cur)
+            cur = cur.neighbor(pos)
+        return line
+
+    # ------------------------------------------------------------------
+    # internal
+    # ------------------------------------------------------------------
+    def _is_connected(self) -> bool:
+        start = next(iter(self._nodes))
+        seen: Set[Node] = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in u.neighbors():
+                if v in self._nodes and v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == len(self._nodes)

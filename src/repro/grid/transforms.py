@@ -1,0 +1,73 @@
+"""Grid symmetries: translations, rotations, reflections of structures.
+
+The triangular grid has a 12-element point symmetry group (6 rotations
+x optional reflection).  Because all amoebots share one compass, the
+paper's algorithms commute with these symmetries: transforming the
+input transforms the output and leaves round counts unchanged.  The
+test suite uses these maps to check that equivariance (a strong smoke
+test against direction-convention bugs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.grid.coords import Node
+from repro.grid.structure import AmoebotStructure
+
+NodeMap = Callable[[Node], Node]
+
+
+def translate(dx: int, dy: int) -> NodeMap:
+    """Translation by an axial offset."""
+
+    def apply(node: Node) -> Node:
+        return Node(node.x + dx, node.y + dy)
+
+    return apply
+
+
+def rotate60(steps: int = 1) -> NodeMap:
+    """Rotation by ``steps`` sixth-turns counterclockwise about the origin.
+
+    One ccw sixth-turn maps the axial basis as ``E -> NE`` and
+    ``NE -> NW``, i.e. ``(x, y) -> (-y, x + y)``.
+    """
+
+    def once(node: Node) -> Node:
+        return Node(-node.y, node.x + node.y)
+
+    def apply(node: Node) -> Node:
+        result = node
+        for _ in range(steps % 6):
+            result = once(result)
+        return result
+
+    return apply
+
+
+def reflect_x_axis() -> NodeMap:
+    """Reflection across the x-axis (flips chirality).
+
+    Cartesian ``(x + y/2, y√3/2) -> (x + y/2, -y√3/2)`` corresponds to
+    ``(x, y) -> (x + y, -y)`` in axial coordinates.
+    """
+
+    def apply(node: Node) -> Node:
+        return Node(node.x + node.y, -node.y)
+
+    return apply
+
+
+def transform_structure(
+    structure: AmoebotStructure, node_map: NodeMap
+) -> AmoebotStructure:
+    """Apply a symmetry to every node of a structure."""
+    return AmoebotStructure(node_map(u) for u in structure.nodes)
+
+
+def transform_parent_map(
+    parent: Dict[Node, Node], node_map: NodeMap
+) -> Dict[Node, Node]:
+    """Apply a symmetry to a forest's parent pointers."""
+    return {node_map(u): node_map(p) for u, p in parent.items()}

@@ -1,0 +1,13 @@
+"""Round accounting and experiment records."""
+
+from repro.metrics.rounds import RoundCounter
+from repro.metrics.records import ExperimentRecord, ResultTable
+from repro.metrics.circuit_stats import LayoutStats, layout_stats
+
+__all__ = [
+    "RoundCounter",
+    "ExperimentRecord",
+    "ResultTable",
+    "LayoutStats",
+    "layout_stats",
+]

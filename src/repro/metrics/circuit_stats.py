@@ -1,0 +1,60 @@
+"""Circuit statistics for layouts (engineering observability).
+
+Summarizes a frozen :class:`~repro.sim.circuits.CircuitLayout`: how many
+circuits it forms, their sizes, and how many channels each physical edge
+actually uses.  Benches report these to substantiate the constant pin
+budget claims (Remark 16), and debugging sessions use them to spot
+accidentally merged or orphaned circuits.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.grid.coords import Node
+from repro.sim.circuits import CircuitLayout
+
+
+@dataclass
+class LayoutStats:
+    """Summary of one layout's circuits and channel usage."""
+
+    partition_sets: int
+    circuits: int
+    largest_circuit: int
+    singleton_circuits: int
+    max_channels_per_edge: int
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"{self.circuits} circuits over {self.partition_sets} partition "
+            f"sets (largest {self.largest_circuit}, "
+            f"{self.singleton_circuits} singletons, "
+            f"<= {self.max_channels_per_edge} channels/edge)"
+        )
+
+
+def layout_stats(layout: CircuitLayout) -> LayoutStats:
+    """Compute the statistics of a (possibly unfrozen) layout."""
+    layout.freeze()
+    circuits = layout.circuits()
+    sizes = [len(c) for c in circuits]
+
+    channel_use: Counter = Counter()
+    for pin in layout._pin_owner:  # simulator-side observability
+        a, b = pin.node, pin.node.neighbor(pin.direction)
+        edge: Tuple[Node, Node] = (a, b) if (a, b) <= (b, a) else (b, a)
+        channel_use[(edge, pin.channel)] += 1
+    per_edge: Counter = Counter()
+    for (edge, _channel), _count in channel_use.items():
+        per_edge[edge] += 1
+
+    return LayoutStats(
+        partition_sets=len(layout.partition_sets()),
+        circuits=len(circuits),
+        largest_circuit=max(sizes, default=0),
+        singleton_circuits=sum(1 for s in sizes if s == 1),
+        max_channels_per_edge=max(per_edge.values(), default=0),
+    )

@@ -1,0 +1,122 @@
+"""Synchronous-round accounting.
+
+The complexity measure of the reconfigurable circuit model is the number
+of fully synchronous rounds (Section 1.2).  Every beep round executed by
+the :class:`~repro.sim.engine.CircuitEngine` ticks a :class:`RoundCounter`
+once; controller steps that the paper charges a constant number of rounds
+for (e.g. "each portal establishes a circuit and sources beep") tick it
+explicitly.  Sections attribute rounds to named phases so benches can
+report per-primitive budgets.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import Counter
+from typing import Dict, Iterator, List
+
+
+class RoundCounter:
+    """Counts synchronous rounds, with nested named sections."""
+
+    def __init__(self) -> None:
+        self._total = 0
+        self._per_section: Counter = Counter()
+        self._stack: List[str] = []
+
+    @property
+    def total(self) -> int:
+        """Total number of synchronous rounds elapsed."""
+        return self._total
+
+    def tick(self, rounds: int = 1) -> None:
+        """Advance the clock by ``rounds`` synchronous rounds."""
+        if rounds < 0:
+            raise ValueError("cannot tick a negative number of rounds")
+        self._total += rounds
+        for name in self._stack:
+            self._per_section[name] += rounds
+
+    @contextlib.contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Attribute all rounds ticked inside the block to ``name``.
+
+        Sections nest; an inner round is attributed to every enclosing
+        section, so section totals are inclusive.
+        """
+        self._stack.append(name)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    def section_total(self, name: str) -> int:
+        """Rounds attributed to section ``name`` so far."""
+        return self._per_section.get(name, 0)
+
+    def breakdown(self) -> Dict[str, int]:
+        """Mapping of section name to attributed rounds."""
+        return dict(self._per_section)
+
+    def reset(self) -> None:
+        """Zero the clock and all section totals."""
+        self._total = 0
+        self._per_section.clear()
+
+    def parallel(self) -> "ParallelGroup":
+        """Model concurrent execution of operations on disjoint amoebots.
+
+        The simulator executes such operations one after another for
+        simplicity, but in the model they run in the *same* synchronous
+        rounds (e.g. the base-case computations of all regions, or the
+        merges along all same-depth centroid portals).  Branches entered
+        through the returned group are each measured, rolled back, and
+        the group finally charges the maximum branch cost once::
+
+            with counter.parallel() as group:
+                for region in regions:
+                    with group.branch():
+                        process(region)
+        """
+        return ParallelGroup(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"RoundCounter(total={self._total})"
+
+
+class ParallelGroup:
+    """Charges the maximum of its branches to the underlying counter.
+
+    Only valid for branches operating on disjoint amoebot sets with
+    disjoint circuits — the caller asserts that by using the group.
+    """
+
+    def __init__(self, counter: RoundCounter):
+        self._counter = counter
+        self._max_branch = 0
+        self._open = False
+
+    def __enter__(self) -> "ParallelGroup":
+        self._open = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._open = False
+        if exc_type is None:
+            self._counter.tick(self._max_branch)
+
+    @contextlib.contextmanager
+    def branch(self) -> Iterator[None]:
+        """One concurrently-running operation."""
+        if not self._open:
+            raise RuntimeError("branch() outside the parallel group")
+        start = self._counter._total
+        try:
+            yield
+        finally:
+            used = self._counter._total - start
+            self._max_branch = max(self._max_branch, used)
+            # Roll back: the final group tick charges the max once.  Keep
+            # the per-section attribution of the branch (sections remain
+            # informative even if they over-count parallel work).
+            self._counter._total = start

@@ -1,0 +1,13 @@
+"""Token routing along shortest path forests.
+
+The Kostitsyna et al. application the paper's introduction motivates:
+amoebots (or payload tokens they carry) travel through the structure
+along the shortest path forest toward their assigned sources.  This
+package simulates the synchronous movement with single-occupancy
+congestion resolution and reports makespan statistics, demonstrating
+what the forest is *for*.
+"""
+
+from repro.motion.routing import RoutingPlan, RoutingStats, route_tokens
+
+__all__ = ["RoutingPlan", "RoutingStats", "route_tokens"]

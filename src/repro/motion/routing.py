@@ -1,0 +1,123 @@
+"""Synchronous token routing along a shortest path forest.
+
+Tokens start on the destination amoebots and travel along parent
+pointers toward their tree's source.  Per synchronous step every token
+advances one hop if its parent node is free (or being vacated this same
+step — chains of tokens move in lockstep, the standard convoy rule);
+ties for the same target cell resolve deterministically by token id.
+Because every token follows a shortest path to its *closest* source,
+the total travel distance is optimal per token, and the simulation
+reports how much congestion inflates the makespan beyond the lower
+bound ``max_d dist(S, d)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.grid.coords import Node
+from repro.spf.types import Forest
+
+
+@dataclass
+class RoutingStats:
+    """Outcome of a routing simulation."""
+
+    steps: int
+    total_moves: int
+    lower_bound: int
+    token_paths: Dict[int, List[Node]]
+
+    @property
+    def congestion_overhead(self) -> float:
+        """Makespan divided by the congestion-free lower bound."""
+        return self.steps / max(self.lower_bound, 1)
+
+
+@dataclass
+class RoutingPlan:
+    """A forest plus the tokens to route along it."""
+
+    forest: Forest
+    token_origins: List[Node]
+
+    def __post_init__(self) -> None:
+        for origin in self.token_origins:
+            if origin not in self.forest.members:
+                raise ValueError(f"token origin {origin} is not in the forest")
+
+
+def route_tokens(
+    plan: RoutingPlan,
+    max_steps: Optional[int] = None,
+) -> RoutingStats:
+    """Simulate the synchronous routing until every token reaches a source.
+
+    A token parks (and disappears from the occupancy map) when it
+    reaches its tree's source — sources absorb arbitrarily many tokens,
+    modelling the "entry point" semantics of reconfiguration.
+    """
+    forest = plan.forest
+    positions: Dict[int, Node] = dict(enumerate(plan.token_origins))
+    paths: Dict[int, List[Node]] = {t: [p] for t, p in positions.items()}
+    arrived: Set[int] = {
+        t for t, p in positions.items() if p in forest.sources
+    }
+    occupied: Dict[Node, int] = {
+        p: t for t, p in positions.items() if t not in arrived
+    }
+    lower_bound = max(
+        (forest.depth_of(p) for p in plan.token_origins), default=0
+    )
+    if max_steps is None:
+        max_steps = 4 * lower_bound + 4 * len(plan.token_origins) + 8
+
+    steps = 0
+    total_moves = 0
+    while len(arrived) < len(positions):
+        if steps > max_steps:
+            raise RuntimeError("routing did not converge; congestion deadlock?")
+        steps += 1
+        # Desired moves this step, deterministic priority by token id.
+        desires: Dict[Node, int] = {}
+        for t in sorted(positions):
+            if t in arrived:
+                continue
+            target = forest.parent[positions[t]]
+            if target not in desires:
+                desires[target] = t
+        # A move succeeds if the target is free, or is vacated by a
+        # token that itself moves (resolved by iterating convoys).
+        moved: Dict[int, Node] = {}
+        changed = True
+        while changed:
+            changed = False
+            for target, t in list(desires.items()):
+                if t in moved:
+                    continue
+                holder = occupied.get(target)
+                if (
+                    holder is None
+                    or holder in moved
+                    or (target in forest.sources)
+                ):
+                    moved[t] = target
+                    changed = True
+        for t, target in moved.items():
+            source_pos = positions[t]
+            if occupied.get(source_pos) == t:
+                del occupied[source_pos]
+            positions[t] = target
+            paths[t].append(target)
+            total_moves += 1
+            if target in forest.sources:
+                arrived.add(t)
+            else:
+                occupied[target] = t
+    return RoutingStats(
+        steps=steps,
+        total_moves=total_moves,
+        lower_bound=lower_bound,
+        token_paths=paths,
+    )

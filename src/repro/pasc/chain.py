@@ -1,0 +1,218 @@
+"""PASC on chains of units.
+
+A *unit* is one PASC instance operated by an amoebot.  On plain chains
+every amoebot operates a single unit; in the Euler tour technique an
+amoebot operates one unit per occurrence on the tour (at most its degree,
+hence at most six).  Consecutive units always sit on neighboring amoebots
+and are joined by a :class:`ChainLink` naming the physical edge and the
+two channels carrying the primary and secondary wires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.grid.coords import Node
+from repro.grid.directions import Direction, opposite
+from repro.sim.circuits import CircuitLayout
+from repro.sim.pins import PartitionSetId
+
+#: A unit is identified by its operating amoebot and a local occurrence id.
+Unit = Tuple[Node, str]
+
+
+@dataclass(frozen=True)
+class ChainLink:
+    """The physical wiring between consecutive chain units.
+
+    The link occupies channels ``primary_channel`` and
+    ``secondary_channel`` of the edge leaving ``src`` in ``direction``.
+    """
+
+    src: Node
+    direction: Direction
+    primary_channel: int
+    secondary_channel: int
+
+    def dst(self) -> Node:
+        """The amoebot at the far end of the link."""
+        return self.src.neighbor(self.direction)
+
+
+def chain_links_for_nodes(
+    nodes: Sequence[Node],
+    primary_channel: int = 0,
+    secondary_channel: int = 1,
+) -> List[ChainLink]:
+    """Links joining consecutive nodes of a plain amoebot chain."""
+    links = []
+    for u, v in zip(nodes, nodes[1:]):
+        links.append(ChainLink(u, u.direction_to(v), primary_channel, secondary_channel))
+    return links
+
+
+class PascChainRun:
+    """One PASC execution over a chain of units.
+
+    Parameters
+    ----------
+    units:
+        The chain ``(u_0, ..., u_{m-1})`` as (amoebot, occurrence-id)
+        pairs.  Occurrence ids keep partition-set labels of multiple
+        units at the same amoebot distinct; plain chains may use ``""``.
+    links:
+        ``links[i]`` wires unit ``i`` to unit ``i+1``; exactly
+        ``len(units) - 1`` entries.
+    weights:
+        0/1 participation weights per unit; default all 1 (plain PASC).
+    tag:
+        Label prefix isolating this run's partition sets from others
+        sharing the same layout.
+
+    After :func:`~repro.pasc.runner.run_pasc` completes, ``values()``
+    maps every unit to its *exclusive* weighted prefix count
+    :math:`\\sum_{j<i} w(u_j)` and ``inclusive_values()`` to the
+    inclusive sum.  (Amoebots read these bit by bit; the accumulated
+    integers live in the driver, which is an observer convenience — the
+    per-amoebot state is the O(1) dataclass the construction requires.)
+    """
+
+    def __init__(
+        self,
+        units: Sequence[Unit],
+        links: Sequence[ChainLink],
+        weights: Optional[Sequence[int]] = None,
+        tag: str = "pasc",
+    ):
+        if not units:
+            raise ValueError("chain must contain at least one unit")
+        if len(links) != len(units) - 1:
+            raise ValueError("need exactly one link between consecutive units")
+        for (node, _), link in zip(units, links):
+            if link.src != node:
+                raise ValueError(f"link {link} does not start at its unit {node}")
+        for (node, _), link in zip(units[1:], links):
+            if link.dst() != node:
+                raise ValueError(f"link {link} does not end at its unit {node}")
+        if weights is None:
+            weights = [1] * len(units)
+        if len(weights) != len(units):
+            raise ValueError("one weight per unit required")
+        if any(w not in (0, 1) for w in weights):
+            raise ValueError("weights must be 0 or 1")
+        self.units = list(units)
+        self.links = list(links)
+        self.weights = list(weights)
+        self.tag = tag
+        # Algorithm state (one O(1) record per unit).
+        self._active = [w == 1 for w in self.weights]
+        self._value = [0] * len(units)
+        self._iteration = 0
+        seen = set()
+        for unit in self.units:
+            if unit in seen:
+                raise ValueError(f"duplicate unit {unit}")
+            seen.add(unit)
+
+    # ------------------------------------------------------------------
+    # labels
+    # ------------------------------------------------------------------
+    def _label(self, index: int, which: str) -> str:
+        node, uid = self.units[index]
+        return f"{self.tag}:{uid}:{which}" if uid else f"{self.tag}:{which}"
+
+    def primary_set(self, index: int) -> PartitionSetId:
+        """Partition-set id of unit ``index``'s primary wire."""
+        return (self.units[index][0], self._label(index, "p"))
+
+    def secondary_set(self, index: int) -> PartitionSetId:
+        """Partition-set id of unit ``index``'s secondary wire."""
+        return (self.units[index][0], self._label(index, "s"))
+
+    # ------------------------------------------------------------------
+    # runner protocol
+    # ------------------------------------------------------------------
+    def is_done(self) -> bool:
+        """No participant is active: all further bits are zero."""
+        return not any(self._active)
+
+    def contribute_layout(self, layout: CircuitLayout) -> None:
+        """Wire this iteration's primary/secondary circuits into ``layout``.
+
+        Unit ``i`` owns the wiring of its *outgoing* link ``links[i]``:
+        straight when passive, crossed when active.  Incoming links are
+        always joined straight to the unit's own sets.
+        """
+        for i, (node, _) in enumerate(self.units):
+            p_label = self._label(i, "p")
+            s_label = self._label(i, "s")
+            p_pins: List[Tuple[Direction, int]] = []
+            s_pins: List[Tuple[Direction, int]] = []
+            if i > 0:
+                link = self.links[i - 1]
+                back = opposite(link.direction)
+                p_pins.append((back, link.primary_channel))
+                s_pins.append((back, link.secondary_channel))
+            if i < len(self.links):
+                link = self.links[i]
+                if self._active[i]:
+                    # Crossed: the primary set drives the secondary wire.
+                    p_pins.append((link.direction, link.secondary_channel))
+                    s_pins.append((link.direction, link.primary_channel))
+                else:
+                    p_pins.append((link.direction, link.primary_channel))
+                    s_pins.append((link.direction, link.secondary_channel))
+            layout.assign(node, p_label, p_pins)
+            layout.assign(node, s_label, s_pins)
+
+    def beeps(self) -> List[PartitionSetId]:
+        """The chain's first unit beeps on its primary set."""
+        return [self.primary_set(0)]
+
+    def absorb(self, received: Dict[PartitionSetId, bool]) -> None:
+        """Read this iteration's bit at every unit and update activity."""
+        bit_index = self._iteration
+        for i in range(len(self.units)):
+            heard_secondary = received.get(self.secondary_set(i), False)
+            if heard_secondary:
+                self._value[i] |= 1 << bit_index
+            if self._active[i] and not heard_secondary:
+                # Active participants whose bit is 0 drop out; exactly the
+                # units with bits 0..t all 1 stay active, preserving the
+                # parity invariant for the next iteration.
+                self._active[i] = False
+        self._iteration += 1
+
+    def active_units(self) -> List[Unit]:
+        """Units that are still active (beep in the termination round)."""
+        return [u for u, a in zip(self.units, self._active) if a]
+
+    @property
+    def iterations(self) -> int:
+        return self._iteration
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def values(self) -> Dict[Unit, int]:
+        """Exclusive weighted prefix count per unit."""
+        return dict(zip(self.units, self._value))
+
+    def inclusive_values(self) -> Dict[Unit, int]:
+        """Inclusive weighted prefix sum per unit (adds own weight)."""
+        return {
+            unit: value + weight
+            for unit, value, weight in zip(self.units, self._value, self.weights)
+        }
+
+    def node_values(self) -> Dict[Node, int]:
+        """Exclusive counts keyed by amoebot (plain single-unit chains)."""
+        result: Dict[Node, int] = {}
+        for (node, _), value in zip(self.units, self._value):
+            if node in result:
+                raise ValueError(
+                    "node_values() requires at most one unit per amoebot"
+                )
+            result[node] = value
+        return result

@@ -1,0 +1,119 @@
+"""Parallel PASC execution with shared synchronous rounds.
+
+Each iteration costs exactly two rounds, independent of how many PASC
+instances run concurrently (Lemma 4 plus the synchronization technique
+of Padalkin et al. [26]):
+
+1. every run's primary/secondary circuits are (re)established and every
+   run's first unit beeps on its primary set; all units read their bit;
+2. the structure forms a global circuit on a reserved channel and every
+   still-active participant beeps; silence tells all amoebots that every
+   run has finished (all remaining bits are zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol, Sequence
+
+from repro.sim.circuits import CircuitLayout
+from repro.sim.engine import CircuitEngine
+from repro.sim.pins import PartitionSetId
+
+
+class PascRun(Protocol):
+    """Protocol shared by chain and tree runs (and ETT wrappers)."""
+
+    def is_done(self) -> bool:
+        """Whether no participant is active (all further bits zero)."""
+        ...
+
+    def contribute_layout(self, layout: CircuitLayout) -> None:
+        """Wire this iteration's circuits into the shared layout."""
+        ...
+
+    def beeps(self) -> List[PartitionSetId]:
+        """Partition sets this run activates in the PASC round."""
+        ...
+
+    def absorb(self, received) -> None:
+        """Read this iteration's bit at every unit; update activity."""
+        ...
+
+    def active_units(self) -> List:
+        """Units that beep in the shared termination round."""
+        ...
+
+
+@dataclass
+class PascResult:
+    """Execution summary of a (parallel) PASC run."""
+
+    iterations: int
+    rounds: int
+
+
+TERMINATION_LABEL = "pasc:termination"
+
+
+def run_pasc(
+    engine: CircuitEngine,
+    runs: Sequence[PascRun],
+    term_channel: int | None = None,
+    max_iterations: int | None = None,
+    section: str = "pasc",
+) -> PascResult:
+    """Execute ``runs`` to completion in parallel on ``engine``.
+
+    ``term_channel`` is the channel of the global termination circuit
+    (default: the engine's highest channel, which the wiring conventions
+    in this repository leave free).  ``max_iterations`` is a safety net
+    for tests; the algorithm terminates by itself via the silence of the
+    termination circuit.
+    """
+    if term_channel is None:
+        term_channel = engine.channels - 1
+    if max_iterations is None:
+        max_iterations = 2 * len(engine.structure).bit_length() + 8
+
+    iterations = 0
+    start_rounds = engine.rounds.total
+    with engine.rounds.section(section):
+        while True:
+            if iterations > max_iterations:
+                raise RuntimeError(
+                    f"PASC exceeded {max_iterations} iterations; "
+                    "wiring or activity update is broken"
+                )
+            layout = engine.new_layout()
+            for run in runs:
+                run.contribute_layout(layout)
+            _contribute_global(engine, layout, term_channel)
+            layout.freeze()
+
+            beeps: List[PartitionSetId] = []
+            for run in runs:
+                beeps.extend(run.beeps())
+            received = engine.run_round(layout, beeps)
+            for run in runs:
+                run.absorb(received)
+            iterations += 1
+
+            term_beeps: List[PartitionSetId] = []
+            for run in runs:
+                for unit in run.active_units():
+                    node = unit[0] if isinstance(unit, tuple) else unit
+                    term_beeps.append((node, TERMINATION_LABEL))
+            term_received = engine.run_round(layout, term_beeps)
+            if not any(term_received.values()):
+                break
+    return PascResult(iterations=iterations, rounds=engine.rounds.total - start_rounds)
+
+
+def _contribute_global(
+    engine: CircuitEngine, layout: CircuitLayout, channel: int
+) -> None:
+    """Add the global termination circuit to ``layout``."""
+    for node in engine.structure:
+        pins = [(d, channel) for d in engine.structure.occupied_directions(node)]
+        layout.assign(node, TERMINATION_LABEL, pins)

@@ -1,0 +1,148 @@
+"""PASC on rooted trees (Corollary 5).
+
+The chain construction is applied simultaneously on every root-to-leaf
+path: each amoebot keeps a single primary/secondary pair, joins the pins
+of its parent edge straight, and wires *all* child edges straight or
+crossed according to one shared active flag.  Every path from the root
+then behaves exactly like a chain, so each amoebot reads the bits of its
+depth.  Two external links per tree edge suffice, as the proof of
+Corollary 5 notes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.grid.coords import Node
+from repro.grid.directions import Direction
+from repro.sim.circuits import CircuitLayout
+from repro.sim.pins import PartitionSetId
+
+
+class PascTreeRun:
+    """One PASC execution over a rooted amoebot tree.
+
+    Parameters
+    ----------
+    root:
+        The tree root (distance 0).
+    parent:
+        Mapping of every non-root tree node to its parent.  Parent and
+        child must be adjacent amoebots.
+    tag:
+        Label prefix for partition sets.
+    primary_channel / secondary_channel:
+        The two channels used on every tree edge.
+
+    After the run, :meth:`values` maps every tree node to its depth.
+    """
+
+    def __init__(
+        self,
+        root: Node,
+        parent: Mapping[Node, Node],
+        tag: str = "pasct",
+        primary_channel: int = 0,
+        secondary_channel: int = 1,
+    ):
+        self.root = root
+        self.parent: Dict[Node, Node] = dict(parent)
+        if root in self.parent:
+            raise ValueError("root must not have a parent")
+        self.tag = tag
+        self.pch = primary_channel
+        self.sch = secondary_channel
+        self.nodes: List[Node] = [root] + sorted(self.parent)
+        self.children: Dict[Node, List[Node]] = {u: [] for u in self.nodes}
+        for child, par in self.parent.items():
+            if par not in self.children:
+                raise ValueError(f"parent {par} of {child} is not a tree node")
+            if not child.is_adjacent(par):
+                raise ValueError(f"tree edge {par}-{child} joins non-neighbors")
+            self.children[par].append(child)
+        self._check_acyclic()
+        self._active: Dict[Node, bool] = {u: True for u in self.nodes}
+        self._value: Dict[Node, int] = {u: 0 for u in self.nodes}
+        self._iteration = 0
+
+    def _check_acyclic(self) -> None:
+        seen = {self.root}
+        stack = [self.root]
+        while stack:
+            u = stack.pop()
+            for c in self.children[u]:
+                if c in seen:
+                    raise ValueError("parent mapping contains a cycle")
+                seen.add(c)
+                stack.append(c)
+        if len(seen) != len(self.nodes):
+            raise ValueError("parent mapping is not a single tree")
+
+    # ------------------------------------------------------------------
+    # labels
+    # ------------------------------------------------------------------
+    def primary_set(self, node: Node) -> PartitionSetId:
+        """Partition-set id of ``node``'s primary wire."""
+        return (node, f"{self.tag}:p")
+
+    def secondary_set(self, node: Node) -> PartitionSetId:
+        """Partition-set id of ``node``'s secondary wire."""
+        return (node, f"{self.tag}:s")
+
+    # ------------------------------------------------------------------
+    # runner protocol (same shape as PascChainRun)
+    # ------------------------------------------------------------------
+    def is_done(self) -> bool:
+        """No amoebot is active: all further bits are zero."""
+        return not any(self._active.values())
+
+    def contribute_layout(self, layout: CircuitLayout) -> None:
+        """Wire this iteration's primary/secondary circuits."""
+        for u in self.nodes:
+            p_pins: List[Tuple[Direction, int]] = []
+            s_pins: List[Tuple[Direction, int]] = []
+            par = self.parent.get(u)
+            if par is not None:
+                d = u.direction_to(par)
+                p_pins.append((d, self.pch))
+                s_pins.append((d, self.sch))
+            for child in self.children[u]:
+                d = u.direction_to(child)
+                if self._active[u]:
+                    p_pins.append((d, self.sch))
+                    s_pins.append((d, self.pch))
+                else:
+                    p_pins.append((d, self.pch))
+                    s_pins.append((d, self.sch))
+            layout.assign(u, f"{self.tag}:p", p_pins)
+            layout.assign(u, f"{self.tag}:s", s_pins)
+
+    def beeps(self) -> List[PartitionSetId]:
+        """The root beeps on its primary set."""
+        return [self.primary_set(self.root)]
+
+    def absorb(self, received: Dict[PartitionSetId, bool]) -> None:
+        """Read this iteration's bit and update activity."""
+        bit_index = self._iteration
+        for u in self.nodes:
+            heard_secondary = received.get(self.secondary_set(u), False)
+            if heard_secondary:
+                self._value[u] |= 1 << bit_index
+            if self._active[u] and not heard_secondary:
+                self._active[u] = False
+        self._iteration += 1
+
+    def active_units(self) -> List[Node]:
+        """Amoebots still active (beep in the termination round)."""
+        return [u for u, a in self._active.items() if a]
+
+    @property
+    def iterations(self) -> int:
+        return self._iteration
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def values(self) -> Dict[Node, int]:
+        """Depth (= distance to the root within the tree) per node."""
+        return dict(self._value)

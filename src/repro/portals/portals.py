@@ -1,0 +1,261 @@
+"""Portals, portal graphs, and implicit portal trees.
+
+The local membership rule for the implicit portal tree of axis ``d``
+(Definition 12 and the discussion below it, generalized from the x-axis
+by rotational symmetry): writing ``R`` for rotation by the axis index
+(X: identity, Y: one sixth-turn ccw, Z: two),
+
+* edges in directions ``R(E)`` and ``R(W)`` always belong to the tree
+  (they are the portal-internal edges);
+* the ``R(NW)`` and ``R(SW)`` edges belong iff the amoebot has no
+  ``R(W)`` neighbor (it is the "westernmost" amoebot of its portal);
+* the ``R(NE)`` edge belongs iff the amoebot has no ``R(NW)`` neighbor,
+  and the ``R(SE)`` edge iff it has no ``R(SW)`` neighbor (then the
+  neighbor across that edge is the westernmost contact of its portal).
+
+This selects exactly the "westernmost" edge between each pair of
+adjacent portals, so the implicit portal graph is a spanning tree of
+:math:`G_X` whose contraction of portals is the portal graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.grid.coords import Node
+from repro.grid.directions import Axis, Direction, counterclockwise
+from repro.grid.structure import AmoebotStructure
+from repro.ett.tour import adjacency_from_edges
+
+
+@dataclass(frozen=True, order=True)
+class Portal:
+    """A maximal run of amoebots along one axis-parallel grid line.
+
+    Ordered and hashed by ``(axis, first node)``; ``nodes`` is the run in
+    positive axis direction, so ``nodes[0]`` is the canonical
+    representative (the "westernmost" amoebot after rotation).
+    """
+
+    axis: Axis
+    nodes: Tuple[Node, ...]
+
+    @property
+    def representative(self) -> Node:
+        return self.nodes[0]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._node_set()
+
+    def _node_set(self) -> FrozenSet[Node]:
+        # Cached lazily on the instance despite frozen dataclass.
+        cached = getattr(self, "_cached_set", None)
+        if cached is None:
+            cached = frozenset(self.nodes)
+            object.__setattr__(self, "_cached_set", cached)
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Portal({self.axis.name}, {self.nodes[0]}..{self.nodes[-1]})"
+
+
+class PortalSystem:
+    """All portal-level structure of one axis for one amoebot structure."""
+
+    def __init__(self, structure: AmoebotStructure, axis: Axis):
+        self.structure = structure
+        self.axis = axis
+        self._rotation = int(axis)  # X: 0, Y: 1, Z: 2 sixth-turns ccw
+        self.portal_of: Dict[Node, Portal] = {}
+        self.portals: List[Portal] = []
+        self._build_portals()
+        self.portal_adjacency: Dict[Portal, List[Portal]] = {}
+        self.connector: Dict[Tuple[Portal, Portal], Tuple[Node, Node]] = {}
+        self.implicit_adjacency: Dict[Node, List[Node]] = {}
+        self._build_implicit_tree()
+
+    # ------------------------------------------------------------------
+    # direction helpers (rotating the x-axis rule onto this axis)
+    # ------------------------------------------------------------------
+    def rotate(self, direction: Direction) -> Direction:
+        """Map an x-axis-rule direction onto this system's axis."""
+        return counterclockwise(direction, self._rotation)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_portals(self) -> None:
+        seen: Set[Node] = set()
+        for node in sorted(self.structure.nodes):
+            if node in seen:
+                continue
+            line = self.structure.line_through(node, self.axis)
+            portal = Portal(self.axis, tuple(line))
+            for u in line:
+                seen.add(u)
+                self.portal_of[u] = portal
+            self.portals.append(portal)
+        self.portals.sort()
+
+    def tree_directions(self, node: Node) -> List[Direction]:
+        """Incident implicit-tree edges of ``node``, by the local rule."""
+        has = lambda d: self.structure.has_neighbor(node, d)  # noqa: E731
+        r = self.rotate
+        result: List[Direction] = []
+        for d in (Direction.E, Direction.W):
+            if has(r(d)):
+                result.append(r(d))
+        if not has(r(Direction.W)):
+            for d in (Direction.NW, Direction.SW):
+                if has(r(d)):
+                    result.append(r(d))
+        if not has(r(Direction.NW)) and has(r(Direction.NE)):
+            result.append(r(Direction.NE))
+        if not has(r(Direction.SW)) and has(r(Direction.SE)):
+            result.append(r(Direction.SE))
+        return result
+
+    def _build_implicit_tree(self) -> None:
+        edges: Set[Tuple[Node, Node]] = set()
+        for u in self.structure:
+            for d in self.tree_directions(u):
+                v = u.neighbor(d)
+                edge = (u, v) if (u, v) <= (v, u) else (v, u)
+                edges.add(edge)
+        # The rule is asymmetric (selected by one endpoint); make sure the
+        # other endpoint also recognizes the edge, which the local rule
+        # guarantees on hole-free structures.
+        self.implicit_adjacency = adjacency_from_edges(edges)
+        for u in self.structure:
+            self.implicit_adjacency.setdefault(u, [])
+
+        expected = len(self.structure) - 1
+        actual = len(edges)
+        if actual != expected:
+            raise AssertionError(
+                f"implicit portal tree of axis {self.axis.name} has {actual} "
+                f"edges, expected {expected}; structure may have holes"
+            )
+
+        # Portal adjacency + connector amoebots from the inter-portal
+        # tree edges.
+        adjacency: Dict[Portal, Set[Portal]] = {p: set() for p in self.portals}
+        for u, v in edges:
+            pu, pv = self.portal_of[u], self.portal_of[v]
+            if pu == pv:
+                continue
+            adjacency[pu].add(pv)
+            adjacency[pv].add(pu)
+            self.connector[(pu, pv)] = (u, v)
+            self.connector[(pv, pu)] = (v, u)
+        self.portal_adjacency = {
+            p: sorted(neighbors) for p, neighbors in adjacency.items()
+        }
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def portal_count(self) -> int:
+        """Number of portals of this axis."""
+        return len(self.portals)
+
+    def portals_containing(self, nodes: Iterable[Node]) -> Set[Portal]:
+        """The set of portals containing any of ``nodes``."""
+        return {self.portal_of[u] for u in nodes}
+
+    def portal_graph_distances(self, start: Portal) -> Dict[Portal, int]:
+        """BFS distances in the portal graph (oracle for Lemma 11 tests)."""
+        dist = {start: 0}
+        queue = deque([start])
+        while queue:
+            p = queue.popleft()
+            for q in self.portal_adjacency[p]:
+                if q not in dist:
+                    dist[q] = dist[p] + 1
+                    queue.append(q)
+        return dist
+
+    def is_portal_graph_tree(self) -> bool:
+        """Lemma 9: the portal graph of a hole-free structure is a tree."""
+        edge_count = sum(len(v) for v in self.portal_adjacency.values()) // 2
+        return edge_count == len(self.portals) - 1
+
+    def parent_relation(
+        self, root_portal: Portal
+    ) -> Dict[Portal, Optional[Portal]]:
+        """Parents in the portal tree rooted at ``root_portal`` (oracle)."""
+        parent: Dict[Portal, Optional[Portal]] = {root_portal: None}
+        queue = deque([root_portal])
+        while queue:
+            p = queue.popleft()
+            for q in self.portal_adjacency[p]:
+                if q not in parent:
+                    parent[q] = p
+                    queue.append(q)
+        return parent
+
+
+def portal_sides(
+    structure: AmoebotStructure, portal: Portal
+) -> Tuple[Set[Node], Set[Node]]:
+    """Split the structure at a portal into its two sides (§5.3 inputs).
+
+    Returns ``(A, B)`` where ``B`` is the union of the connected
+    components of ``X \\ P`` that touch ``P`` from the rotated-north
+    side at their point of contact and ``A`` is everything else
+    *including the portal*.  ``A ∪ P`` and ``B`` are exactly the
+    member/complement pair :func:`repro.spf.propagate.propagate_forest`
+    expects (every ``A``-to-``B`` path crosses ``P``, Lemma 13).
+    """
+    system_rotation = int(portal.axis)
+    north_dirs = {
+        counterclockwise(Direction.NW, system_rotation),
+        counterclockwise(Direction.NE, system_rotation),
+    }
+    portal_set = set(portal.nodes)
+    remaining = set(structure.nodes) - portal_set
+    a_side: Set[Node] = set(portal_set)
+    b_side: Set[Node] = set()
+    while remaining:
+        start = next(iter(remaining))
+        component = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in structure.neighbors(u):
+                if v in remaining and v not in component:
+                    component.add(v)
+                    stack.append(v)
+        remaining -= component
+        touches_north = any(
+            p.neighbor(d) in component
+            for p in portal_set
+            for d in north_dirs
+            if structure.has_neighbor(p, d)
+        )
+        if touches_north:
+            b_side |= component
+        else:
+            a_side |= component
+    return a_side, b_side
+
+
+def portal_distance_identity(
+    structure: AmoebotStructure,
+    systems: Dict[Axis, PortalSystem],
+    u: Node,
+    v: Node,
+    dist_uv: int,
+) -> bool:
+    """Check Lemma 11 for one node pair: ``2 dist = dist_x+dist_y+dist_z``."""
+    total = 0
+    for axis, system in systems.items():
+        start = system.portal_of[u]
+        distances = system.portal_graph_distances(start)
+        total += distances[system.portal_of[v]]
+    return total == 2 * dist_uv

@@ -1,0 +1,15 @@
+"""Preprocessing: the assumptions the paper establishes via prior work.
+
+Section 2.1 assumes a leader and a common compass/chirality, both
+obtainable in ``O(log n)`` rounds w.h.p. (Feldmann et al. [17],
+Theorems 1-2).  This package implements the leader election as a
+faithful beep protocol on the global circuit; compass and chirality
+agreement — whose full protocol operates on boundary circuits well
+beyond what this paper uses — is configured by construction in this
+simulator (all amoebots share the global direction labels), exactly as
+the paper assumes post-preprocessing.
+"""
+
+from repro.preprocessing.leader_election import elect_leader, LeaderElectionResult
+
+__all__ = ["elect_leader", "LeaderElectionResult"]

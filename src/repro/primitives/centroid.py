@@ -1,0 +1,125 @@
+"""The Q-centroid primitive (Section 3.4, Lemma 23).
+
+A node ``u \\in Q`` is a *Q-centroid* iff removing it splits the tree
+into components each containing at most ``|Q| / 2`` nodes of ``Q``.
+Construction: one root-and-prune pass determines parents (first ETT), a
+second ETT pass with the same weights lets every node compute, per
+neighbor ``v``, the number of ``Q``-nodes in ``v``'s component after
+``u``'s removal (Corollary 22):
+
+* ``|Q| - (prefixsum(u,v) - prefixsum(v,u))`` when ``v`` is the parent,
+* ``prefixsum(v,u) - prefixsum(u,v)`` when ``v`` is a child,
+
+while the root broadcasts the bits of ``|Q|``.  Costs ``O(log |Q|)``
+rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.grid.coords import Node
+from repro.ett.technique import ETTOp, mark_one_outgoing_edge
+from repro.ett.tour import EulerTour, build_euler_tour
+from repro.pasc.runner import run_pasc
+from repro.primitives.root_prune import RootPruneOp, RootPruneResult
+from repro.sim.engine import CircuitEngine
+
+
+class CentroidOp:
+    """A centroid computation exposable to the parallel runner.
+
+    Phases (both feed the shared PASC rounds when batched):
+
+    1. :attr:`phase1` — the root-and-prune ETT (parents).
+    2. :attr:`phase2` — the second ETT (component sizes + |Q| broadcast;
+       the broadcast shares phase 2's iterations, costing no extra
+       rounds, as in the paper).
+
+    Call :meth:`prepare_phase2` between the phases and
+    :meth:`centroids` at the end.
+    """
+
+    def __init__(self, tour: EulerTour, q_nodes: Iterable[Node], tag: str = "cen"):
+        self.tour = tour
+        self.q_nodes = set(q_nodes)
+        if not self.q_nodes:
+            raise ValueError("Q must be non-empty for the centroid primitive")
+        self.phase1 = RootPruneOp(tour, self.q_nodes, tag=f"{tag}1")
+        self.phase2: ETTOp | None = None
+        self._rp: RootPruneResult | None = None
+
+    def prepare_phase2(self) -> None:
+        """Decode phase 1 and build the second ETT."""
+        self._rp = self.phase1.result()
+        marked = mark_one_outgoing_edge(self.tour, self.q_nodes)
+        self.phase2 = ETTOp(self.tour, marked, tag="cen2")
+
+    def centroids(self) -> Set[Node]:
+        """The Q-centroids, from both phases' prefix sums."""
+        if self.phase2 is None or self._rp is None:
+            raise RuntimeError("run both phases before reading centroids")
+        rp = self._rp
+        ett = self.phase2.result()
+        q_size = rp.q_size
+        result: Set[Node] = set()
+        if not self.tour.edges:
+            # Single-node tree: the node is trivially the centroid.
+            return set(self.q_nodes)
+        for u in self.q_nodes:
+            ok = True
+            for v in self.tour.adjacency[u]:
+                if rp.parent.get(u) == v:
+                    size = q_size - ett.diff(u, v)
+                else:
+                    size = ett.diff(v, u)
+                if 2 * size > q_size:
+                    ok = False
+                    break
+            if ok:
+                result.add(u)
+        return result
+
+
+def q_centroids(
+    engine: CircuitEngine,
+    root: Node,
+    adjacency: Dict[Node, List[Node]],
+    q_nodes: Iterable[Node],
+    section: str = "centroid",
+) -> Set[Node]:
+    """Compute the Q-centroid(s) of a tree; ``O(log |Q|)`` rounds."""
+    tour = build_euler_tour(root, adjacency)
+    op = CentroidOp(tour, q_nodes)
+    if op.phase1.ett_op.chain is not None:
+        run_pasc(engine, [op.phase1.ett_op.chain], section=section)
+    op.prepare_phase2()
+    if op.phase2 is not None and op.phase2.chain is not None:
+        run_pasc(engine, [op.phase2.chain], section=section)
+    return op.centroids()
+
+
+def brute_force_q_centroids(
+    adjacency: Dict[Node, List[Node]], q_nodes: Iterable[Node]
+) -> Set[Node]:
+    """Reference implementation by explicit component counting (tests)."""
+    q_set = set(q_nodes)
+    q_size = len(q_set)
+    result: Set[Node] = set()
+    for u in q_set:
+        worst = 0
+        removed = {u}
+        for v in adjacency[u]:
+            # Flood the component of v in T - u.
+            seen = {v}
+            stack = [v]
+            while stack:
+                w = stack.pop()
+                for x in adjacency[w]:
+                    if x not in seen and x not in removed:
+                        seen.add(x)
+                        stack.append(x)
+            worst = max(worst, len(seen & q_set))
+        if 2 * worst <= q_size:
+            result.add(u)
+    return result

@@ -1,0 +1,232 @@
+"""The Q'-centroid decomposition primitive (Section 3.4, Lemma 31).
+
+The tree is decomposed recursively: each recursion computes the
+``Q'``-centroids of its subtree (centroid primitive), elects one
+(election primitive), splits the subtree at it, and recurses into every
+component still containing ``Q'`` nodes.  All recursions of one level
+run in parallel — their trees are node-disjoint, so their ETTs share the
+same PASC rounds, their elections share one beep round, and the
+"which components still hold Q' nodes" test shares one more.  After each
+level a global circuit checks whether unelected ``Q'`` nodes remain.
+
+``Q'`` must be an *augmented* set (``Q ∪ A_Q``, Lemma 27) so every
+recursion is guaranteed a centroid inside ``Q'`` (Corollary 28).  The
+decomposition tree has height ``O(log |Q'|)`` (Lemma 30) and the whole
+primitive costs ``O(log² |Q'|)`` rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.grid.coords import Node
+from repro.ett.election import ElectionRequest, elect_first_marked_many
+from repro.ett.technique import mark_one_outgoing_edge
+from repro.ett.tour import build_euler_tour
+from repro.pasc.runner import run_pasc
+from repro.primitives.centroid import CentroidOp
+from repro.sim.engine import CircuitEngine
+
+Adjacency = Dict[Node, List[Node]]
+
+
+@dataclass
+class DecompositionTree:
+    """A Q'-centroid decomposition tree (the paper's ``DT(T)``)."""
+
+    levels: List[List[Node]] = field(default_factory=list)
+    parent: Dict[Node, Optional[Node]] = field(default_factory=dict)
+    subtree_nodes: Dict[Node, Set[Node]] = field(default_factory=dict)
+
+    @property
+    def height(self) -> int:
+        return len(self.levels)
+
+    def members(self) -> Set[Node]:
+        """All nodes elected into the decomposition tree."""
+        return set(self.parent)
+
+    def depth_of(self, node: Node) -> int:
+        """Depth of a node in the decomposition tree."""
+        for depth, level in enumerate(self.levels):
+            if node in level:
+                return depth
+        raise KeyError(f"{node} is not a decomposition-tree node")
+
+
+@dataclass
+class _Recursion:
+    adjacency: Adjacency  # restricted to this recursion's nodes
+    root: Node
+    q: Set[Node]
+    caller: Optional[Node]
+
+
+def centroid_decomposition(
+    engine: CircuitEngine,
+    root: Node,
+    adjacency: Adjacency,
+    q_prime: Set[Node],
+    section: str = "decomposition",
+) -> DecompositionTree:
+    """Compute a Q'-centroid decomposition tree (Lemma 31).
+
+    ``adjacency`` is the full tree in rotation order; ``q_prime`` the
+    augmented set.  Deterministic: re-running yields the same tree, which
+    the divide & conquer forest algorithm relies on (Section 5.4.4).
+    """
+    if not q_prime:
+        raise ValueError("Q' must be non-empty")
+    unknown = q_prime.difference(adjacency)
+    if unknown:
+        raise ValueError(f"Q' contains non-tree nodes: {sorted(unknown)[:3]}")
+
+    tree = DecompositionTree()
+    active: List[_Recursion] = [
+        _Recursion(adjacency=adjacency, root=root, q=set(q_prime), caller=None)
+    ]
+    remaining = set(q_prime)
+    guard = 2 * len(q_prime).bit_length() + 4
+
+    with engine.rounds.section(section):
+        level_index = 0
+        while active:
+            if level_index > guard:
+                raise RuntimeError("decomposition exceeded its level guard")
+            level_centroids, next_active = _run_level(engine, active, tree)
+            tree.levels.append(level_centroids)
+            remaining.difference_update(level_centroids)
+            # Termination check: a global circuit where every unelected
+            # Q' node beeps; silence ends the primitive.
+            layout = engine.global_layout(label="decomp:term")
+            beeps = [(u, "decomp:term") for u in remaining]
+            received = engine.run_round(layout, beeps)
+            active = next_active
+            if not any(received.values()):
+                break
+            level_index += 1
+
+    if remaining:
+        raise AssertionError(
+            f"decomposition ended with unelected Q' nodes: {sorted(remaining)[:3]}"
+        )
+    return tree
+
+
+def _components_after_removal(adjacency: Adjacency, removed: Node) -> List[Set[Node]]:
+    """Connected components of the recursion's tree minus one node."""
+    components: List[Set[Node]] = []
+    seen: Set[Node] = {removed}
+    for start in adjacency[removed]:
+        if start in seen:
+            continue
+        component = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in adjacency[u]:
+                if v not in component and v != removed:
+                    component.add(v)
+                    stack.append(v)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def _run_level(
+    engine: CircuitEngine,
+    recursions: Sequence[_Recursion],
+    tree: DecompositionTree,
+) -> Tuple[List[Node], List[_Recursion]]:
+    """Execute all recursions of one level in shared rounds."""
+    ops: List[CentroidOp] = []
+    tours = []
+    for rec in recursions:
+        tour = build_euler_tour(rec.root, rec.adjacency)
+        tours.append(tour)
+        ops.append(CentroidOp(tour, rec.q))
+
+    # Phase 1 ETTs (parents) of all recursions share their rounds.
+    chains = [op.phase1.ett_op.chain for op in ops if op.phase1.ett_op.chain]
+    if chains:
+        run_pasc(engine, chains, section="decomposition:ett1")
+    for op in ops:
+        op.prepare_phase2()
+    # Phase 2 ETTs (component sizes) likewise.
+    chains = [op.phase2.chain for op in ops if op.phase2 and op.phase2.chain]
+    if chains:
+        run_pasc(engine, chains, section="decomposition:ett2")
+
+    # Elect one centroid per recursion in one shared round.
+    requests: List[Optional[ElectionRequest]] = []
+    centroid_sets: List[Set[Node]] = []
+    for op, tour in zip(ops, tours):
+        centroids = op.centroids()
+        if not centroids:
+            raise AssertionError(
+                "a recursion found no Q'-centroid; Q' was not augmented"
+            )
+        centroid_sets.append(centroids)
+        if tour.edges:
+            requests.append(
+                ElectionRequest(tour, mark_one_outgoing_edge(tour, centroids))
+            )
+        else:
+            requests.append(None)  # single-node tree elects itself
+    winners = elect_first_marked_many(
+        engine,
+        [r for r in requests if r is not None],
+        section="decomposition:elect",
+    )
+    winner_iter = iter(winners)
+    elected: List[Node] = []
+    for req, centroids, rec in zip(requests, centroid_sets, recursions):
+        choice = next(iter(centroids)) if req is None else next(winner_iter)
+        elected.append(choice)
+        tree.parent[choice] = rec.caller
+        tree.subtree_nodes[choice] = set(rec.adjacency)
+
+    # Split at the elected centroids; one shared beep round on component
+    # circuits decides which components still hold Q' nodes.
+    component_specs: List[Tuple[_Recursion, Node, Set[Node]]] = []
+    for rec, choice in zip(recursions, elected):
+        for component in _components_after_removal(rec.adjacency, choice):
+            component_specs.append((rec, choice, component))
+    edges = []
+    for rec, _choice, component in component_specs:
+        for u in component:
+            for v in rec.adjacency[u]:
+                if v in component and (u.x, u.y, v.x, v.y) < (v.x, v.y, u.x, u.y):
+                    edges.append((u, v))
+    layout = engine.edge_subset_layout(edges, label="decomp:comp", channel=0)
+    beeps = []
+    for rec, choice, component in component_specs:
+        for u in (rec.q - {choice}) & component:
+            beeps.append((u, "decomp:comp"))
+    received = engine.run_round(layout, beeps)
+
+    next_active: List[_Recursion] = []
+    for rec, choice, component in component_specs:
+        q_in_component = (rec.q - {choice}) & component
+        probe = next(iter(component))
+        heard = received.get((probe, "decomp:comp"), False)
+        if heard != bool(q_in_component):
+            raise AssertionError("component beep disagrees with membership")
+        if not q_in_component:
+            continue
+        sub_adjacency = {
+            u: [v for v in rec.adjacency[u] if v in component] for u in component
+        }
+        # The centroid's neighbor inside the component roots the next
+        # recursion (the paper's r_{Z_u} = u).
+        sub_root = next(v for v in rec.adjacency[choice] if v in component)
+        next_active.append(
+            _Recursion(
+                adjacency=sub_adjacency,
+                root=sub_root,
+                q=q_in_component,
+                caller=choice,
+            )
+        )
+    return elected, next_active

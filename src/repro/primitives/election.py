@@ -1,0 +1,39 @@
+"""The election primitive (Section 3.3).
+
+Elects a single node of a non-empty candidate set ``Q`` on a tree with a
+known coordinator ``r`` in ``O(1)`` rounds (Lemma 21): the simplified ETT
+splits the Euler tour at the marked edges, the root beeps along the first
+subpath, and the owner of the first marked edge wins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.grid.coords import Node
+from repro.ett.election import elect_first_marked
+from repro.ett.technique import mark_one_outgoing_edge
+from repro.ett.tour import build_euler_tour
+from repro.sim.engine import CircuitEngine
+
+
+def elect(
+    engine: CircuitEngine,
+    root: Node,
+    adjacency: Dict[Node, List[Node]],
+    q_nodes: Iterable[Node],
+    section: str = "election",
+) -> Node:
+    """Elect one node of ``q_nodes``; costs one round (Lemma 21)."""
+    candidates = set(q_nodes)
+    if not candidates:
+        raise ValueError("election requires a non-empty candidate set")
+    unknown = candidates.difference(adjacency)
+    if unknown:
+        raise ValueError(f"candidates outside the tree: {sorted(unknown)[:3]}")
+    if len(adjacency) == 1:
+        # Single-node tree: the only node is the only candidate.
+        return next(iter(candidates))
+    tour = build_euler_tour(root, adjacency)
+    marked = mark_one_outgoing_edge(tour, candidates)
+    return elect_first_marked(engine, tour, marked, section=section)

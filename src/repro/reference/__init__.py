@@ -1,0 +1,41 @@
+"""Fast reference implementations (the ``fast`` fidelity level).
+
+Every strict, beep-level primitive in this repository has a counterpart
+here implemented as a plain centralized graph computation.  They exist
+for three reasons:
+
+1. **cross-validation** — the test suite asserts strict == fast on
+   randomized instances, so a wiring bug in the simulator cannot hide
+   behind an algorithmic bug or vice versa;
+2. **oracle duty** — checkers and benches need ground truth that does
+   not share code with the system under test;
+3. **speed** — experiments that only need *outputs* (not round counts)
+   can run orders of magnitude faster.
+
+None of these functions touch the circuit engine and none consume
+rounds.
+"""
+
+from repro.reference.trees import (
+    ref_subtree_counts,
+    ref_root_and_prune,
+    ref_q_centroids,
+    ref_augmentation,
+    ref_centroid_decomposition_depths,
+)
+from repro.reference.forests import (
+    ref_shortest_path_tree,
+    ref_shortest_path_forest,
+    ref_line_forest,
+)
+
+__all__ = [
+    "ref_subtree_counts",
+    "ref_root_and_prune",
+    "ref_q_centroids",
+    "ref_augmentation",
+    "ref_centroid_decomposition_depths",
+    "ref_shortest_path_tree",
+    "ref_shortest_path_forest",
+    "ref_line_forest",
+]

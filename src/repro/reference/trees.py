@@ -1,0 +1,139 @@
+"""Centralized reference versions of the Section 3 tree primitives."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+Adjacency = Dict[Hashable, List[Hashable]]
+
+
+def _rooted_children(
+    adjacency: Adjacency, root: Hashable
+) -> Tuple[Dict[Hashable, Hashable], Dict[Hashable, List[Hashable]]]:
+    """Parent and child maps of the tree rooted at ``root``."""
+    parent: Dict[Hashable, Hashable] = {}
+    children: Dict[Hashable, List[Hashable]] = {u: [] for u in adjacency}
+    order = [root]
+    seen = {root}
+    for u in order:
+        for v in adjacency[u]:
+            if v not in seen:
+                seen.add(v)
+                parent[v] = u
+                children[u].append(v)
+                order.append(v)
+    if len(seen) != len(adjacency):
+        raise ValueError("adjacency is not a connected tree")
+    return parent, children
+
+
+def ref_subtree_counts(
+    adjacency: Adjacency, root: Hashable, q: Iterable[Hashable]
+) -> Dict[Hashable, int]:
+    """``|subtree(u) ∩ Q|`` for every node (the quantity of Lemma 17)."""
+    q_set = set(q)
+    _parent, children = _rooted_children(adjacency, root)
+    counts: Dict[Hashable, int] = {}
+
+    def fill(u: Hashable) -> int:
+        total = 1 if u in q_set else 0
+        for c in children[u]:
+            total += fill(c)
+        counts[u] = total
+        return total
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 4 * len(adjacency) + 100))
+    try:
+        fill(root)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return counts
+
+
+def ref_root_and_prune(
+    adjacency: Adjacency, root: Hashable, q: Iterable[Hashable]
+) -> Tuple[Set[Hashable], Dict[Hashable, Hashable]]:
+    """``(V_Q, parents restricted to V_Q)`` — the outcome of Lemma 20."""
+    counts = ref_subtree_counts(adjacency, root, q)
+    parent, _children = _rooted_children(adjacency, root)
+    in_vq = {u for u, c in counts.items() if c > 0}
+    pruned_parent = {u: parent[u] for u in in_vq if u != root}
+    return in_vq, pruned_parent
+
+
+def ref_augmentation(
+    adjacency: Adjacency, root: Hashable, q: Iterable[Hashable]
+) -> Set[Hashable]:
+    """The augmentation set ``A_Q`` (nodes of ``T_Q``-degree >= 3)."""
+    q_set = set(q)
+    in_vq, pruned_parent = ref_root_and_prune(adjacency, root, q_set)
+    degree: Dict[Hashable, int] = {u: 0 for u in in_vq}
+    for child, par in pruned_parent.items():
+        degree[child] += 1
+        degree[par] += 1
+    return {u for u, d in degree.items() if d >= 3}
+
+
+def ref_q_centroids(
+    adjacency: Adjacency, q: Iterable[Hashable]
+) -> Set[Hashable]:
+    """The Q-centroid(s): component Q-counts after removal all <= |Q|/2."""
+    q_set = set(q)
+    q_size = len(q_set)
+    result: Set[Hashable] = set()
+    for u in q_set:
+        worst = 0
+        for start in adjacency[u]:
+            component = {start}
+            stack = [start]
+            while stack:
+                a = stack.pop()
+                for b in adjacency[a]:
+                    if b not in component and b != u:
+                        component.add(b)
+                        stack.append(b)
+            worst = max(worst, len(component & q_set))
+        if 2 * worst <= q_size:
+            result.add(u)
+    return result
+
+
+def ref_centroid_decomposition_depths(
+    adjacency: Adjacency, q_prime: Set[Hashable]
+) -> Dict[Hashable, int]:
+    """Depth of each Q'-node in *a* centroid decomposition tree.
+
+    The strict primitive elects a specific centroid when two exist, so
+    exact tree equality is not guaranteed across implementations; what
+    is invariant — and what this reference computes for validation — is
+    that depths are at most ``ceil(log2 |Q'|)`` and children's subtrees
+    halve their Q'-count.  The returned depths come from always picking
+    the smallest eligible centroid (deterministic for tests).
+    """
+    depths: Dict[Hashable, int] = {}
+
+    def recurse(nodes: Set[Hashable], q: Set[Hashable], depth: int) -> None:
+        if not q:
+            return
+        sub_adjacency = {u: [v for v in adjacency[u] if v in nodes] for u in nodes}
+        centroids = ref_q_centroids(sub_adjacency, q)
+        if not centroids:
+            raise ValueError("Q' is not augmented: a recursion lacks a centroid")
+        choice = min(centroids)
+        depths[choice] = depth
+        for start in sub_adjacency[choice]:
+            component = {start}
+            stack = [start]
+            while stack:
+                a = stack.pop()
+                for b in sub_adjacency[a]:
+                    if b not in component and b != choice:
+                        component.add(b)
+                        stack.append(b)
+            recurse(component, (q - {choice}) & component, depth + 1)
+
+    recurse(set(adjacency), set(q_prime), 0)
+    return depths

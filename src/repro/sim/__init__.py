@@ -1,0 +1,34 @@
+"""Amoebot + reconfigurable-circuit simulator.
+
+This package implements the communication substrate of the paper's model
+(Section 1.2): each edge between neighboring amoebots carries ``c``
+external links; each amoebot partitions its pins into *partition sets*;
+connected components of partition sets joined by external links form
+*circuits*; a beep sent on any partition set of a circuit is heard by all
+partition sets of that circuit at the beginning of the next round.
+
+The simulator is strict about the model:
+
+* pins only exist toward occupied neighbors;
+* a pin belongs to at most one partition set;
+* beeps carry no payload and no origin information;
+* every call to :meth:`CircuitEngine.run_round` is one synchronous round
+  and ticks the shared :class:`~repro.metrics.RoundCounter`.
+"""
+
+from repro.sim.errors import SimulationError, PinConfigurationError
+from repro.sim.pins import Pin, PartitionSetId
+from repro.sim.circuits import CircuitLayout
+from repro.sim.engine import CircuitEngine
+from repro.sim.trace import RoundTrace, attach_trace
+
+__all__ = [
+    "SimulationError",
+    "PinConfigurationError",
+    "Pin",
+    "PartitionSetId",
+    "CircuitLayout",
+    "CircuitEngine",
+    "RoundTrace",
+    "attach_trace",
+]

@@ -1,0 +1,49 @@
+"""Per-amoebot constant-size state containers.
+
+Amoebots are anonymous finite state machines (Section 1.1).  Algorithms in
+this repository keep each amoebot's working state in a small dataclass
+derived from :class:`LocalState`; the :func:`assert_constant_size` helper
+lets tests assert that an algorithm's per-amoebot footprint stays bounded
+by a constant independent of ``n`` (Remark 16 of the paper).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+
+@dataclasses.dataclass
+class LocalState:
+    """Base class for per-amoebot algorithm state.
+
+    Subclasses should only hold O(1) scalars/enums/booleans (plus
+    per-incident-edge entries, of which there are at most six).
+    """
+
+    def size_estimate(self) -> int:
+        """Rough count of scalar slots held (for constant-memory checks)."""
+        return _count_scalars(dataclasses.asdict(self))
+
+
+def _count_scalars(value: Any) -> int:
+    if isinstance(value, dict):
+        return sum(_count_scalars(v) for v in value.values())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(_count_scalars(v) for v in value)
+    return 1
+
+
+def assert_constant_size(states: Dict[Any, LocalState], limit: int = 64) -> None:
+    """Raise if any amoebot's state exceeds ``limit`` scalar slots.
+
+    ``limit`` defaults to a generous constant: the point is catching
+    states that grow with ``n``, not bit-exact accounting.
+    """
+    for key, state in states.items():
+        size = state.size_estimate()
+        if size > limit:
+            raise AssertionError(
+                f"amoebot {key} holds {size} scalar slots (> {limit}); "
+                "state is not constant-size"
+            )

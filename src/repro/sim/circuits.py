@@ -1,0 +1,190 @@
+"""Circuit layouts: system-wide pin configurations and their circuits.
+
+A :class:`CircuitLayout` collects every amoebot's pin configuration for
+one (or more) rounds.  Freezing a layout validates it against the model
+and computes its *circuits* — the connected components of the graph whose
+vertices are partition sets and whose edges are the external links between
+them (Section 1.2).  Layouts are reusable: algorithms that keep the same
+pin configuration over many rounds pay the component computation once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.grid.coords import Node
+from repro.grid.directions import Direction
+from repro.grid.structure import AmoebotStructure
+from repro.sim.errors import PinConfigurationError
+from repro.sim.pins import PartitionSetId, Pin
+
+
+class _UnionFind:
+    """Union-find over hashable items, path-halving + union by size."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[object, object] = {}
+        self._size: Dict[object, int] = {}
+
+    def add(self, item: object) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: object) -> object:
+        parent = self._parent
+        root = item
+        while parent[root] is not root:
+            parent[root] = parent[parent[root]]
+            root = parent[root]
+        return root
+
+    def union(self, a: object, b: object) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra is rb:
+            return
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+
+    def items(self) -> Iterable[object]:
+        return self._parent.keys()
+
+
+class CircuitLayout:
+    """A system-wide pin configuration.
+
+    Build one by calling :meth:`assign` for every pin an amoebot places
+    into a named partition set, then :meth:`freeze` (done implicitly by
+    the engine).  Unassigned pins are inert singletons: they belong to no
+    algorithm-visible partition set and never carry beeps, which is
+    equivalent to each amoebot parking them in private singleton sets.
+    """
+
+    def __init__(self, structure: AmoebotStructure, channels: int):
+        if channels < 1:
+            raise PinConfigurationError("pin budget c must be at least 1")
+        self._structure = structure
+        self._channels = channels
+        self._pin_owner: Dict[Pin, PartitionSetId] = {}
+        self._sets: Set[PartitionSetId] = set()
+        self._frozen = False
+        self._components: Optional[Dict[PartitionSetId, int]] = None
+        self._component_members: Optional[List[List[PartitionSetId]]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def assign(
+        self,
+        node: Node,
+        label: str,
+        pins: Iterable[Tuple[Direction, int]],
+    ) -> None:
+        """Place ``pins`` of ``node`` into the partition set ``label``.
+
+        May be called repeatedly for the same label to accumulate pins.
+        An empty pin collection still declares the partition set (a
+        partition set with no pins forms its own trivial circuit; an
+        amoebot may use one as a local flag).
+        """
+        if self._frozen:
+            raise PinConfigurationError("layout is frozen")
+        if node not in self._structure:
+            raise PinConfigurationError(f"{node} is not part of the structure")
+        set_id: PartitionSetId = (node, label)
+        self._sets.add(set_id)
+        for direction, channel in pins:
+            if not 0 <= channel < self._channels:
+                raise PinConfigurationError(
+                    f"channel {channel} out of range (c={self._channels})"
+                )
+            if not self._structure.has_neighbor(node, direction):
+                raise PinConfigurationError(
+                    f"{node} has no neighbor toward {direction.name}; pin does not exist"
+                )
+            pin = Pin(node, direction, channel)
+            existing = self._pin_owner.get(pin)
+            if existing is not None and existing != set_id:
+                raise PinConfigurationError(
+                    f"pin {pin} already assigned to partition set {existing}"
+                )
+            self._pin_owner[pin] = set_id
+
+    def declare(self, node: Node, label: str) -> None:
+        """Declare a pin-less partition set (a private flag circuit)."""
+        self.assign(node, label, ())
+
+    # ------------------------------------------------------------------
+    # freezing and component computation
+    # ------------------------------------------------------------------
+    def freeze(self) -> None:
+        """Validate the layout and compute its circuits."""
+        if self._frozen:
+            return
+        uf = _UnionFind()
+        for set_id in self._sets:
+            uf.add(set_id)
+        for pin, owner in self._pin_owner.items():
+            mate_owner = self._pin_owner.get(pin.mate())
+            if mate_owner is not None:
+                uf.union(owner, mate_owner)
+        roots: Dict[object, int] = {}
+        components: Dict[PartitionSetId, int] = {}
+        members: List[List[PartitionSetId]] = []
+        for set_id in self._sets:
+            root = uf.find(set_id)
+            index = roots.get(root)
+            if index is None:
+                index = len(members)
+                roots[root] = index
+                members.append([])
+            components[set_id] = index
+            members[index].append(set_id)
+        self._components = components
+        self._component_members = members
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    @property
+    def channels(self) -> int:
+        return self._channels
+
+    @property
+    def structure(self) -> AmoebotStructure:
+        return self._structure
+
+    def partition_sets(self) -> Set[PartitionSetId]:
+        """All declared partition sets."""
+        return set(self._sets)
+
+    def circuit_of(self, node: Node, label: str) -> int:
+        """Index of the circuit containing partition set ``(node, label)``.
+
+        Only meaningful to the simulator/tests — amoebots themselves never
+        learn circuit identities, only beeps.
+        """
+        self.freeze()
+        assert self._components is not None
+        try:
+            return self._components[(node, label)]
+        except KeyError:
+            raise PinConfigurationError(
+                f"partition set ({node}, {label!r}) was never declared"
+            ) from None
+
+    def circuits(self) -> List[List[PartitionSetId]]:
+        """All circuits as lists of partition sets (simulator/test view)."""
+        self.freeze()
+        assert self._component_members is not None
+        return [list(c) for c in self._component_members]
+
+    def component_map(self) -> Dict[PartitionSetId, int]:
+        """Partition set -> circuit index (simulator/test view)."""
+        self.freeze()
+        assert self._components is not None
+        return dict(self._components)

@@ -1,0 +1,139 @@
+"""Synchronous beep-round execution.
+
+The :class:`CircuitEngine` executes the model's round structure: on each
+round every amoebot may (have) reconfigure(d) its pin configuration —
+captured by the :class:`~repro.sim.circuits.CircuitLayout` passed in —
+and activate any of its partition sets; beeps propagate on the (updated)
+configuration and are received at the beginning of the next round
+(Section 1.2).  One :meth:`run_round` call is one synchronous round.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.grid.coords import Node
+from repro.grid.structure import AmoebotStructure
+from repro.metrics.rounds import RoundCounter
+from repro.sim.circuits import CircuitLayout
+from repro.sim.errors import PinConfigurationError
+from repro.sim.pins import PartitionSetId
+
+
+class CircuitEngine:
+    """Executes synchronous beep rounds over an amoebot structure.
+
+    Parameters
+    ----------
+    structure:
+        The amoebot structure.
+    channels:
+        Pin budget ``c`` per incident edge.  The paper's constructions use
+        a small constant; every primitive in this repository documents its
+        channel usage and the default of 8 accommodates the most
+        demanding one (the Euler tour technique, which runs one PASC
+        channel pair per directed tree edge: up to 4 links per edge).
+    counter:
+        Round counter to tick; a fresh one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        structure: AmoebotStructure,
+        channels: int = 8,
+        counter: Optional[RoundCounter] = None,
+    ):
+        self.structure = structure
+        self.channels = channels
+        self.rounds = counter if counter is not None else RoundCounter()
+
+    # ------------------------------------------------------------------
+    # layout construction helpers
+    # ------------------------------------------------------------------
+    def new_layout(self) -> CircuitLayout:
+        """A fresh, empty layout bound to this engine's structure."""
+        return CircuitLayout(self.structure, self.channels)
+
+    def global_layout(self, label: str = "global", channel: int = 0) -> CircuitLayout:
+        """A layout wiring the whole structure into one global circuit.
+
+        Every amoebot puts all channel-``channel`` pins into one partition
+        set.  Because :math:`G_X` is connected this yields a single
+        circuit — the standard global coordination circuit.
+        """
+        layout = self.new_layout()
+        for node in self.structure:
+            pins = [(d, channel) for d in self.structure.occupied_directions(node)]
+            layout.assign(node, label, pins)
+        layout.freeze()
+        return layout
+
+    def edge_subset_layout(
+        self,
+        edges: Iterable[Tuple[Node, Node]],
+        label: str = "net",
+        channel: int = 0,
+        isolated_ok: bool = True,
+    ) -> CircuitLayout:
+        """A layout that fuses each connected component of ``edges``.
+
+        Every endpoint of a listed edge joins its channel-``channel`` pin
+        for that edge into a single partition set per amoebot, so the
+        circuits are exactly the connected components of the edge subset.
+        Amoebots not incident to any listed edge declare an empty
+        partition set (so they can still listen, hearing nothing) when
+        ``isolated_ok`` is set.
+        """
+        layout = self.new_layout()
+        touched: Set[Node] = set()
+        for u, v in edges:
+            d = u.direction_to(v)
+            layout.assign(u, label, [(d, channel)])
+            layout.assign(v, label, [(v.direction_to(u), channel)])
+            touched.add(u)
+            touched.add(v)
+        if isolated_ok:
+            for node in self.structure:
+                if node not in touched:
+                    layout.declare(node, label)
+        layout.freeze()
+        return layout
+
+    # ------------------------------------------------------------------
+    # round execution
+    # ------------------------------------------------------------------
+    def run_round(
+        self,
+        layout: CircuitLayout,
+        beeps: Iterable[PartitionSetId],
+    ) -> Dict[PartitionSetId, bool]:
+        """Execute one synchronous round.
+
+        ``beeps`` lists the partition sets whose owners activate them.
+        Returns, for every declared partition set, whether a beep is heard
+        there at the beginning of the next round.  Ticks the round
+        counter by one.
+        """
+        layout.freeze()
+        component_of = layout.component_map()
+        beeping_components: Set[int] = set()
+        for set_id in beeps:
+            try:
+                beeping_components.add(component_of[set_id])
+            except KeyError:
+                raise PinConfigurationError(
+                    f"cannot beep on undeclared partition set {set_id}"
+                ) from None
+        self.rounds.tick()
+        return {
+            set_id: (component in beeping_components)
+            for set_id, component in component_of.items()
+        }
+
+    def charge_local_round(self, rounds: int = 1) -> None:
+        """Charge rounds for steps with no beeps (pure local recomputation).
+
+        The paper occasionally spends a round in which amoebots only
+        update state / reconfigure pins; accounting keeps those explicit.
+        """
+        self.rounds.tick(rounds)

@@ -1,0 +1,14 @@
+"""Simulator exception hierarchy."""
+
+
+class SimulationError(RuntimeError):
+    """Base class for all simulator failures."""
+
+
+class PinConfigurationError(SimulationError):
+    """An amoebot's pin configuration violates the model.
+
+    Examples: assigning a pin toward an unoccupied node, using a channel
+    index beyond the structure's pin budget ``c``, or placing one pin in
+    two partition sets.
+    """

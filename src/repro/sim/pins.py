@@ -1,0 +1,37 @@
+"""Pins and partition set identifiers.
+
+In the reconfigurable circuit extension every edge ``{u, v}`` of
+:math:`G_X` is replaced by ``c`` external links; the endpoint of link
+``i`` at amoebot ``u`` is the *pin* ``(u, d, i)`` where ``d`` is the
+direction from ``u`` to ``v``.  Neighboring amoebots share a common
+labeling of their incident links (assumed in Section 1.2), which we model
+by matching channel indices: pin ``(u, d, i)`` is wired to pin
+``(v, opposite(d), i)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.grid.coords import Node
+from repro.grid.directions import Direction, opposite
+
+
+@dataclass(frozen=True, order=True)
+class Pin:
+    """One pin: an endpoint of an external link at a specific amoebot."""
+
+    node: Node
+    direction: Direction
+    channel: int
+
+    def mate(self) -> "Pin":
+        """The pin at the other endpoint of this pin's external link."""
+        return Pin(self.node.neighbor(self.direction), opposite(self.direction), self.channel)
+
+
+#: A partition set is identified by its owning amoebot plus a local label.
+#: Labels are algorithm-chosen strings such as ``"primary"``; amoebots can
+#: distinguish beeps arriving at different partition sets by label.
+PartitionSetId = Tuple[Node, str]

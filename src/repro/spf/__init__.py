@@ -1,0 +1,34 @@
+"""The paper's shortest path algorithms (Sections 4 and 5).
+
+* :func:`shortest_path_tree` — the (1, l)-SPF algorithm of Section 4:
+  three portal root-and-prune passes orient the portal trees at the
+  source, every amoebot picks a feasible parent locally via the distance
+  decomposition (Lemma 11 / Equation 1), and a final node-level
+  root-and-prune extracts the pruned shortest path tree.  ``O(log l)``
+  rounds (Theorem 39); SPSP in ``O(1)`` and SSSP in ``O(log n)`` follow
+  as special cases.
+* :func:`line_forest` — the line algorithm of Section 5.1.
+* :func:`merge_forests` — the merging algorithm of Section 5.2.
+* :func:`propagate_forest` — the propagation algorithm of Section 5.3.
+* :func:`shortest_path_forest` — the divide & conquer (k, l)-SPF
+  algorithm of Section 5.4, ``O(log n log² k)`` rounds (Theorem 56).
+* :func:`solve_spf` — the public entry point dispatching on ``k``.
+"""
+
+from repro.spf.spt import SPTResult, shortest_path_tree
+from repro.spf.line import line_forest
+from repro.spf.merge import merge_forests
+from repro.spf.propagate import propagate_forest
+from repro.spf.forest import shortest_path_forest
+from repro.spf.api import solve_spf, SPFSolution
+
+__all__ = [
+    "SPTResult",
+    "shortest_path_tree",
+    "line_forest",
+    "merge_forests",
+    "propagate_forest",
+    "shortest_path_forest",
+    "solve_spf",
+    "SPFSolution",
+]

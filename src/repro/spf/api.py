@@ -1,0 +1,114 @@
+"""Public entry point for the (k, l)-shortest path forest problem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Set
+
+from repro.grid.coords import Node
+from repro.grid.structure import AmoebotStructure
+from repro.sim.engine import CircuitEngine
+from repro.spf.forest import shortest_path_forest
+from repro.spf.spt import shortest_path_tree
+from repro.spf.types import Forest
+
+
+@dataclass
+class SPFSolution:
+    """Result of :func:`solve_spf`.
+
+    Attributes
+    ----------
+    forest:
+        The computed (S, D)-shortest path forest.
+    rounds:
+        Synchronous rounds spent (preprocessing for compass/chirality
+        and leader agreement — ``O(log n)`` w.h.p. by Theorems 1/2 —
+        is assumed done, exactly as in the paper).
+    algorithm:
+        ``"spt"`` (Section 4) for ``k = 1``; ``"forest"`` (Section 5)
+        otherwise.
+    """
+
+    forest: Forest
+    rounds: int
+    algorithm: str
+
+
+def solve_spf(
+    structure: AmoebotStructure,
+    sources: Iterable[Node],
+    destinations: Iterable[Node],
+    engine: Optional[CircuitEngine] = None,
+    allow_holes: bool = False,
+) -> SPFSolution:
+    """Solve (k, l)-SPF on an amoebot structure.
+
+    Dispatches to the shortest path tree algorithm (Theorem 39,
+    ``O(log l)`` rounds) for a single source and to the divide & conquer
+    forest algorithm (Theorem 56, ``O(log n log² k)`` rounds) otherwise.
+
+    Both polylogarithmic algorithms require a hole-free structure
+    (Lemmas 9 and 11 fail otherwise — the paper's stated open problem).
+    With ``allow_holes=True`` a structure with holes is handled by the
+    circuit-free BFS wave instead: still a correct (S, D)-shortest path
+    forest, but at ``Θ(max_d dist(S, d))`` rounds.  The returned
+    ``algorithm`` field says which path was taken.
+    """
+    source_set = set(sources)
+    dest_set = set(destinations)
+    if not source_set or not dest_set:
+        raise ValueError("sources and destinations must be non-empty")
+    if engine is None:
+        engine = CircuitEngine(structure)
+    start = engine.rounds.total
+
+    from repro.grid.holes import has_holes
+
+    if has_holes(structure.nodes):
+        if not allow_holes:
+            raise ValueError(
+                "structure has holes; the polylogarithmic algorithms "
+                "require hole-free structures (pass allow_holes=True "
+                "for the O(diam) wave fallback)"
+            )
+        forest = _wave_fallback(engine, structure, source_set, dest_set)
+        algorithm = "wave-fallback"
+    elif len(source_set) == 1:
+        source = next(iter(source_set))
+        spt = shortest_path_tree(engine, structure, source, dest_set)
+        forest = Forest(
+            sources={source}, parent=spt.parent, members=set(spt.members)
+        )
+        algorithm = "spt"
+    else:
+        forest = shortest_path_forest(engine, structure, source_set, dest_set)
+        algorithm = "forest"
+
+    return SPFSolution(
+        forest=forest,
+        rounds=engine.rounds.total - start,
+        algorithm=algorithm,
+    )
+
+
+def _wave_fallback(
+    engine: CircuitEngine,
+    structure: AmoebotStructure,
+    sources: Set[Node],
+    destinations: Set[Node],
+) -> Forest:
+    """BFS wave + pruning: correct on any structure, Θ(diam) rounds."""
+    from repro.baselines.bfs_wave import bfs_wave_forest
+
+    wave = bfs_wave_forest(engine, structure, sources, destinations)
+    # Prune branches that do not lead to a destination so the result
+    # satisfies forest property 2 (every leaf in S ∪ D).
+    keep: Set[Node] = set(sources)
+    for d in destinations:
+        cur = d
+        while cur not in keep:
+            keep.add(cur)
+            cur = wave.parent[cur]
+    parent = {u: p for u, p in wave.parent.items() if u in keep}
+    return Forest(sources=set(sources), parent=parent, members=keep)

@@ -1,0 +1,199 @@
+"""The shortest path tree algorithm for a single source (Section 4).
+
+Pipeline (Theorem 39, ``O(log l)`` rounds overall):
+
+1. One beep round per axis marks the portals containing destinations.
+2. For each of the three axes, the portal root-and-prune primitive roots
+   the portal tree at the source's portal and prunes subtrees without
+   destination portals (Lemma 33).
+3. Every amoebot picks a *feasible parent* locally: neighbor ``v`` is
+   feasible iff, for both axes not parallel to the edge ``(u, v)``,
+   ``v``'s portal is the parent of ``u``'s portal (Equation 1 via
+   Lemma 11).  Amoebots on source-destination shortest paths always find
+   one (Lemma 38); others may not, or may form stray subtrees.
+4. The chosen parent edges form a forest in which distances to the
+   source strictly decrease along parents; a node-level root-and-prune
+   on the source's component extracts the shortest path tree and prunes
+   subtrees without destinations.  Components not containing the source
+   hear no signals during that pass and drop out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.grid.coords import Node
+from repro.grid.directions import Axis
+from repro.grid.structure import AmoebotStructure
+from repro.ett.tour import adjacency_from_edges
+from repro.portals.portals import Portal, PortalSystem
+from repro.portals.primitives import PortalScope, portal_root_and_prune
+from repro.primitives.root_prune import root_and_prune
+from repro.sim.engine import CircuitEngine
+
+
+@dataclass
+class SPTResult:
+    """Output of the shortest path tree algorithm."""
+
+    source: Node
+    destinations: Set[Node]
+    parent: Dict[Node, Node]
+    members: Set[Node]
+    #: Parent choices before the final pruning pass (Figure 5b); kept for
+    #: figures and white-box tests.
+    raw_parent: Dict[Node, Node] = field(default_factory=dict)
+
+    def path_from(self, node: Node) -> List[Node]:
+        """The tree path from ``node`` up to the source."""
+        path = [node]
+        while path[-1] != self.source:
+            path.append(self.parent[path[-1]])
+        return path
+
+
+def _mark_destination_portals(
+    engine: CircuitEngine,
+    system: PortalSystem,
+    destinations: Set[Node],
+    scope: PortalScope,
+) -> Set[Portal]:
+    """One beep round: every destination beeps on its portal circuit."""
+    layout = scope.portal_circuit_layout(engine, label="portal:dst")
+    beeps = [(d, "portal:dst") for d in destinations]
+    engine.run_round(layout, beeps)
+    return {system.portal_of[d] for d in destinations}
+
+
+def feasible_parents(
+    structure: AmoebotStructure,
+    systems: Dict[Axis, PortalSystem],
+    portal_parents: Dict[Axis, Dict[Portal, Portal]],
+    node: Node,
+) -> List[Node]:
+    """All feasible parents of ``node`` per Equation 1.
+
+    The edge to neighbor ``v`` is parallel to exactly one axis, on which
+    both endpoints share a portal; ``v`` is feasible iff on the two
+    remaining axes the parent of ``node``'s portal is ``v``'s portal.
+    """
+    result = []
+    for v in structure.neighbors(node):
+        edge_axis = node.direction_to(v).axis
+        ok = True
+        for axis in edge_axis.others:
+            parents = portal_parents[axis]
+            pu = systems[axis].portal_of[node]
+            pv = systems[axis].portal_of[v]
+            if parents.get(pu) != pv:
+                ok = False
+                break
+        if ok:
+            result.append(v)
+    return result
+
+
+def shortest_path_tree(
+    engine: CircuitEngine,
+    structure: AmoebotStructure,
+    source: Node,
+    destinations: Iterable[Node],
+    systems: Optional[Dict[Axis, PortalSystem]] = None,
+    section: str = "spt",
+) -> SPTResult:
+    """Compute an ``({s}, D)``-shortest path forest (Theorem 39).
+
+    ``systems`` may carry precomputed portal systems (the forest
+    algorithm reuses them across many invocations on sub-structures).
+    """
+    dest_set = set(destinations)
+    if not dest_set:
+        raise ValueError("destination set must be non-empty")
+    if source not in structure:
+        raise ValueError("source must belong to the structure")
+    missing = {d for d in dest_set if d not in structure}
+    if missing:
+        raise ValueError(f"destinations outside the structure: {sorted(missing)[:3]}")
+    if systems is None:
+        systems = {axis: PortalSystem(structure, axis) for axis in Axis}
+
+    with engine.rounds.section(section):
+        portal_parents: Dict[Axis, Dict[Portal, Portal]] = {}
+        for axis in Axis:
+            system = systems[axis]
+            scope = PortalScope(system)
+            q_portals = _mark_destination_portals(engine, system, dest_set, scope)
+            # The source's portal must count as populated even without
+            # destinations so the root is never pruned away.
+            rp = portal_root_and_prune(
+                engine,
+                system,
+                system.portal_of[source],
+                q_portals | {system.portal_of[source]},
+                scope=scope,
+                section=f"{section}:portal_rp",
+            )
+            portal_parents[axis] = rp.parent
+
+        # Local parent choice (one local round: no beeps involved).
+        raw_parent: Dict[Node, Node] = {}
+        for u in structure:
+            if u == source:
+                continue
+            feasible = feasible_parents(structure, systems, portal_parents, u)
+            if feasible:
+                raw_parent[u] = feasible[0]
+        engine.charge_local_round()
+
+        # Final pruning: root-and-prune on the source's parent-edge
+        # component with Q = D ∪ {s} (the source must stay in V_Q even
+        # when it is not a destination).
+        component = _component_of(source, raw_parent)
+        edges = [
+            (u, p) for u, p in raw_parent.items() if u in component and p in component
+        ]
+        if edges:
+            adjacency = adjacency_from_edges(edges)
+        else:
+            adjacency = {source: []}
+        rp = root_and_prune(
+            engine,
+            source,
+            adjacency,
+            (dest_set & component) | {source},
+            section=f"{section}:final_rp",
+        )
+
+        parent = {u: raw_parent[u] for u in rp.in_vq if u != source}
+        members = set(rp.in_vq) | {source}
+
+    unreached = dest_set - members
+    if unreached:
+        raise AssertionError(
+            f"destinations missing from the shortest path tree: {sorted(unreached)[:3]}"
+        )
+    return SPTResult(
+        source=source,
+        destinations=dest_set,
+        parent=parent,
+        members=members,
+        raw_parent=raw_parent,
+    )
+
+
+def _component_of(source: Node, parent: Dict[Node, Node]) -> Set[Node]:
+    """Nodes connected to ``source`` in the undirected parent-edge graph."""
+    adjacency: Dict[Node, List[Node]] = {}
+    for u, p in parent.items():
+        adjacency.setdefault(u, []).append(p)
+        adjacency.setdefault(p, []).append(u)
+    component = {source}
+    stack = [source]
+    while stack:
+        u = stack.pop()
+        for v in adjacency.get(u, []):
+            if v not in component:
+                component.add(v)
+                stack.append(v)
+    return component

@@ -1,0 +1,84 @@
+"""Shared forest representation for the Section 5 algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set
+
+from repro.grid.coords import Node
+
+
+@dataclass
+class Forest:
+    """An S-shortest-path forest over a set of member amoebots.
+
+    ``parent`` maps every member except the sources to its tree parent;
+    every parent chain ends at a source.  This is exactly the knowledge
+    the model requires of the amoebots ("each amoebot knows its parent").
+    """
+
+    sources: Set[Node]
+    parent: Dict[Node, Node]
+    members: Set[Node]
+
+    def __post_init__(self) -> None:
+        if not self.sources:
+            raise ValueError("a forest needs at least one source")
+        if not self.sources <= self.members:
+            raise ValueError("sources must be members")
+        missing = self.members - self.sources - set(self.parent)
+        if missing:
+            raise ValueError(
+                f"non-source members without parent: {sorted(missing)[:3]}"
+            )
+
+    def root_of(self, node: Node) -> Node:
+        """The source at the top of ``node``'s parent chain."""
+        steps = 0
+        cur = node
+        while cur not in self.sources:
+            cur = self.parent[cur]
+            steps += 1
+            if steps > len(self.members):
+                raise ValueError("parent pointers contain a cycle")
+        return cur
+
+    def depth_of(self, node: Node) -> int:
+        """Tree depth of ``node`` (= its distance from its source)."""
+        depth = 0
+        cur = node
+        while cur not in self.sources:
+            cur = self.parent[cur]
+            depth += 1
+            if depth > len(self.members):
+                raise ValueError("parent pointers contain a cycle")
+        return depth
+
+    def children(self) -> Dict[Node, List[Node]]:
+        """Child lists per member (sources included)."""
+        result: Dict[Node, List[Node]] = {u: [] for u in self.members}
+        for u, p in self.parent.items():
+            result[p].append(u)
+        return result
+
+    def tree_parent_maps(self) -> Dict[Node, Dict[Node, Node]]:
+        """Per-source parent maps (node-disjoint trees)."""
+        trees: Dict[Node, Dict[Node, Node]] = {s: {} for s in self.sources}
+        for u in self.parent:
+            trees[self.root_of(u)][u] = self.parent[u]
+        return trees
+
+    def restricted_to(self, nodes: Set[Node]) -> "Forest":
+        """The forest induced on ``nodes`` (which must be parent-closed)."""
+        parent = {u: p for u, p in self.parent.items() if u in nodes}
+        dangling = {p for p in parent.values() if p not in nodes}
+        if dangling:
+            raise ValueError("restriction cuts parent chains")
+        return Forest(
+            sources=self.sources & nodes,
+            parent=parent,
+            members=self.members & nodes,
+        )
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.members)

@@ -1,0 +1,5 @@
+"""Verification of shortest path forests against centralized oracles."""
+
+from repro.verify.forest_checker import ForestViolation, check_forest, assert_valid_forest
+
+__all__ = ["ForestViolation", "check_forest", "assert_valid_forest"]

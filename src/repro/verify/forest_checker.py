@@ -1,0 +1,165 @@
+"""Checker for the five (S, D)-shortest-path-forest properties.
+
+Section 1.3 of the paper defines an (S, D)-shortest path forest by five
+properties.  :func:`check_forest` validates a computed forest — given as
+parent pointers — against all of them using BFS oracles, returning a
+list of human-readable violations (empty = valid).  The distributed
+algorithms are tested exclusively through this checker, so a bug in any
+primitive surfaces as a concrete property violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.grid.coords import Node
+from repro.grid.oracle import bfs_distances
+from repro.grid.structure import AmoebotStructure
+
+
+@dataclass
+class ForestViolation:
+    """One violated forest property."""
+
+    prop: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"[{self.prop}] {self.message}"
+
+
+def check_forest(
+    structure: AmoebotStructure,
+    sources: Iterable[Node],
+    destinations: Iterable[Node],
+    parent: Dict[Node, Node],
+) -> List[ForestViolation]:
+    """Validate an (S, D)-shortest-path forest given by parent pointers.
+
+    ``parent`` maps every forest member except the sources to its parent
+    (property: "each amoebot in ``∪ V_s \\ S`` knows its parent").
+    """
+    source_list = list(dict.fromkeys(sources))
+    source_set = set(source_list)
+    dest_set = set(destinations)
+    violations: List[ForestViolation] = []
+
+    def bad(prop: str, message: str) -> None:
+        violations.append(ForestViolation(prop, message))
+
+    # -- sanity of the parent map itself ------------------------------
+    for u, p in parent.items():
+        if u in source_set:
+            bad("structure", f"source {u} has a parent pointer")
+        if u not in structure or p not in structure:
+            bad("structure", f"edge {u}->{p} leaves the structure")
+            continue
+        if not u.is_adjacent(p):
+            bad("structure", f"parent edge {u}->{p} joins non-neighbors")
+
+    # -- resolve each member's root (cycle detection) -----------------
+    members = source_set | set(parent)
+    root_of: Dict[Node, Optional[Node]] = {}
+
+    def resolve(u: Node) -> Optional[Node]:
+        path = []
+        cur = u
+        while True:
+            if cur in root_of:
+                result = root_of[cur]
+                break
+            if cur in source_set:
+                result = cur
+                break
+            if cur in path:
+                result = None  # cycle
+                break
+            path.append(cur)
+            nxt = parent.get(cur)
+            if nxt is None:
+                result = None  # dangling: no source at the end
+                break
+            cur = nxt
+        for v in path:
+            root_of[v] = result
+        return result
+
+    for u in members:
+        if resolve(u) is None:
+            bad("prop1", f"{u} does not reach a source along parent pointers")
+
+    # Property 3 holds automatically: a parent function assigns every
+    # member to exactly one tree.  Check property 4: D covered.
+    for d in dest_set:
+        if d not in members:
+            bad("prop4", f"destination {d} is not part of the forest")
+
+    # -- property 5: shortest paths to a *closest* source --------------
+    per_source = {s: bfs_distances(structure, [s]) for s in source_list}
+    multi = bfs_distances(structure, source_list)
+    depth: Dict[Node, int] = {s: 0 for s in source_set}
+
+    def depth_of(u: Node) -> Optional[int]:
+        chain = []
+        cur = u
+        while cur not in depth:
+            chain.append(cur)
+            cur = parent.get(cur)
+            if cur is None or len(chain) > len(structure):
+                return None
+        base = depth[cur]
+        for v in reversed(chain):
+            base += 1
+            depth[v] = base
+        return depth[u]
+
+    for u in members:
+        root = root_of.get(u, u if u in source_set else None)
+        if root is None:
+            continue
+        d = depth_of(u)
+        if d is None:
+            continue
+        oracle_own = per_source[root].get(u)
+        oracle_any = multi.get(u)
+        if oracle_own is None or oracle_any is None:
+            bad("prop5", f"{u} unreachable from its tree's source {root}")
+            continue
+        if d != oracle_own:
+            bad(
+                "prop5",
+                f"path length to {u} in tree of {root} is {d}, "
+                f"shortest is {oracle_own}",
+            )
+        if oracle_own != oracle_any:
+            bad(
+                "prop5",
+                f"{u} assigned to source {root} at distance {oracle_own}, "
+                f"but the closest source is at distance {oracle_any}",
+            )
+
+    # -- property 2: every leaf is a source or destination -------------
+    has_child: Set[Node] = set()
+    for u, p in parent.items():
+        has_child.add(p)
+    for u in members:
+        if u not in has_child and u not in source_set and u not in dest_set:
+            bad("prop2", f"leaf {u} is neither a source nor a destination")
+
+    return violations
+
+
+def assert_valid_forest(
+    structure: AmoebotStructure,
+    sources: Iterable[Node],
+    destinations: Iterable[Node],
+    parent: Dict[Node, Node],
+) -> None:
+    """Raise ``AssertionError`` listing all violations, if any."""
+    violations = check_forest(structure, sources, destinations, parent)
+    if violations:
+        summary = "\n".join(str(v) for v in violations[:12])
+        raise AssertionError(
+            f"{len(violations)} forest property violations:\n{summary}"
+        )

@@ -1,0 +1,10 @@
+"""Visualization of structures, portals, and forests.
+
+ASCII rendering targets terminals and doctests; the SVG renderer
+regenerates the paper's figure styles (examples/figures.py).
+"""
+
+from repro.viz.ascii_art import render_ascii
+from repro.viz.svg import SvgCanvas, render_structure_svg
+
+__all__ = ["render_ascii", "SvgCanvas", "render_structure_svg"]

@@ -1,0 +1,60 @@
+"""ASCII rendering of amoebot structures on the triangular grid.
+
+Rows are laid out bottom-up with a half-character shift per row, the
+standard "brick wall" projection of the triangular lattice.  Node
+glyphs are customizable, which the examples use to highlight sources,
+destinations, and forest membership.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.grid.coords import Node
+from repro.grid.structure import AmoebotStructure
+
+
+def render_ascii(
+    structure: AmoebotStructure,
+    glyphs: Optional[Dict[Node, str]] = None,
+    default: str = "o",
+    empty: str = " ",
+) -> str:
+    """Render the structure as multi-line ASCII art.
+
+    ``glyphs`` overrides the character of individual nodes (single
+    characters keep the lattice aligned).
+    """
+    glyphs = glyphs or {}
+    min_x, max_x, min_y, max_y = structure.bounding_box()
+    lines = []
+    for y in range(max_y, min_y - 1, -1):
+        # Cartesian x of node (x, y) is x + y/2: shift rows accordingly.
+        offset = y - min_y
+        row = [empty] * offset
+        for x in range(min_x, max_x + 1):
+            node = Node(x, y)
+            if node in structure:
+                row.append(glyphs.get(node, default)[0])
+            else:
+                row.append(empty)
+            row.append(empty)
+        lines.append("".join(row).rstrip())
+    return "\n".join(lines)
+
+
+def render_forest_ascii(
+    structure: AmoebotStructure,
+    sources: Iterable[Node],
+    destinations: Iterable[Node],
+    members: Iterable[Node],
+) -> str:
+    """Structure with sources ``S``, destinations ``D``, members ``*``."""
+    glyphs: Dict[Node, str] = {}
+    for u in members:
+        glyphs[u] = "*"
+    for d in destinations:
+        glyphs[d] = "D"
+    for s in sources:
+        glyphs[s] = "S"
+    return render_ascii(structure, glyphs, default=".")

@@ -1,0 +1,121 @@
+"""Minimal SVG rendering of amoebot structures (no dependencies).
+
+Reproduces the visual language of the paper's figures: amoebots as
+circles on the triangular lattice, structure edges in light gray,
+portals as colored runs, forest parents as arrows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.grid.coords import Node
+from repro.grid.structure import AmoebotStructure
+
+SCALE = 30.0
+MARGIN = 25.0
+
+
+class SvgCanvas:
+    """Accumulates SVG elements in grid coordinates."""
+
+    def __init__(self) -> None:
+        self._elements: List[str] = []
+        self._min = [math.inf, math.inf]
+        self._max = [-math.inf, -math.inf]
+
+    def _track(self, x: float, y: float) -> None:
+        self._min[0] = min(self._min[0], x)
+        self._min[1] = min(self._min[1], y)
+        self._max[0] = max(self._max[0], x)
+        self._max[1] = max(self._max[1], y)
+
+    def _point(self, node: Node) -> Tuple[float, float]:
+        cx, cy = node.cartesian()
+        self._track(cx, cy)
+        return cx, cy
+
+    def edge(self, u: Node, v: Node, color: str = "#cccccc", width: float = 2.0) -> None:
+        """Draw a structure edge."""
+        x1, y1 = self._point(u)
+        x2, y2 = self._point(v)
+        self._elements.append(
+            f'<line x1="{x1:.3f}" y1="{-y1:.3f}" x2="{x2:.3f}" y2="{-y2:.3f}" '
+            f'stroke="{color}" stroke-width="{width / SCALE:.4f}" />'
+        )
+
+    def arrow(self, u: Node, v: Node, color: str = "#d62728") -> None:
+        """Directed edge from ``u`` toward ``v`` (parent pointers)."""
+        x1, y1 = self._point(u)
+        x2, y2 = self._point(v)
+        mx, my = x1 + 0.72 * (x2 - x1), y1 + 0.72 * (y2 - y1)
+        self._elements.append(
+            f'<line x1="{x1:.3f}" y1="{-y1:.3f}" x2="{mx:.3f}" y2="{-my:.3f}" '
+            f'stroke="{color}" stroke-width="{3.2 / SCALE:.4f}" '
+            f'marker-end="url(#arrowhead)" />'
+        )
+
+    def node(
+        self,
+        node: Node,
+        fill: str = "#ffffff",
+        stroke: str = "#333333",
+        radius: float = 0.22,
+        label: Optional[str] = None,
+    ) -> None:
+        """Draw an amoebot with optional fill color and label."""
+        x, y = self._point(node)
+        self._elements.append(
+            f'<circle cx="{x:.3f}" cy="{-y:.3f}" r="{radius:.3f}" '
+            f'fill="{fill}" stroke="{stroke}" stroke-width="{2.0 / SCALE:.4f}" />'
+        )
+        if label:
+            self._elements.append(
+                f'<text x="{x:.3f}" y="{-y + 0.07:.3f}" font-size="0.25" '
+                f'text-anchor="middle">{label}</text>'
+            )
+
+    def render(self) -> str:
+        """Emit the final SVG document."""
+        if not self._elements:
+            return "<svg xmlns='http://www.w3.org/2000/svg'/>"
+        pad = 0.6
+        min_x, min_y = self._min[0] - pad, -(self._max[1] + pad)
+        width = (self._max[0] - self._min[0]) + 2 * pad
+        height = (self._max[1] - self._min[1]) + 2 * pad
+        defs = (
+            '<defs><marker id="arrowhead" markerWidth="6" markerHeight="6" '
+            'refX="5" refY="3" orient="auto"><path d="M0,0 L6,3 L0,6 z" '
+            'fill="#d62728"/></marker></defs>'
+        )
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'viewBox="{min_x:.3f} {min_y:.3f} {width:.3f} {height:.3f}" '
+            f'width="{width * SCALE:.0f}" height="{height * SCALE:.0f}">\n'
+            f"{defs}\n{body}\n</svg>"
+        )
+
+
+def render_structure_svg(
+    structure: AmoebotStructure,
+    node_colors: Optional[Dict[Node, str]] = None,
+    parent: Optional[Dict[Node, Node]] = None,
+    highlight_edges: Optional[Iterable[Tuple[Node, Node]]] = None,
+    edge_color: str = "#cccccc",
+) -> str:
+    """One-call rendering used by the figure scripts."""
+    node_colors = node_colors or {}
+    canvas = SvgCanvas()
+    for u, v in structure.edges():
+        canvas.edge(u, v, color=edge_color)
+    if highlight_edges:
+        for u, v in highlight_edges:
+            canvas.edge(u, v, color="#e41a1c", width=4.0)
+    if parent:
+        for u, p in parent.items():
+            canvas.arrow(u, p)
+    for u in sorted(structure.nodes):
+        canvas.node(u, fill=node_colors.get(u, "#ffffff"))
+    return canvas.render()

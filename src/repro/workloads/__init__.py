@@ -1,0 +1,32 @@
+"""Workload generators: hole-free amoebot structures and S/D samplers.
+
+These generators provide the structures on which the paper's algorithms
+are exercised and benchmarked.  All of them produce connected, hole-free
+structures (validated on construction).
+"""
+
+from repro.workloads.shapes import (
+    line_structure,
+    parallelogram,
+    triangle,
+    hexagon,
+    comb,
+    staircase,
+    lollipop,
+)
+from repro.workloads.random_structures import random_hole_free, random_tree_like
+from repro.workloads.samplers import sample_sources_destinations, spread_nodes
+
+__all__ = [
+    "line_structure",
+    "parallelogram",
+    "triangle",
+    "hexagon",
+    "comb",
+    "staircase",
+    "lollipop",
+    "random_hole_free",
+    "random_tree_like",
+    "sample_sources_destinations",
+    "spread_nodes",
+]

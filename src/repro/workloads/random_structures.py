@@ -1,0 +1,86 @@
+"""Randomized hole-free structure generators.
+
+Structures are grown node by node from a seed.  A candidate node may be
+added only if its occupied neighbors form one non-empty *contiguous arc*
+around it.  On the triangular grid this is the standard simple-point
+criterion of digital topology: growing a simply connected set by such
+nodes keeps it simply connected, so the result is hole-free by
+construction (and re-validated by :class:`AmoebotStructure`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set
+
+from repro.grid.coords import Node
+from repro.grid.directions import all_directions_ccw
+from repro.grid.structure import AmoebotStructure
+
+
+def _occupied_mask(nodes: Set[Node], candidate: Node) -> List[bool]:
+    """Occupancy of the six neighbors of ``candidate``, ccw order."""
+    return [candidate.neighbor(d) in nodes for d in all_directions_ccw()]
+
+
+def _is_contiguous_arc(mask: List[bool]) -> bool:
+    """Whether the true entries of a cyclic mask form one contiguous run."""
+    if not any(mask):
+        return False
+    if all(mask):
+        return True
+    # Count cyclic False->True transitions; exactly one means one arc.
+    transitions = sum(
+        1 for i in range(6) if not mask[i - 1] and mask[i]
+    )
+    return transitions == 1
+
+
+def addable_nodes(nodes: Set[Node]) -> Set[Node]:
+    """All unoccupied nodes whose addition provably keeps the set hole-free."""
+    frontier: Set[Node] = set()
+    for u in nodes:
+        for v in u.neighbors():
+            if v not in nodes:
+                frontier.add(v)
+    return {v for v in frontier if _is_contiguous_arc(_occupied_mask(nodes, v))}
+
+
+def random_hole_free(
+    n: int,
+    seed: Optional[int] = None,
+    compactness: float = 0.5,
+) -> AmoebotStructure:
+    """Grow a random hole-free structure with ``n`` amoebots.
+
+    Parameters
+    ----------
+    n:
+        Number of amoebots (>= 1).
+    seed:
+        Seed for reproducibility.
+    compactness:
+        In ``[0, 1]``.  1 prefers candidates with many occupied neighbors
+        (round blobs); 0 prefers few (dendritic, snake-like structures).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 0.0 <= compactness <= 1.0:
+        raise ValueError("compactness must lie in [0, 1]")
+    rng = random.Random(seed)
+    nodes: Set[Node] = {Node(0, 0)}
+    while len(nodes) < n:
+        candidates = sorted(addable_nodes(nodes))
+        if not candidates:  # pragma: no cover - cannot happen on the grid
+            raise RuntimeError("growth stalled")
+        weights = []
+        for v in candidates:
+            occupied = sum(_occupied_mask(nodes, v))
+            weights.append((1.0 - compactness) + compactness * occupied**2)
+        nodes.add(rng.choices(candidates, weights=weights, k=1)[0])
+    return AmoebotStructure(nodes)
+
+
+def random_tree_like(n: int, seed: Optional[int] = None) -> AmoebotStructure:
+    """A thin, dendritic hole-free structure (low compactness growth)."""
+    return random_hole_free(n, seed=seed, compactness=0.05)

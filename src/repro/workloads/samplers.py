@@ -1,0 +1,62 @@
+"""Samplers for source and destination sets.
+
+The (k, l)-SPF problem instance is a structure plus disjoint choices of
+``k`` sources and ``l`` destinations (they may overlap in general — the
+paper only requires non-empty subsets — but benches keep them disjoint so
+that every destination exercises a non-trivial path).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.grid.coords import Node
+from repro.grid.oracle import bfs_distances
+from repro.grid.structure import AmoebotStructure
+
+
+def sample_sources_destinations(
+    structure: AmoebotStructure,
+    k: int,
+    l: int,
+    seed: Optional[int] = None,
+    disjoint: bool = True,
+) -> Tuple[List[Node], List[Node]]:
+    """Sample ``k`` sources and ``l`` destinations uniformly at random."""
+    if k < 1 or l < 1:
+        raise ValueError("k and l must be positive")
+    n = len(structure)
+    if disjoint and k + l > n:
+        raise ValueError(f"cannot pick {k}+{l} disjoint nodes from {n}")
+    if not disjoint and max(k, l) > n:
+        raise ValueError("more picks than nodes")
+    rng = random.Random(seed)
+    ordered = sorted(structure.nodes)
+    if disjoint:
+        picks = rng.sample(ordered, k + l)
+        return picks[:k], picks[k:]
+    return rng.sample(ordered, k), rng.sample(ordered, l)
+
+
+def spread_nodes(structure: AmoebotStructure, k: int) -> List[Node]:
+    """Pick ``k`` well-spread nodes by greedy farthest-point sampling.
+
+    Deterministic; used by benches so that sources are not clumped (which
+    would make the k-dependence of the forest algorithm trivial).
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    if k > len(structure):
+        raise ValueError("more picks than nodes")
+    first = structure.westernmost()
+    chosen = [first]
+    dist = bfs_distances(structure, [first])
+    while len(chosen) < k:
+        far = max(sorted(dist), key=lambda u: dist[u])
+        chosen.append(far)
+        far_dist = bfs_distances(structure, [far])
+        for u, d in far_dist.items():
+            if d < dist[u]:
+                dist[u] = d
+    return chosen

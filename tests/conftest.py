@@ -1,0 +1,55 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+import pytest
+
+from repro.grid.coords import Node
+from repro.grid.oracle import bfs_tree
+from repro.grid.structure import AmoebotStructure
+from repro.ett.tour import adjacency_from_edges
+from repro.sim.engine import CircuitEngine
+from repro.workloads import hexagon, random_hole_free
+
+
+@pytest.fixture
+def small_hexagon() -> AmoebotStructure:
+    return hexagon(2)
+
+
+@pytest.fixture
+def medium_hexagon() -> AmoebotStructure:
+    return hexagon(4)
+
+
+@pytest.fixture
+def random_structure() -> AmoebotStructure:
+    return random_hole_free(120, seed=42)
+
+
+@pytest.fixture
+def dendrite_structure() -> AmoebotStructure:
+    return random_hole_free(100, seed=7, compactness=0.05)
+
+
+def engine_for(structure: AmoebotStructure, channels: int = 8) -> CircuitEngine:
+    return CircuitEngine(structure, channels=channels)
+
+
+def bfs_tree_adjacency(
+    structure: AmoebotStructure, root: Node
+) -> Tuple[Dict[Node, List[Node]], Dict[Node, Node]]:
+    """A BFS tree of the structure as rotation-ordered adjacency."""
+    _dist, parent = bfs_tree(structure, root)
+    edges = [(child, par) for child, par in parent.items() if par is not None]
+    adjacency = adjacency_from_edges(edges) if edges else {root: []}
+    cleaned = {child: par for child, par in parent.items() if par is not None}
+    return adjacency, cleaned
+
+
+def random_subset(structure: AmoebotStructure, count: int, seed: int) -> Set[Node]:
+    rng = random.Random(seed)
+    return set(rng.sample(sorted(structure.nodes), count))

@@ -1,0 +1,74 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import main, make_structure
+from repro.workloads import hexagon
+
+
+class TestMakeStructure:
+    def test_hexagon(self):
+        assert make_structure("hexagon:2") == hexagon(2)
+
+    def test_random_with_seed(self):
+        a = make_structure("random:50:3")
+        b = make_structure("random:50:3")
+        assert a == b
+        assert len(a) == 50
+
+    def test_dendrite(self):
+        assert len(make_structure("dendrite:30:1")) == 30
+
+    def test_parallelogram(self):
+        assert len(make_structure("parallelogram:4:3")) == 12
+
+    def test_line_comb_staircase_triangle(self):
+        assert len(make_structure("line:7")) == 7
+        assert len(make_structure("triangle:4")) == 10
+        make_structure("comb:3:2")
+        make_structure("staircase:3:2")
+
+    def test_unknown_shape(self):
+        with pytest.raises(SystemExit):
+            make_structure("torus:3")
+
+    def test_bad_arity(self):
+        with pytest.raises(SystemExit):
+            make_structure("hexagon:1:2:3")
+
+
+class TestCommands:
+    def test_solve(self, capsys):
+        assert main(["solve", "--shape", "hexagon:2", "-k", "2", "-l", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "synchronous rounds" in out
+        assert "algorithm: forest" in out
+
+    def test_solve_single_source_ascii(self, capsys):
+        assert main(
+            ["solve", "--shape", "hexagon:2", "-k", "1", "-l", "2", "--ascii"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "algorithm: spt" in out
+        assert "S" in out
+
+    def test_solve_spread(self, capsys):
+        assert main(
+            ["solve", "--shape", "random:60:2", "-k", "3", "-l", "2", "--spread"]
+        ) == 0
+        assert "hops" in capsys.readouterr().out
+
+    def test_sweep_spsp(self, capsys):
+        assert main(["sweep", "spsp"]) == 0
+        out = capsys.readouterr().out
+        assert "SPSP rounds vs n" in out
+
+    def test_info(self, capsys):
+        assert main(["info", "--shape", "hexagon:2"]) == 0
+        out = capsys.readouterr().out
+        assert "X-portals" in out
+        assert "tree: True" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

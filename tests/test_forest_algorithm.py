@@ -1,0 +1,145 @@
+"""Tests for the divide & conquer forest algorithm (§5.4, Theorem 56)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.coords import Node
+from repro.sim.engine import CircuitEngine
+from repro.spf.forest import shortest_path_forest
+from repro.verify import assert_valid_forest
+from repro.workloads import (
+    comb,
+    hexagon,
+    lollipop,
+    parallelogram,
+    random_hole_free,
+    staircase,
+    triangle,
+)
+
+SHAPES = {
+    "hexagon": hexagon(3),
+    "parallelogram": parallelogram(8, 4),
+    "triangle": triangle(7),
+    "comb": comb(4, 3),
+    "staircase": staircase(4, 2),
+    "lollipop": lollipop(2, 8),
+}
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_shapes(self, name, k):
+        structure = SHAPES[name]
+        rng = random.Random(hash(name) % 1000 + k)
+        nodes = sorted(structure.nodes)
+        sources = rng.sample(nodes, k)
+        engine = CircuitEngine(structure)
+        forest = shortest_path_forest(engine, structure, sources)
+        assert forest.members == set(nodes)
+        assert_valid_forest(structure, sources, nodes, forest.parent)
+
+    @given(st.integers(min_value=0, max_value=2**16), st.integers(min_value=2, max_value=9))
+    @settings(max_examples=10, deadline=None)
+    def test_random_structures_property(self, seed, k):
+        rng = random.Random(seed)
+        structure = random_hole_free(rng.randint(30, 110), seed=seed)
+        nodes = sorted(structure.nodes)
+        sources = rng.sample(nodes, min(k, len(nodes)))
+        engine = CircuitEngine(structure)
+        forest = shortest_path_forest(engine, structure, sources)
+        assert_valid_forest(structure, sources, nodes, forest.parent)
+
+    def test_with_destination_pruning(self):
+        structure = random_hole_free(120, seed=77)
+        rng = random.Random(0)
+        nodes = sorted(structure.nodes)
+        sources = rng.sample(nodes, 4)
+        dests = rng.sample([u for u in nodes if u not in sources], 8)
+        engine = CircuitEngine(structure)
+        forest = shortest_path_forest(engine, structure, sources, dests)
+        assert_valid_forest(structure, sources, dests, forest.parent)
+        # Pruning must have removed something on a 120-node structure
+        # with only 8 destinations.
+        assert len(forest.members) < len(nodes)
+
+    def test_sources_on_same_portal(self):
+        structure = parallelogram(10, 4)
+        row = [Node(i, 1) for i in range(10)]
+        sources = [row[1], row[5], row[8]]
+        engine = CircuitEngine(structure)
+        forest = shortest_path_forest(engine, structure, sources)
+        assert_valid_forest(structure, sources, sorted(structure.nodes), forest.parent)
+
+    def test_adjacent_sources(self):
+        structure = hexagon(3)
+        nodes = sorted(structure.nodes)
+        sources = [nodes[0], nodes[1]]
+        engine = CircuitEngine(structure)
+        forest = shortest_path_forest(engine, structure, sources)
+        assert_valid_forest(structure, sources, nodes, forest.parent)
+
+    def test_every_node_a_source(self):
+        structure = hexagon(2)
+        nodes = sorted(structure.nodes)
+        engine = CircuitEngine(structure)
+        forest = shortest_path_forest(engine, structure, nodes)
+        assert forest.parent == {}
+        assert forest.members == set(nodes)
+
+    def test_spread_sources(self):
+        from repro.workloads import spread_nodes
+
+        structure = random_hole_free(150, seed=88)
+        sources = spread_nodes(structure, 6)
+        engine = CircuitEngine(structure)
+        forest = shortest_path_forest(engine, structure, sources)
+        assert_valid_forest(structure, sources, sorted(structure.nodes), forest.parent)
+
+    def test_empty_sources_rejected(self):
+        structure = hexagon(1)
+        with pytest.raises(ValueError):
+            shortest_path_forest(CircuitEngine(structure), structure, [])
+
+    def test_foreign_source_rejected(self):
+        structure = hexagon(1)
+        with pytest.raises(ValueError):
+            shortest_path_forest(
+                CircuitEngine(structure), structure, [Node(50, 50)]
+            )
+
+
+class TestRoundComplexity:
+    def test_polylog_growth_in_k(self):
+        from repro.workloads import spread_nodes
+
+        structure = random_hole_free(300, seed=5)
+        rounds = {}
+        for k in (2, 4, 8, 16):
+            sources = spread_nodes(structure, k)
+            engine = CircuitEngine(structure)
+            shortest_path_forest(engine, structure, sources)
+            rounds[k] = engine.rounds.total
+        # Tripling the budget from k=2 to k=16 is acceptable for a
+        # log n log^2 k algorithm; linear growth (8x) is not.
+        assert rounds[16] <= 5 * rounds[2]
+
+    def test_beats_diameter_for_long_structures(self):
+        from repro.grid.oracle import structure_diameter
+
+        structure = staircase(12, 4)
+        nodes = sorted(structure.nodes)
+        sources = [nodes[0], nodes[-1]]
+        engine = CircuitEngine(structure)
+        shortest_path_forest(engine, structure, sources)
+        diam = structure_diameter(structure)
+        # For stretched structures the circuit algorithm must finish in
+        # rounds comparable to polylog factors, not the diameter.  With
+        # n ~ 100 the crossover is not yet extreme; we check it at least
+        # does not blow past a few multiples of the diameter and rely on
+        # the benches to show the asymptotic gap.
+        assert engine.rounds.total <= 8 * diam

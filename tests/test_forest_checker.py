@@ -1,0 +1,126 @@
+"""Tests for the forest property checker itself.
+
+The checker is the backbone of every algorithm test, so it must detect
+each kind of corruption reliably (and accept valid forests).
+"""
+
+import pytest
+
+from repro.grid.coords import Node
+from repro.grid.oracle import bfs_tree
+from repro.verify import assert_valid_forest, check_forest
+from repro.workloads import hexagon, line_structure
+
+
+def valid_tree(structure, source):
+    _dist, parent = bfs_tree(structure, source)
+    return {u: p for u, p in parent.items() if p is not None}
+
+
+class TestAcceptsValid:
+    def test_bfs_tree_is_valid_sssp_forest(self):
+        s = hexagon(2)
+        source = Node(0, 0)
+        parent = valid_tree(s, source)
+        assert check_forest(s, [source], sorted(s.nodes), parent) == []
+
+    def test_partial_forest_with_destination_leaves(self):
+        s = line_structure(6)
+        source = Node(0, 0)
+        dest = Node(3, 0)
+        parent = {Node(i, 0): Node(i - 1, 0) for i in range(1, 4)}
+        assert check_forest(s, [source], [dest], parent) == []
+
+    def test_source_equals_destination(self):
+        s = line_structure(3)
+        assert check_forest(s, [Node(0, 0)], [Node(0, 0)], {}) == []
+
+    def test_two_source_forest(self):
+        s = line_structure(7)
+        parent = {
+            Node(1, 0): Node(0, 0),
+            Node(2, 0): Node(1, 0),
+            Node(3, 0): Node(2, 0),
+            Node(5, 0): Node(6, 0),
+            Node(4, 0): Node(5, 0),
+        }
+        violations = check_forest(
+            s, [Node(0, 0), Node(6, 0)], sorted(s.nodes), parent
+        )
+        assert violations == []
+
+
+class TestDetectsCorruption:
+    def test_cycle_detected(self):
+        s = line_structure(4)
+        parent = {
+            Node(1, 0): Node(2, 0),
+            Node(2, 0): Node(1, 0),
+            Node(3, 0): Node(2, 0),
+        }
+        violations = check_forest(s, [Node(0, 0)], [Node(3, 0)], parent)
+        assert any(v.prop == "prop1" for v in violations)
+
+    def test_missing_destination_detected(self):
+        s = line_structure(5)
+        parent = {Node(1, 0): Node(0, 0)}
+        violations = check_forest(s, [Node(0, 0)], [Node(4, 0)], parent)
+        assert any(v.prop == "prop4" for v in violations)
+
+    def test_non_shortest_path_detected(self):
+        s = hexagon(2)
+        source = Node(0, 0)
+        parent = valid_tree(s, source)
+        # Reroute one neighbor of the source through a distance-1 node,
+        # making its path length 2 instead of 1.
+        victim = Node(1, 0)
+        parent[victim] = Node(0, 1)
+        violations = check_forest(s, [source], sorted(s.nodes), parent)
+        assert any(v.prop == "prop5" for v in violations)
+
+    def test_wrong_source_assignment_detected(self):
+        s = line_structure(9)
+        a, b = Node(0, 0), Node(8, 0)
+        # Node 1 is closest to a, but we attach it to b's tree.
+        parent = {Node(i, 0): Node(i + 1, 0) for i in range(1, 8)}
+        violations = check_forest(s, [a, b], [Node(1, 0)], parent)
+        assert any("closest source" in v.message for v in violations)
+
+    def test_non_sd_leaf_detected(self):
+        s = line_structure(6)
+        # Tree extends past the destination to a plain leaf.
+        parent = {Node(i, 0): Node(i - 1, 0) for i in range(1, 6)}
+        violations = check_forest(s, [Node(0, 0)], [Node(2, 0)], parent)
+        assert any(v.prop == "prop2" for v in violations)
+
+    def test_source_with_parent_detected(self):
+        s = line_structure(3)
+        parent = {Node(0, 0): Node(1, 0), Node(1, 0): Node(2, 0)}
+        violations = check_forest(s, [Node(0, 0), Node(2, 0)], [Node(1, 0)], parent)
+        assert any("source" in v.message for v in violations)
+
+    def test_non_adjacent_parent_detected(self):
+        s = line_structure(5)
+        parent = {Node(4, 0): Node(0, 0)}
+        violations = check_forest(s, [Node(0, 0)], [Node(4, 0)], parent)
+        assert any(v.prop == "structure" for v in violations)
+
+    def test_dangling_chain_detected(self):
+        s = line_structure(5)
+        # Node 3 points at node 2, which has no parent and is no source.
+        parent = {Node(3, 0): Node(2, 0)}
+        violations = check_forest(s, [Node(0, 0)], [Node(3, 0)], parent)
+        assert any(v.prop == "prop1" for v in violations)
+
+
+class TestAssertHelper:
+    def test_raises_with_summary(self):
+        s = line_structure(4)
+        parent = {Node(3, 0): Node(0, 0)}  # non-adjacent
+        with pytest.raises(AssertionError, match="violations"):
+            assert_valid_forest(s, [Node(0, 0)], [Node(3, 0)], parent)
+
+    def test_passes_silently(self):
+        s = line_structure(3)
+        parent = {Node(1, 0): Node(0, 0), Node(2, 0): Node(1, 0)}
+        assert_valid_forest(s, [Node(0, 0)], [Node(2, 0)], parent)

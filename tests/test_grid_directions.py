@@ -1,0 +1,94 @@
+"""Unit tests for directions and axes of the triangular grid."""
+
+import pytest
+
+from repro.grid.directions import (
+    Axis,
+    Direction,
+    DIRECTION_OFFSETS,
+    all_directions_ccw,
+    clockwise,
+    counterclockwise,
+    direction_between,
+    opposite,
+)
+
+
+class TestDirectionBasics:
+    def test_six_directions(self):
+        assert len(list(Direction)) == 6
+
+    def test_offsets_are_unit_steps(self):
+        for d in Direction:
+            dx, dy = DIRECTION_OFFSETS[d]
+            assert (abs(dx) + abs(dy) + abs(dx + dy)) // 2 == 1
+
+    def test_offsets_distinct(self):
+        assert len(set(DIRECTION_OFFSETS.values())) == 6
+
+    def test_opposite_offsets_cancel(self):
+        for d in Direction:
+            dx, dy = DIRECTION_OFFSETS[d]
+            ox, oy = DIRECTION_OFFSETS[opposite(d)]
+            assert (dx + ox, dy + oy) == (0, 0)
+
+    def test_opposite_is_involution(self):
+        for d in Direction:
+            assert opposite(opposite(d)) == d
+
+    def test_ccw_rotation_order(self):
+        assert counterclockwise(Direction.E) == Direction.NE
+        assert counterclockwise(Direction.SE) == Direction.E
+
+    def test_cw_inverts_ccw(self):
+        for d in Direction:
+            for steps in range(7):
+                assert clockwise(counterclockwise(d, steps), steps) == d
+
+    def test_full_turn_is_identity(self):
+        for d in Direction:
+            assert counterclockwise(d, 6) == d
+
+    def test_all_directions_ccw_starts_anywhere(self):
+        seq = all_directions_ccw(Direction.W)
+        assert seq[0] == Direction.W
+        assert len(set(seq)) == 6
+
+
+class TestAxes:
+    def test_three_axes(self):
+        assert len(list(Axis)) == 3
+
+    def test_axis_directions_are_opposite(self):
+        for axis in Axis:
+            pos, neg = axis.directions
+            assert opposite(pos) == neg
+
+    def test_each_direction_has_one_axis(self):
+        for d in Direction:
+            assert d.axis in Axis
+            assert d in d.axis.directions
+
+    def test_axis_others(self):
+        for axis in Axis:
+            others = axis.others
+            assert len(others) == 2
+            assert axis not in others
+
+    def test_x_axis_is_east_west(self):
+        assert Axis.X.directions == (Direction.E, Direction.W)
+
+
+class TestDirectionBetween:
+    def test_adjacent(self):
+        assert direction_between((0, 0), (1, 0)) == Direction.E
+        assert direction_between((0, 0), (0, 1)) == Direction.NE
+        assert direction_between((2, 3), (1, 4)) == Direction.NW
+
+    def test_non_adjacent_raises(self):
+        with pytest.raises(ValueError):
+            direction_between((0, 0), (2, 0))
+
+    def test_same_node_raises(self):
+        with pytest.raises(ValueError):
+            direction_between((1, 1), (1, 1))

@@ -1,0 +1,62 @@
+"""Tests for hole detection."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.coords import Node
+from repro.grid.holes import find_holes, has_holes
+from repro.workloads import hexagon, parallelogram
+from repro.workloads.random_structures import random_hole_free
+
+
+class TestBasicHoles:
+    def test_solid_shapes_hole_free(self):
+        assert not has_holes(hexagon(3).nodes)
+        assert not has_holes(parallelogram(6, 4).nodes)
+
+    def test_single_node(self):
+        assert not has_holes([Node(0, 0)])
+
+    def test_empty(self):
+        assert not has_holes([])
+        assert find_holes([]) == []
+
+    def test_ring_has_one_hole(self):
+        ring = [n for n in hexagon(1).nodes if n != Node(0, 0)]
+        holes = find_holes(ring)
+        assert len(holes) == 1
+        assert holes[0] == {Node(0, 0)}
+
+    def test_bigger_ring_hole_contains_center(self):
+        ring = [n for n in hexagon(2).nodes if n not in hexagon(1).nodes]
+        holes = find_holes(ring)
+        assert len(holes) == 1
+        assert holes[0] == set(hexagon(1).nodes)
+
+    def test_two_separate_holes(self):
+        nodes = set(parallelogram(9, 5).nodes)
+        nodes.discard(Node(2, 2))
+        nodes.discard(Node(6, 2))
+        holes = find_holes(nodes)
+        assert len(holes) == 2
+
+    def test_bay_is_not_a_hole(self):
+        # Removing a boundary node leaves the complement connected.
+        nodes = set(parallelogram(5, 3).nodes)
+        nodes.discard(Node(2, 0))
+        assert not has_holes(nodes)
+
+
+class TestRandomGrowth:
+    @given(st.integers(min_value=1, max_value=120), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_random_growth_is_hole_free(self, n, seed):
+        s = random_hole_free(n, seed=seed)
+        assert len(s) == n
+        assert not has_holes(s.nodes)
+
+    @given(st.integers(min_value=1, max_value=80), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_dendritic_growth_is_hole_free(self, n, seed):
+        s = random_hole_free(n, seed=seed, compactness=0.05)
+        assert not has_holes(s.nodes)

@@ -1,0 +1,92 @@
+"""Tests for the centralized BFS oracles."""
+
+import pytest
+
+from repro.grid.coords import Node, grid_distance
+from repro.grid.oracle import (
+    bfs_distances,
+    bfs_tree,
+    closest_sources,
+    eccentricity,
+    structure_diameter,
+)
+from repro.workloads import hexagon, line_structure, lollipop, staircase
+
+
+class TestBfsDistances:
+    def test_source_distance_zero(self):
+        s = hexagon(2)
+        dist = bfs_distances(s, [Node(0, 0)])
+        assert dist[Node(0, 0)] == 0
+
+    def test_covers_all_nodes(self):
+        s = hexagon(2)
+        assert set(bfs_distances(s, [Node(0, 0)])) == set(s.nodes)
+
+    def test_matches_grid_distance_on_convex_shape(self):
+        # A hexagon is convex: induced distance equals grid distance.
+        s = hexagon(3)
+        center = Node(0, 0)
+        dist = bfs_distances(s, [center])
+        for u in s:
+            assert dist[u] == grid_distance(center, u)
+
+    def test_detour_around_concavity(self):
+        s = staircase(4, 3)
+        nodes = sorted(s.nodes)
+        first, last = nodes[0], max(nodes, key=lambda u: (u.y, u.x))
+        dist = bfs_distances(s, [first])
+        assert dist[last] >= grid_distance(first, last)
+
+    def test_multi_source_is_minimum(self):
+        s = line_structure(10)
+        a, b = Node(0, 0), Node(9, 0)
+        multi = bfs_distances(s, [a, b])
+        da = bfs_distances(s, [a])
+        db = bfs_distances(s, [b])
+        for u in s:
+            assert multi[u] == min(da[u], db[u])
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(KeyError):
+            bfs_distances(hexagon(1), [Node(9, 9)])
+
+
+class TestBfsTree:
+    def test_parents_decrease_distance(self):
+        s = hexagon(3)
+        dist, parent = bfs_tree(s, Node(0, 0))
+        for u, p in parent.items():
+            if p is None:
+                continue
+            assert dist[u] == dist[p] + 1
+
+    def test_root_has_no_parent(self):
+        _dist, parent = bfs_tree(hexagon(1), Node(0, 0))
+        assert parent[Node(0, 0)] is None
+
+
+class TestClosestSources:
+    def test_tie_reports_both(self):
+        s = line_structure(5)
+        result = closest_sources(s, [Node(0, 0), Node(4, 0)])
+        assert set(result[Node(2, 0)]) == {Node(0, 0), Node(4, 0)}
+        assert result[Node(1, 0)] == [Node(0, 0)]
+
+
+class TestDiameter:
+    def test_line_diameter(self):
+        assert structure_diameter(line_structure(7)) == 6
+
+    def test_hexagon_diameter(self):
+        assert structure_diameter(hexagon(2)) == 4
+
+    def test_eccentricity_center_vs_corner(self):
+        s = hexagon(2)
+        assert eccentricity(s, Node(0, 0)) == 2
+        assert eccentricity(s, Node(2, 0)) == 4
+
+    def test_lollipop_asymmetry(self):
+        s = lollipop(2, 10)
+        tip = Node(12, 0)
+        assert eccentricity(s, tip) == structure_diameter(s)

@@ -1,0 +1,113 @@
+"""Tests for AmoebotStructure: connectivity, adjacency, geometry."""
+
+import pytest
+
+from repro.grid.coords import Node
+from repro.grid.directions import Axis, Direction
+from repro.grid.structure import AmoebotStructure, StructureError
+from repro.workloads import hexagon, line_structure, parallelogram
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(StructureError):
+            AmoebotStructure([])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(StructureError):
+            AmoebotStructure([Node(0, 0), Node(5, 5)])
+
+    def test_holey_rejected(self):
+        ring = [n for n in hexagon(1).nodes if n != Node(0, 0)]
+        with pytest.raises(StructureError):
+            AmoebotStructure(ring)
+
+    def test_holey_allowed_when_requested(self):
+        ring = [n for n in hexagon(1).nodes if n != Node(0, 0)]
+        s = AmoebotStructure(ring, require_hole_free=False)
+        assert len(s) == 6
+
+    def test_duplicates_collapse(self):
+        s = AmoebotStructure([Node(0, 0), Node(0, 0), Node(1, 0)])
+        assert len(s) == 2
+
+    def test_equality_and_hash(self):
+        a = AmoebotStructure([Node(0, 0), Node(1, 0)])
+        b = AmoebotStructure([Node(1, 0), Node(0, 0)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestAdjacency:
+    def test_neighbors_subset_of_structure(self):
+        s = hexagon(2)
+        for u in s:
+            for v in s.neighbors(u):
+                assert v in s
+
+    def test_neighbors_of_outsider_raises(self):
+        s = hexagon(1)
+        with pytest.raises(KeyError):
+            s.neighbors(Node(10, 10))
+
+    def test_interior_degree_six(self):
+        s = hexagon(2)
+        assert s.degree(Node(0, 0)) == 6
+
+    def test_line_end_degree_one(self):
+        s = line_structure(5)
+        assert s.degree(Node(0, 0)) == 1
+        assert s.degree(Node(4, 0)) == 1
+
+    def test_occupied_directions_match_neighbors(self):
+        s = hexagon(2)
+        for u in s:
+            dirs = s.occupied_directions(u)
+            assert len(dirs) == s.degree(u)
+            for d in dirs:
+                assert u.neighbor(d) in s
+
+    def test_edge_count_hexagon(self):
+        # A hexagon of radius r has 9r^2 + 3r edges.
+        for r in (1, 2, 3):
+            assert hexagon(r).edge_count() == 9 * r * r + 3 * r
+
+    def test_edges_listed_once(self):
+        s = parallelogram(4, 3)
+        edges = s.edges()
+        canonical = {(min(u, v), max(u, v)) for u, v in edges}
+        assert len(canonical) == len(edges)
+
+
+class TestGeometry:
+    def test_bounding_box(self):
+        s = parallelogram(4, 3, Node(2, 1))
+        assert s.bounding_box() == (2, 5, 1, 3)
+
+    def test_westernmost_deterministic(self):
+        s = parallelogram(3, 3)
+        # Rows shift eastward with y, so (0, 0) is the unique westernmost.
+        assert s.westernmost() == Node(0, 0)
+
+    def test_westernmost_of_subset(self):
+        s = parallelogram(4, 1)
+        assert s.westernmost([Node(3, 0), Node(1, 0)]) == Node(1, 0)
+
+    def test_northernmost(self):
+        s = parallelogram(3, 3)
+        assert s.northernmost().y == 2
+
+    def test_line_through_full_row(self):
+        s = parallelogram(5, 2)
+        line = s.line_through(Node(2, 0), Axis.X)
+        assert line == [Node(i, 0) for i in range(5)]
+
+    def test_line_through_is_ordered_positive(self):
+        s = hexagon(2)
+        line = s.line_through(Node(0, 0), Axis.Y)
+        coords = [u.y for u in line]
+        assert coords == sorted(coords)
+
+    def test_line_through_singleton(self):
+        s = line_structure(4)
+        assert s.line_through(Node(1, 0), Axis.Y) == [Node(1, 0)]

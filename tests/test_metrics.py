@@ -1,0 +1,148 @@
+"""Tests for round accounting and result tables."""
+
+import pytest
+
+from repro.metrics.records import ExperimentRecord, ResultTable, growth_ratio, log_fit_slope
+from repro.metrics.rounds import RoundCounter
+
+
+class TestRoundCounter:
+    def test_starts_at_zero(self):
+        assert RoundCounter().total == 0
+
+    def test_tick(self):
+        c = RoundCounter()
+        c.tick()
+        c.tick(4)
+        assert c.total == 5
+
+    def test_negative_tick_rejected(self):
+        with pytest.raises(ValueError):
+            RoundCounter().tick(-1)
+
+    def test_sections_attribute_rounds(self):
+        c = RoundCounter()
+        with c.section("alpha"):
+            c.tick(3)
+        c.tick(2)
+        assert c.section_total("alpha") == 3
+        assert c.total == 5
+
+    def test_nested_sections_inclusive(self):
+        c = RoundCounter()
+        with c.section("outer"):
+            c.tick(1)
+            with c.section("inner"):
+                c.tick(2)
+        assert c.section_total("inner") == 2
+        assert c.section_total("outer") == 3
+
+    def test_breakdown(self):
+        c = RoundCounter()
+        with c.section("a"):
+            c.tick(2)
+        assert c.breakdown() == {"a": 2}
+
+    def test_reset(self):
+        c = RoundCounter()
+        with c.section("a"):
+            c.tick(2)
+        c.reset()
+        assert c.total == 0
+        assert c.breakdown() == {}
+
+
+class TestParallelGroup:
+    def test_charges_maximum_branch(self):
+        c = RoundCounter()
+        with c.parallel() as group:
+            with group.branch():
+                c.tick(7)
+            with group.branch():
+                c.tick(3)
+        assert c.total == 7
+
+    def test_empty_group_costs_nothing(self):
+        c = RoundCounter()
+        with c.parallel():
+            pass
+        assert c.total == 0
+
+    def test_nested_parallel_groups(self):
+        c = RoundCounter()
+        with c.parallel() as outer:
+            with outer.branch():
+                with c.parallel() as inner:
+                    with inner.branch():
+                        c.tick(2)
+                    with inner.branch():
+                        c.tick(5)
+                c.tick(1)  # sequential tail inside the branch
+            with outer.branch():
+                c.tick(4)
+        assert c.total == 6  # max(5 + 1, 4)
+
+    def test_branch_outside_group_rejected(self):
+        c = RoundCounter()
+        group = c.parallel()
+        with pytest.raises(RuntimeError):
+            with group.branch():
+                pass
+
+    def test_surrounding_ticks_unaffected(self):
+        c = RoundCounter()
+        c.tick(1)
+        with c.parallel() as group:
+            with group.branch():
+                c.tick(2)
+        c.tick(1)
+        assert c.total == 4
+
+
+class TestResultTable:
+    def test_render_contains_rows(self):
+        t = ResultTable("demo", ["n", "rounds"])
+        t.add(10, 42)
+        t.add(100, 54)
+        out = t.render()
+        assert "demo" in out
+        assert "42" in out and "54" in out
+
+    def test_wrong_arity_rejected(self):
+        t = ResultTable("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_float_formatting(self):
+        t = ResultTable("demo", ["v"])
+        t.add(1.23456)
+        assert "1.235" in t.render()
+
+
+class TestFits:
+    def test_log_fit_recovers_slope(self):
+        xs = [2**i for i in range(1, 10)]
+        ys = [3.0 * i + 1 for i in range(1, 10)]  # y = 3 log2 x + 1
+        slope = log_fit_slope(xs, ys)
+        assert slope == pytest.approx(3.0)
+
+    def test_log_fit_flat_series(self):
+        xs = [10, 100, 1000]
+        ys = [7, 7, 7]
+        assert log_fit_slope(xs, ys) == pytest.approx(0.0)
+
+    def test_log_fit_underdetermined(self):
+        assert log_fit_slope([4], [2]) is None
+        assert log_fit_slope([4, 4], [2, 3]) is None
+
+    def test_growth_ratio(self):
+        assert growth_ratio([1, 2], [10.0, 30.0]) == pytest.approx(3.0)
+        assert growth_ratio([], []) is None
+
+    def test_experiment_record_row(self):
+        rec = ExperimentRecord("T1", {"n": 10}, 42, {"iters": 3})
+        row = rec.row()
+        assert row["experiment"] == "T1"
+        assert row["n"] == 10
+        assert row["rounds"] == 42
+        assert row["iters"] == 3

@@ -1,0 +1,84 @@
+"""Tests for token routing along shortest path forests."""
+
+import pytest
+
+from repro.grid.coords import Node
+from repro.motion import RoutingPlan, route_tokens
+from repro.reference import ref_shortest_path_forest
+from repro.sim.engine import CircuitEngine
+from repro.spf.types import Forest
+from repro.workloads import hexagon, line_structure, random_hole_free, spread_nodes
+
+
+def chain_forest(n):
+    nodes = [Node(i, 0) for i in range(n)]
+    parent = {nodes[i]: nodes[i - 1] for i in range(1, n)}
+    return Forest({nodes[0]}, parent, set(nodes)), nodes
+
+
+class TestSingleToken:
+    def test_token_reaches_source(self):
+        forest, nodes = chain_forest(6)
+        stats = route_tokens(RoutingPlan(forest, [nodes[5]]))
+        assert stats.token_paths[0][-1] == nodes[0]
+        assert stats.steps == 5
+        assert stats.total_moves == 5
+
+    def test_token_already_at_source(self):
+        forest, nodes = chain_forest(3)
+        stats = route_tokens(RoutingPlan(forest, [nodes[0]]))
+        assert stats.steps == 0
+        assert stats.total_moves == 0
+
+    def test_origin_outside_forest_rejected(self):
+        forest, _nodes = chain_forest(3)
+        with pytest.raises(ValueError):
+            RoutingPlan(forest, [Node(9, 9)])
+
+
+class TestConvoys:
+    def test_chain_of_tokens_moves_in_lockstep(self):
+        forest, nodes = chain_forest(6)
+        # Tokens on every non-source node: a full convoy.
+        origins = nodes[1:]
+        stats = route_tokens(RoutingPlan(forest, origins))
+        # The head is absorbed each step; the convoy drains one per step
+        # plus pipeline: makespan is depth of the farthest token.
+        assert stats.steps == 5
+        assert stats.total_moves == sum(range(1, 6))
+
+    def test_merging_branches_respect_occupancy(self):
+        s = hexagon(2)
+        sources = [sorted(s.nodes)[0]]
+        forest = ref_shortest_path_forest(s, sources)
+        origins = [u for u in sorted(s.nodes) if forest.depth_of(u) >= 2]
+        stats = route_tokens(RoutingPlan(forest, origins))
+        for t, path in stats.token_paths.items():
+            assert path[-1] in forest.sources
+        # No path may teleport: consecutive entries adjacent.
+        for path in stats.token_paths.values():
+            for a, b in zip(path, path[1:]):
+                assert a.is_adjacent(b)
+
+    def test_congestion_overhead_bounded(self):
+        s = random_hole_free(80, seed=301)
+        sources = spread_nodes(s, 3)
+        forest = ref_shortest_path_forest(s, sources)
+        origins = [u for u in sorted(s.nodes) if u not in forest.sources][:20]
+        stats = route_tokens(RoutingPlan(forest, origins))
+        assert stats.congestion_overhead >= 1.0
+        assert stats.steps <= stats.lower_bound + len(origins)
+
+
+class TestEndToEnd:
+    def test_route_over_strict_forest(self):
+        from repro.spf.forest import shortest_path_forest
+
+        s = random_hole_free(70, seed=302)
+        sources = spread_nodes(s, 2)
+        forest = shortest_path_forest(CircuitEngine(s), s, sources)
+        origins = sorted(s.nodes)[-6:]
+        stats = route_tokens(RoutingPlan(forest, origins))
+        for t, origin in enumerate(origins):
+            assert stats.token_paths[t][0] == origin
+            assert stats.token_paths[t][-1] in forest.sources

@@ -1,0 +1,269 @@
+"""Tests for the PASC algorithm: chains, weights, trees, parallelism.
+
+These validate Lemmas 3-4 and Corollaries 5-6 of the paper on the
+faithful circuit simulator.
+"""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.coords import Node
+from repro.pasc.chain import ChainLink, PascChainRun, chain_links_for_nodes
+from repro.pasc.runner import run_pasc
+from repro.pasc.tree import PascTreeRun
+from repro.sim.engine import CircuitEngine
+from repro.workloads import hexagon, line_structure, random_hole_free
+from tests.conftest import bfs_tree_adjacency
+
+
+def line_nodes(length):
+    return [Node(i, 0) for i in range(length)]
+
+
+class TestChainDistance:
+    @pytest.mark.parametrize("length", [1, 2, 3, 5, 8, 16, 17, 33])
+    def test_every_amoebot_learns_its_index(self, length):
+        s = line_structure(length)
+        nodes = line_nodes(length)
+        engine = CircuitEngine(s)
+        run = PascChainRun([(u, "") for u in nodes], chain_links_for_nodes(nodes))
+        run_pasc(engine, [run])
+        assert run.node_values() == {u: i for i, u in enumerate(nodes)}
+
+    def test_iteration_count_logarithmic(self):
+        # Lemma 4: O(log m) iterations, two rounds each.
+        for length in (4, 16, 64, 256):
+            s = line_structure(length)
+            nodes = line_nodes(length)
+            engine = CircuitEngine(s)
+            run = PascChainRun([(u, "") for u in nodes], chain_links_for_nodes(nodes))
+            result = run_pasc(engine, [run])
+            assert result.iterations <= math.ceil(math.log2(length)) + 1
+            assert result.rounds == 2 * result.iterations
+
+    def test_bits_arrive_lsb_first(self):
+        s = line_structure(6)
+        nodes = line_nodes(6)
+        engine = CircuitEngine(s)
+        run = PascChainRun([(u, "") for u in nodes], chain_links_for_nodes(nodes))
+        # Execute exactly one iteration manually.
+        layout = engine.new_layout()
+        run.contribute_layout(layout)
+        received = engine.run_round(layout, run.beeps())
+        run.absorb(received)
+        values = run.node_values()
+        for i, u in enumerate(nodes):
+            assert values[u] == i % 2  # bit 0 of the distance
+
+
+class TestPrefixSums:
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_exclusive_prefix_sums(self, weights):
+        s = line_structure(len(weights))
+        nodes = line_nodes(len(weights))
+        engine = CircuitEngine(s)
+        run = PascChainRun(
+            [(u, "") for u in nodes],
+            chain_links_for_nodes(nodes),
+            weights=weights,
+        )
+        run_pasc(engine, [run])
+        expected = list(itertools.accumulate([0] + weights[:-1]))
+        got = [run.values()[(u, "")] for u in nodes]
+        assert got == expected
+
+    def test_inclusive_adds_own_weight(self):
+        weights = [1, 0, 1, 1, 0]
+        nodes = line_nodes(5)
+        engine = CircuitEngine(line_structure(5))
+        run = PascChainRun(
+            [(u, "") for u in nodes], chain_links_for_nodes(nodes), weights=weights
+        )
+        run_pasc(engine, [run])
+        inclusive = [run.inclusive_values()[(u, "")] for u in nodes]
+        assert inclusive == list(itertools.accumulate(weights))
+
+    def test_iterations_depend_on_weight_not_length(self):
+        # Corollary 6: O(log W) rounds even on a long chain.
+        length = 200
+        nodes = line_nodes(length)
+        s = line_structure(length)
+        weights = [0] * length
+        weights[150] = 1
+        engine = CircuitEngine(s)
+        run = PascChainRun(
+            [(u, "") for u in nodes], chain_links_for_nodes(nodes), weights=weights
+        )
+        result = run_pasc(engine, [run])
+        assert result.iterations <= 2
+
+    def test_all_zero_weights(self):
+        nodes = line_nodes(7)
+        engine = CircuitEngine(line_structure(7))
+        run = PascChainRun(
+            [(u, "") for u in nodes], chain_links_for_nodes(nodes), weights=[0] * 7
+        )
+        result = run_pasc(engine, [run])
+        assert all(v == 0 for v in run.node_values().values())
+        assert result.iterations == 1  # one round reveals global silence
+
+
+class TestChainValidation:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            PascChainRun([], [])
+
+    def test_wrong_link_count(self):
+        nodes = line_nodes(3)
+        with pytest.raises(ValueError):
+            PascChainRun([(u, "") for u in nodes], [])
+
+    def test_link_endpoint_mismatch(self):
+        nodes = line_nodes(3)
+        from repro.grid.directions import Direction
+
+        bad = [
+            ChainLink(nodes[0], Direction.E, 0, 1),
+            ChainLink(nodes[0], Direction.E, 0, 1),  # should start at nodes[1]
+        ]
+        with pytest.raises(ValueError):
+            PascChainRun([(u, "") for u in nodes], bad)
+
+    def test_bad_weights(self):
+        nodes = line_nodes(2)
+        with pytest.raises(ValueError):
+            PascChainRun(
+                [(u, "") for u in nodes],
+                chain_links_for_nodes(nodes),
+                weights=[2, 0],
+            )
+
+    def test_duplicate_unit_rejected(self):
+        nodes = [Node(0, 0), Node(1, 0), Node(0, 0)]
+        links = [
+            ChainLink(Node(0, 0), Node(0, 0).direction_to(Node(1, 0)), 0, 1),
+            ChainLink(Node(1, 0), Node(1, 0).direction_to(Node(0, 0)), 2, 3),
+        ]
+        with pytest.raises(ValueError):
+            PascChainRun([(u, "") for u in nodes], links)
+
+    def test_node_values_requires_unique_nodes(self):
+        nodes = [Node(0, 0), Node(1, 0), Node(0, 0)]
+        links = [
+            ChainLink(Node(0, 0), Node(0, 0).direction_to(Node(1, 0)), 0, 1),
+            ChainLink(Node(1, 0), Node(1, 0).direction_to(Node(0, 0)), 2, 3),
+        ]
+        run = PascChainRun([(u, str(i)) for i, u in enumerate(nodes)], links)
+        with pytest.raises(ValueError):
+            run.node_values()
+
+
+class TestTreePasc:
+    def test_depths_match_bfs(self, medium_hexagon):
+        root = medium_hexagon.westernmost()
+        adjacency, parent = bfs_tree_adjacency(medium_hexagon, root)
+        engine = CircuitEngine(medium_hexagon)
+        run = PascTreeRun(root, parent)
+        run_pasc(engine, [run])
+        from repro.grid.oracle import bfs_tree
+
+        dist, _ = bfs_tree(medium_hexagon, root)
+        assert run.values() == dist
+
+    def test_rounds_scale_with_height_not_size(self):
+        # A wide 2-row structure: many amoebots, height ~2.
+        from repro.workloads import parallelogram
+
+        s = parallelogram(50, 2)
+        root = Node(0, 0)
+        parent = {}
+        for u in s:
+            if u == root:
+                continue
+            if u.y == 0:
+                parent[u] = Node(u.x - 1, 0)
+            else:
+                parent[u] = Node(u.x, 0)
+        engine = CircuitEngine(s)
+        run = PascTreeRun(root, parent)
+        result = run_pasc(engine, [run])
+        assert result.iterations <= 7  # log(height), not log(100)
+
+    def test_single_node_tree(self):
+        s = line_structure(1)
+        engine = CircuitEngine(s)
+        run = PascTreeRun(Node(0, 0), {})
+        result = run_pasc(engine, [run])
+        assert run.values() == {Node(0, 0): 0}
+        assert result.iterations == 1
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            PascTreeRun(Node(0, 0), {Node(1, 0): Node(2, 0), Node(2, 0): Node(1, 0)})
+
+    def test_non_adjacent_edge_rejected(self):
+        with pytest.raises(ValueError):
+            PascTreeRun(Node(0, 0), {Node(5, 0): Node(0, 0)})
+
+    def test_root_with_parent_rejected(self):
+        with pytest.raises(ValueError):
+            PascTreeRun(Node(0, 0), {Node(0, 0): Node(1, 0)})
+
+
+class TestParallelRuns:
+    def test_parallel_cost_is_shared(self):
+        length = 32
+        s = line_structure(length)
+        nodes = line_nodes(length)
+        engine = CircuitEngine(s)
+        runs = [
+            PascChainRun(
+                [(u, f"a{j}") for u in nodes],
+                chain_links_for_nodes(nodes, 2 * j, 2 * j + 1),
+                tag=f"r{j}",
+            )
+            for j in range(3)
+        ]
+        result = run_pasc(engine, runs)
+        for j, run in enumerate(runs):
+            values = run.values()
+            for i, u in enumerate(nodes):
+                assert values[(u, f"a{j}")] == i
+        assert result.rounds == 2 * result.iterations
+
+    def test_runs_of_different_lengths_terminate_together(self):
+        s = line_structure(40)
+        nodes = line_nodes(40)
+        engine = CircuitEngine(s)
+        short = PascChainRun(
+            [(u, "s") for u in nodes[:4]],
+            chain_links_for_nodes(nodes[:4], 0, 1),
+            tag="short",
+        )
+        long = PascChainRun(
+            [(u, "l") for u in nodes],
+            chain_links_for_nodes(nodes, 2, 3),
+            tag="long",
+        )
+        result = run_pasc(engine, [short, long])
+        assert short.node_values() == {u: i for i, u in enumerate(nodes[:4])}
+        assert long.node_values() == {u: i for i, u in enumerate(nodes)}
+        assert result.iterations <= 7
+
+    def test_runaway_guard(self):
+        s = line_structure(4)
+        nodes = line_nodes(4)
+        engine = CircuitEngine(s)
+
+        class NeverDone(PascChainRun):
+            def active_units(self):
+                return [self.units[0]]
+
+        run = NeverDone([(u, "") for u in nodes], chain_links_for_nodes(nodes))
+        with pytest.raises(RuntimeError):
+            run_pasc(engine, [run], max_iterations=5)

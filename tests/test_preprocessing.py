@@ -1,0 +1,59 @@
+"""Tests for the leader election preprocessing (Theorem 2)."""
+
+import pytest
+
+from repro.preprocessing import elect_leader
+from repro.sim.engine import CircuitEngine
+from repro.workloads import hexagon, line_structure, random_hole_free
+
+
+class TestLeaderElection:
+    def test_elects_unique_leader_whp(self):
+        s = random_hole_free(80, seed=7)
+        successes = 0
+        for seed in range(20):
+            engine = CircuitEngine(s)
+            result = elect_leader(engine, seed=seed)
+            if result.unique:
+                successes += 1
+                assert result.leader in s.nodes
+        # w.h.p. with exponent ~2: all 20 runs should succeed; allow one
+        # failure to keep the test robust.
+        assert successes >= 19
+
+    def test_rounds_logarithmic(self):
+        rounds = {}
+        for n in (16, 256):
+            s = line_structure(n)
+            engine = CircuitEngine(s)
+            result = elect_leader(engine, seed=1)
+            rounds[n] = result.rounds
+        # 16x size increase adds only a few phases.
+        assert rounds[256] <= rounds[16] + 3 * 5
+
+    def test_single_amoebot(self):
+        s = line_structure(1)
+        engine = CircuitEngine(s)
+        result = elect_leader(engine, seed=0)
+        assert result.unique
+        assert result.leader == next(iter(s.nodes))
+
+    def test_deterministic_given_seed(self):
+        s = hexagon(2)
+        a = elect_leader(CircuitEngine(s), seed=42)
+        b = elect_leader(CircuitEngine(s), seed=42)
+        assert a.leader == b.leader
+
+    def test_rounds_charged_for_full_schedule(self):
+        # Early convergence must not under-charge the fixed schedule.
+        s = hexagon(2)
+        engine = CircuitEngine(s)
+        result = elect_leader(engine, seed=3)
+        assert result.rounds == result.phases
+
+    def test_leaders_spread_across_runs(self):
+        # Different seeds should elect different amoebots (anonymity).
+        s = hexagon(2)
+        leaders = {elect_leader(CircuitEngine(s), seed=i).leader for i in range(12)}
+        leaders.discard(None)
+        assert len(leaders) >= 3

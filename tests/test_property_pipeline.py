@@ -1,0 +1,109 @@
+"""Hypothesis-driven end-to-end properties of the full pipeline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.oracle import bfs_distances
+from repro.sim.engine import CircuitEngine
+from repro.spf import solve_spf
+from repro.verify import check_forest
+from repro.workloads import (
+    comb,
+    hexagon,
+    parallelogram,
+    random_hole_free,
+    staircase,
+    triangle,
+)
+
+
+def structure_strategy():
+    """A mixed strategy over all structure families."""
+    return st.one_of(
+        st.integers(min_value=1, max_value=4).map(hexagon),
+        st.tuples(
+            st.integers(min_value=2, max_value=10),
+            st.integers(min_value=2, max_value=6),
+        ).map(lambda wh: parallelogram(*wh)),
+        st.integers(min_value=2, max_value=8).map(triangle),
+        st.tuples(
+            st.integers(min_value=2, max_value=4),
+            st.integers(min_value=1, max_value=4),
+        ).map(lambda tl: comb(*tl)),
+        st.tuples(
+            st.integers(min_value=2, max_value=4),
+            st.integers(min_value=1, max_value=3),
+        ).map(lambda sw: staircase(*sw)),
+        st.tuples(
+            st.integers(min_value=15, max_value=70),
+            st.integers(min_value=0, max_value=2**12),
+        ).map(lambda ns: random_hole_free(*ns)),
+    )
+
+
+class TestPipelineProperties:
+    @given(structure_strategy(), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_solution_always_valid(self, structure, seed):
+        rng = random.Random(seed)
+        nodes = sorted(structure.nodes)
+        k = rng.randint(1, min(5, len(nodes)))
+        l = rng.randint(1, min(6, len(nodes)))
+        sources = rng.sample(nodes, k)
+        destinations = rng.sample(nodes, l)
+        solution = solve_spf(structure, sources, destinations)
+        assert check_forest(structure, sources, destinations, solution.forest.parent) == []
+
+    @given(structure_strategy(), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=12, deadline=None)
+    def test_destination_distances_are_optimal(self, structure, seed):
+        rng = random.Random(seed)
+        nodes = sorted(structure.nodes)
+        k = rng.randint(1, min(4, len(nodes)))
+        sources = rng.sample(nodes, k)
+        destinations = rng.sample(nodes, min(4, len(nodes)))
+        solution = solve_spf(structure, sources, destinations)
+        oracle = bfs_distances(structure, sources)
+        for d in destinations:
+            assert solution.forest.depth_of(d) == oracle[d]
+
+    @given(st.integers(min_value=0, max_value=2**12))
+    @settings(max_examples=6, deadline=None)
+    def test_rounds_reported_consistently(self, seed):
+        structure = random_hole_free(50, seed=seed)
+        nodes = sorted(structure.nodes)
+        engine = CircuitEngine(structure)
+        before = engine.rounds.total
+        solution = solve_spf(structure, nodes[:2], nodes[-2:], engine=engine)
+        assert engine.rounds.total - before == solution.rounds
+        assert solution.rounds > 0
+
+
+class TestSectionAccounting:
+    def test_forest_sections_present(self):
+        structure = random_hole_free(80, seed=303)
+        nodes = sorted(structure.nodes)
+        engine = CircuitEngine(structure)
+        from repro.spf.forest import shortest_path_forest
+
+        shortest_path_forest(engine, structure, nodes[:4], section="f")
+        breakdown = engine.rounds.breakdown()
+        # Sections over-count parallel branches (each branch's rounds
+        # are attributed even though the group charges only the max),
+        # so the section total bounds the clock from above.
+        assert breakdown.get("f", 0) >= engine.rounds.total
+        assert any(key.startswith("f:") for key in breakdown)
+
+    def test_spt_sections_present(self):
+        structure = hexagon(3)
+        nodes = sorted(structure.nodes)
+        engine = CircuitEngine(structure)
+        from repro.spf.spt import shortest_path_tree
+
+        shortest_path_tree(engine, structure, nodes[0], nodes[-3:], section="t")
+        breakdown = engine.rounds.breakdown()
+        assert breakdown.get("t", 0) == engine.rounds.total
+        assert breakdown.get("t:portal_rp", 0) > 0

@@ -1,0 +1,147 @@
+"""Tests for the Section 4 shortest path tree algorithm (Theorem 39)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.coords import Node
+from repro.grid.oracle import bfs_distances
+from repro.sim.engine import CircuitEngine
+from repro.spf.spt import shortest_path_tree
+from repro.verify import assert_valid_forest
+from repro.workloads import (
+    comb,
+    hexagon,
+    line_structure,
+    lollipop,
+    parallelogram,
+    random_hole_free,
+    staircase,
+    triangle,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "structure",
+        [
+            hexagon(3),
+            parallelogram(7, 4),
+            triangle(7),
+            comb(5, 4),
+            staircase(5, 2),
+            lollipop(2, 8),
+        ],
+        ids=["hexagon", "parallelogram", "triangle", "comb", "staircase", "lollipop"],
+    )
+    def test_valid_on_shapes(self, structure):
+        rng = random.Random(0)
+        nodes = sorted(structure.nodes)
+        source = rng.choice(nodes)
+        dests = rng.sample(nodes, min(6, len(nodes) // 3))
+        engine = CircuitEngine(structure)
+        result = shortest_path_tree(engine, structure, source, dests)
+        assert_valid_forest(structure, [source], dests, result.parent)
+
+    @given(st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=12, deadline=None)
+    def test_random_structures_property(self, seed):
+        rng = random.Random(seed)
+        structure = random_hole_free(rng.randint(20, 120), seed=seed)
+        nodes = sorted(structure.nodes)
+        source = rng.choice(nodes)
+        dests = rng.sample(nodes, min(5, len(nodes)))
+        engine = CircuitEngine(structure)
+        result = shortest_path_tree(engine, structure, source, dests)
+        assert_valid_forest(structure, [source], dests, result.parent)
+
+    def test_all_destinations_sssp(self, medium_hexagon):
+        nodes = sorted(medium_hexagon.nodes)
+        engine = CircuitEngine(medium_hexagon)
+        result = shortest_path_tree(engine, medium_hexagon, nodes[0], nodes)
+        assert result.members == set(nodes)
+        assert_valid_forest(medium_hexagon, [nodes[0]], nodes, result.parent)
+
+    def test_members_are_paths_to_destinations(self, medium_hexagon):
+        nodes = sorted(medium_hexagon.nodes)
+        source, dest = nodes[0], nodes[-1]
+        engine = CircuitEngine(medium_hexagon)
+        result = shortest_path_tree(engine, medium_hexagon, source, [dest])
+        path = result.path_from(dest)
+        assert path[0] == dest and path[-1] == source
+        assert len(path) - 1 == bfs_distances(medium_hexagon, [source])[dest]
+        # Pruning: every member lies on the source-destination path here.
+        assert result.members == set(path)
+
+    def test_source_is_destination(self, small_hexagon):
+        source = small_hexagon.westernmost()
+        engine = CircuitEngine(small_hexagon)
+        result = shortest_path_tree(engine, small_hexagon, source, [source])
+        assert result.members == {source}
+        assert result.parent == {}
+
+    def test_raw_parents_superset(self, medium_hexagon):
+        nodes = sorted(medium_hexagon.nodes)
+        engine = CircuitEngine(medium_hexagon)
+        result = shortest_path_tree(engine, medium_hexagon, nodes[0], [nodes[-1]])
+        for u, p in result.parent.items():
+            assert result.raw_parent[u] == p
+
+
+class TestValidation:
+    def test_empty_destinations_rejected(self, small_hexagon):
+        engine = CircuitEngine(small_hexagon)
+        with pytest.raises(ValueError):
+            shortest_path_tree(engine, small_hexagon, small_hexagon.westernmost(), [])
+
+    def test_foreign_source_rejected(self, small_hexagon):
+        engine = CircuitEngine(small_hexagon)
+        with pytest.raises(ValueError):
+            shortest_path_tree(engine, small_hexagon, Node(50, 50), [Node(0, 0)])
+
+    def test_foreign_destination_rejected(self, small_hexagon):
+        engine = CircuitEngine(small_hexagon)
+        with pytest.raises(ValueError):
+            shortest_path_tree(
+                engine, small_hexagon, small_hexagon.westernmost(), [Node(50, 50)]
+            )
+
+
+class TestRoundComplexity:
+    def test_spsp_rounds_independent_of_n(self):
+        # Theorem 39 with l = 1: O(1) rounds regardless of n.
+        rounds = []
+        for n in (40, 160, 640):
+            s = random_hole_free(n, seed=1)
+            nodes = sorted(s.nodes)
+            engine = CircuitEngine(s)
+            shortest_path_tree(engine, s, nodes[0], [nodes[-1]])
+            rounds.append(engine.rounds.total)
+        assert max(rounds) - min(rounds) <= 10
+
+    def test_spt_rounds_grow_logarithmically_in_l(self):
+        s = random_hole_free(400, seed=2)
+        nodes = sorted(s.nodes)
+        rng = random.Random(3)
+        rounds = {}
+        for l in (1, 4, 16, 64, 256):
+            dests = rng.sample(nodes, l)
+            engine = CircuitEngine(s)
+            shortest_path_tree(engine, s, nodes[0], dests)
+            rounds[l] = engine.rounds.total
+        # Growth must be logarithmic: a bounded number of extra rounds
+        # per doubling of l (the four root-and-prune passes each add at
+        # most a PASC iteration, i.e. two rounds, per extra bit).
+        doublings = 8  # 1 -> 256
+        assert rounds[256] <= rounds[1] + 10 * doublings
+        # And nowhere near linear: l grew by 255, rounds by a sliver.
+        assert rounds[256] - rounds[1] < 256 / 2
+
+    def test_line_spsp_beats_diameter(self):
+        # The whole point of circuits: distance 199 in ~constant rounds.
+        s = line_structure(200)
+        engine = CircuitEngine(s)
+        shortest_path_tree(engine, s, Node(0, 0), [Node(199, 0)])
+        assert engine.rounds.total < 60

@@ -1,0 +1,76 @@
+"""Tests for the ASCII and SVG renderers."""
+
+from repro.grid.coords import Node
+from repro.viz.ascii_art import render_ascii, render_forest_ascii
+from repro.viz.svg import SvgCanvas, render_structure_svg
+from repro.workloads import hexagon, line_structure, parallelogram
+
+
+class TestAscii:
+    def test_line_rendering(self):
+        out = render_ascii(line_structure(4))
+        assert out.strip() == "o o o o"
+
+    def test_rows_shift(self):
+        out = render_ascii(parallelogram(3, 2))
+        lines = out.split("\n")
+        assert len(lines) == 2
+        # The upper row is indented by one column relative to the lower.
+        assert lines[0].index("o") == lines[1].index("o") + 1
+
+    def test_glyph_override(self):
+        out = render_ascii(line_structure(3), {Node(1, 0): "X"})
+        assert "X" in out
+
+    def test_forest_glyphs(self):
+        s = line_structure(5)
+        out = render_forest_ascii(
+            s,
+            sources=[Node(0, 0)],
+            destinations=[Node(4, 0)],
+            members=[Node(i, 0) for i in range(5)],
+        )
+        assert "S" in out and "D" in out and "*" in out
+
+    def test_hexagon_symmetry(self):
+        out = render_ascii(hexagon(1))
+        lines = out.split("\n")
+        assert len(lines) == 3
+        assert lines[0].count("o") == 2
+        assert lines[1].count("o") == 3
+        assert lines[2].count("o") == 2
+
+
+class TestSvg:
+    def test_basic_document(self):
+        svg = render_structure_svg(hexagon(1))
+        assert svg.startswith("<svg")
+        assert svg.count("<circle") == 7
+        assert "</svg>" in svg
+
+    def test_node_colors(self):
+        svg = render_structure_svg(
+            line_structure(2), node_colors={Node(0, 0): "#ff0000"}
+        )
+        assert "#ff0000" in svg
+
+    def test_parent_arrows(self):
+        svg = render_structure_svg(
+            line_structure(3),
+            parent={Node(1, 0): Node(0, 0), Node(2, 0): Node(1, 0)},
+        )
+        assert svg.count("marker-end") == 2
+
+    def test_highlight_edges(self):
+        svg = render_structure_svg(
+            line_structure(3), highlight_edges=[(Node(0, 0), Node(1, 0))]
+        )
+        assert "#e41a1c" in svg
+
+    def test_empty_canvas(self):
+        assert "<svg" in SvgCanvas().render()
+
+    def test_canvas_node_labels(self):
+        canvas = SvgCanvas()
+        canvas.node(Node(0, 0), label="7")
+        assert "<text" in canvas.render()

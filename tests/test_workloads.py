@@ -1,0 +1,140 @@
+"""Tests for the workload generators and samplers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.coords import Node
+from repro.grid.holes import has_holes
+from repro.workloads import (
+    comb,
+    hexagon,
+    line_structure,
+    lollipop,
+    parallelogram,
+    random_hole_free,
+    sample_sources_destinations,
+    spread_nodes,
+    staircase,
+    triangle,
+)
+
+
+class TestShapes:
+    def test_line_count_and_shape(self):
+        s = line_structure(9)
+        assert len(s) == 9
+        assert all(u.y == 0 for u in s)
+
+    def test_parallelogram_count(self):
+        assert len(parallelogram(5, 4)) == 20
+
+    def test_triangle_count(self):
+        assert len(triangle(5)) == 15
+
+    def test_hexagon_count(self):
+        for r in range(4):
+            assert len(hexagon(r)) == 3 * r * r + 3 * r + 1
+
+    def test_comb_count(self):
+        s = comb(4, 3, spacing=2)
+        assert len(s) == 7 + 4 * 3
+
+    def test_staircase_is_connected_and_thin(self):
+        s = staircase(5, 2)
+        assert len(s) == 1 + 5 * 2 + 4 * 2
+
+    def test_lollipop_handle(self):
+        s = lollipop(2, 6)
+        assert Node(8, 0) in s
+
+    def test_all_shapes_hole_free(self):
+        shapes = [
+            line_structure(6),
+            parallelogram(5, 5),
+            triangle(6),
+            hexagon(3),
+            comb(4, 4),
+            staircase(4, 3),
+            lollipop(2, 5),
+        ]
+        for s in shapes:
+            assert not has_holes(s.nodes)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            line_structure(0)
+        with pytest.raises(ValueError):
+            parallelogram(3, 0)
+        with pytest.raises(ValueError):
+            triangle(0)
+        with pytest.raises(ValueError):
+            hexagon(-1)
+        with pytest.raises(ValueError):
+            comb(0, 2)
+        with pytest.raises(ValueError):
+            staircase(0)
+
+
+class TestRandomStructures:
+    def test_deterministic_by_seed(self):
+        a = random_hole_free(60, seed=5)
+        b = random_hole_free(60, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_hole_free(60, seed=5)
+        b = random_hole_free(60, seed=6)
+        assert a != b
+
+    def test_compactness_bounds(self):
+        with pytest.raises(ValueError):
+            random_hole_free(10, seed=0, compactness=1.5)
+
+    def test_compact_growth_is_rounder(self):
+        blob = random_hole_free(100, seed=1, compactness=0.9)
+        snake = random_hole_free(100, seed=1, compactness=0.05)
+
+        def spread(s):
+            min_x, max_x, min_y, max_y = s.bounding_box()
+            return (max_x - min_x + 1) * (max_y - min_y + 1)
+
+        assert spread(snake) > spread(blob)
+
+
+class TestSamplers:
+    def test_disjoint_sampling(self):
+        s = hexagon(3)
+        src, dst = sample_sources_destinations(s, 4, 6, seed=3)
+        assert len(src) == 4 and len(dst) == 6
+        assert not set(src) & set(dst)
+
+    def test_sampling_too_many_raises(self):
+        s = hexagon(1)
+        with pytest.raises(ValueError):
+            sample_sources_destinations(s, 5, 5, seed=0)
+
+    def test_sampler_is_seeded(self):
+        s = hexagon(3)
+        assert sample_sources_destinations(s, 3, 3, seed=9) == (
+            sample_sources_destinations(s, 3, 3, seed=9)
+        )
+
+    def test_spread_nodes_count_and_membership(self):
+        s = hexagon(3)
+        picks = spread_nodes(s, 5)
+        assert len(picks) == 5
+        assert len(set(picks)) == 5
+        assert all(u in s for u in picks)
+
+    def test_spread_nodes_spreads(self):
+        s = line_structure(20)
+        picks = spread_nodes(s, 2)
+        # The two picks should be the two ends of the line.
+        assert {u.x for u in picks} == {0, 19}
+
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=10, deadline=None)
+    def test_spread_nodes_any_k(self, k):
+        s = hexagon(3)
+        assert len(spread_nodes(s, k)) == k
