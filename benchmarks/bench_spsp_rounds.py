@@ -2,44 +2,29 @@
 
 Sweeps the structure size over more than an order of magnitude and
 reports the measured synchronous rounds: the series must be flat, in
-stark contrast to the Ω(diam) wave baseline.
+stark contrast to the Ω(diam) wave baseline.  The sweep itself is the
+built-in ``spsp`` campaign of :mod:`repro.experiments`.
 """
 
-from repro.grid.oracle import structure_diameter
-from repro.metrics.records import ResultTable
-from repro.sim.engine import CircuitEngine
-from repro.spf.spt import shortest_path_tree
-from repro.workloads import random_hole_free
+from repro.experiments import execute_trial, get_campaign, run_campaign
 
-from benchmarks.conftest import emit
-
-SIZES = (50, 100, 200, 400, 800)
-
-
-def spsp_rounds(n: int) -> dict:
-    structure = random_hole_free(n, seed=1)
-    nodes = sorted(structure.nodes)
-    source, dest = nodes[0], nodes[-1]
-    engine = CircuitEngine(structure)
-    shortest_path_tree(engine, structure, source, [dest])
-    return {
-        "n": n,
-        "diam": structure_diameter(structure),
-        "rounds": engine.rounds.total,
-    }
+from benchmarks.conftest import emit_records
 
 
 def test_spsp_rounds_flat(benchmark):
-    rows = [spsp_rounds(n) for n in SIZES]
-    table = ResultTable("T2: SPSP rounds vs n  (k = l = 1)", ["n", "diam", "rounds"])
-    for row in rows:
-        table.add(row["n"], row["diam"], row["rounds"])
-    spread = max(r["rounds"] for r in rows) - min(r["rounds"] for r in rows)
-    emit(
-        table,
+    campaign = get_campaign("spsp")
+    records = run_campaign(campaign).records()
+    rounds = [r["rounds"] for r in records]
+    spread = max(rounds) - min(rounds)
+    emit_records(
+        records,
+        x="n",
+        columns=("diameter", "rounds"),
+        title="T2: SPSP rounds vs n  (k = l = 1)",
         claim="O(1) rounds for SPSP, independent of n (Theorem 39)",
         verdict=f"spread over 16x size increase: {spread} rounds (flat)",
     )
     assert spread <= 12, "SPSP rounds must not grow with n"
 
-    benchmark(spsp_rounds, SIZES[2])
+    trial_200 = next(t for t in campaign.trials() if t.shape.split(":")[1] == "200")
+    benchmark(execute_trial, trial_200)

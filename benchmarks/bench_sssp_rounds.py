@@ -2,50 +2,41 @@
 
 Structure size swept; every node is a destination.  Measured rounds must
 grow logarithmically with n while the Ω(diam) bound of circuit-free
-models grows like sqrt(n) or worse.
+models grows like sqrt(n) or worse.  The sweep is the built-in ``sssp``
+campaign; the growth shape is cross-checked by the aggregate module's
+least-squares classifier.
 """
 
-from repro.grid.oracle import structure_diameter
-from repro.metrics.records import ResultTable, log_fit_slope
-from repro.sim.engine import CircuitEngine
-from repro.spf.spt import shortest_path_tree
-from repro.workloads import random_hole_free
+from repro.experiments import execute_trial, get_campaign, run_campaign
+from repro.experiments.aggregate import growth_report, log_fit_slope, summarize
 
-from benchmarks.conftest import emit
-
-SIZES = (50, 100, 200, 400, 800)
-
-
-def sssp_rounds(n: int) -> dict:
-    structure = random_hole_free(n, seed=4)
-    nodes = sorted(structure.nodes)
-    engine = CircuitEngine(structure)
-    shortest_path_tree(engine, structure, nodes[0], nodes)
-    return {
-        "n": n,
-        "diam": structure_diameter(structure),
-        "rounds": engine.rounds.total,
-    }
+from benchmarks.conftest import emit_records
 
 
 def test_sssp_rounds_logarithmic(benchmark):
-    rows = [sssp_rounds(n) for n in SIZES]
-    table = ResultTable("T3: SSSP rounds vs n  (l = n)", ["n", "diam", "rounds"])
-    for row in rows:
-        table.add(row["n"], row["diam"], row["rounds"])
-    slope = log_fit_slope(
-        [float(r["n"]) for r in rows], [float(r["rounds"]) for r in rows]
-    )
-    emit(
-        table,
+    campaign = get_campaign("sssp")
+    records = run_campaign(campaign).records()
+    rows = summarize(records, x="n", y="rounds")
+    slope = log_fit_slope([float(n) for n, _ in rows], [r for _, r in rows])
+    fit = growth_report(records, x="n")
+    emit_records(
+        records,
+        x="n",
+        columns=("diameter", "rounds"),
+        title="T3: SSSP rounds vs n  (l = n)",
         claim="O(log n) rounds for SSSP (Theorem 39, l = n)",
-        verdict=f"fitted rounds per doubling of n: {slope:.2f} (logarithmic)",
+        verdict=(
+            f"fitted rounds per doubling of n: {slope:.2f}; "
+            f"shape: {fit.shape if fit else 'n/a'}"
+        ),
     )
-    growth = rows[-1]["rounds"] - rows[0]["rounds"]
+    growth = rows[-1][1] - rows[0][1]
     doublings = 4  # 50 -> 800
     assert growth <= 12 * doublings, "SSSP growth exceeds logarithmic budget"
-    assert rows[-1]["rounds"] < rows[-1]["diam"] * 4, (
+    largest = max(records, key=lambda r: r["n"])
+    assert largest["rounds"] < largest["diameter"] * 4, (
         "SSSP rounds should be comparable to polylog, not diameters"
     )
 
-    benchmark(sssp_rounds, 200)
+    trial_200 = next(t for t in campaign.trials() if t.shape.split(":")[1] == "200")
+    benchmark(execute_trial, trial_200)

@@ -11,7 +11,9 @@ paper proves and what these benches validate.
 from __future__ import annotations
 
 import sys
+from typing import Sequence
 
+from repro.experiments.aggregate import summary_table
 from repro.metrics.records import ResultTable
 
 
@@ -22,3 +24,15 @@ def emit(table: ResultTable, claim: str, verdict: str) -> None:
     print(f"paper claim : {claim}")
     print(f"measured    : {verdict}")
     sys.stdout.flush()
+
+
+def emit_records(
+    records: Sequence[dict],
+    x: str,
+    columns: Sequence[str],
+    title: str,
+    claim: str,
+    verdict: str,
+) -> None:
+    """Emit a bench table aggregated from campaign trial records."""
+    emit(summary_table(records, x=x, columns=columns, title=title), claim, verdict)

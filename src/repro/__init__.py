@@ -15,8 +15,29 @@ Quickstart::
     nodes = sorted(structure.nodes)
     solution = solve_spf(structure, sources=[nodes[0]], destinations=nodes[-5:])
     print(solution.rounds, "synchronous rounds")
+
+Experiment campaigns (:mod:`repro.experiments`) scale this to grids of
+scenarios executed in parallel with a persistent, content-addressed
+result store::
+
+    from repro import ResultStore, get_campaign, run_campaign
+
+    report = run_campaign(get_campaign("forest"),
+                          store=ResultStore("campaigns/forest.jsonl"),
+                          workers=4)
+    print(report.summary())  # re-running serves every trial from cache
 """
 
+from repro.experiments import (
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+    ScenarioSpec,
+    TrialSpec,
+    campaign_names,
+    get_campaign,
+    run_campaign,
+)
 from repro.grid import (
     AmoebotStructure,
     Axis,
@@ -40,6 +61,7 @@ from repro.spf import (
 from repro.spf.types import Forest
 from repro.verify import assert_valid_forest, check_forest
 from repro.workloads import (
+    build_structure,
     comb,
     hexagon,
     line_structure,
@@ -74,6 +96,15 @@ __all__ = [
     "solve_spf",
     "assert_valid_forest",
     "check_forest",
+    "CampaignRunner",
+    "CampaignSpec",
+    "ResultStore",
+    "ScenarioSpec",
+    "TrialSpec",
+    "campaign_names",
+    "get_campaign",
+    "run_campaign",
+    "build_structure",
     "comb",
     "hexagon",
     "line_structure",

@@ -1,4 +1,4 @@
-"""Command line interface: ``python -m repro <command>``.
+"""Command line interface: ``python -m repro <command>`` (or ``repro``).
 
 Commands
 --------
@@ -6,8 +6,12 @@ Commands
     Solve a (k, l)-SPF instance on a generated structure and print the
     result (rounds, assignments, optional ASCII rendering).
 ``sweep``
-    Quick round-complexity sweeps (spsp / sssp / forest) printing the
-    same tables as the benchmark harness, at smaller sizes.
+    Quick round-complexity sweeps (spsp / sssp / forest) — thin
+    wrappers over the built-in ``*-small`` campaigns.
+``campaign``
+    Declarative experiment campaigns: ``run`` / ``resume`` named or
+    JSON-file campaigns in parallel with a persistent JSONL result
+    store, ``list`` the built-ins, ``summarize`` a store.
 ``info``
     Describe a generated structure (portals, diameter, holes).
 """
@@ -16,61 +20,32 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.grid.directions import Axis
 from repro.grid.oracle import structure_diameter
 from repro.grid.structure import AmoebotStructure
-from repro.metrics.records import ResultTable
-from repro.sim.engine import CircuitEngine
 from repro.spf.api import solve_spf
 from repro.viz.ascii_art import render_forest_ascii
 from repro.workloads import (
-    comb,
-    hexagon,
-    line_structure,
-    parallelogram,
-    random_hole_free,
     sample_sources_destinations,
     spread_nodes,
-    staircase,
-    triangle,
 )
+from repro.workloads.specs import build_structure
 
 
 def make_structure(spec: str) -> AmoebotStructure:
     """Build a structure from a CLI spec like ``hexagon:3`` or ``random:200:7``.
 
     Supported: ``hexagon:R``, ``parallelogram:W:H``, ``triangle:S``,
-    ``line:N``, ``comb:T:L``, ``staircase:S:W``, ``random:N[:SEED]``,
-    ``dendrite:N[:SEED]``.
+    ``line:N``, ``comb:T:L``, ``staircase:S:W``, ``lollipop:R:H``,
+    ``random:N[:SEED]``, ``dendrite:N[:SEED]``.
     """
-    name, *args = spec.split(":")
-    values = [int(a) for a in args]
     try:
-        if name == "hexagon":
-            return hexagon(*values)
-        if name == "parallelogram":
-            return parallelogram(*values)
-        if name == "triangle":
-            return triangle(*values)
-        if name == "line":
-            return line_structure(*values)
-        if name == "comb":
-            return comb(*values)
-        if name == "staircase":
-            return staircase(*values)
-        if name == "random":
-            n = values[0]
-            seed = values[1] if len(values) > 1 else 0
-            return random_hole_free(n, seed=seed)
-        if name == "dendrite":
-            n = values[0]
-            seed = values[1] if len(values) > 1 else 0
-            return random_hole_free(n, seed=seed, compactness=0.05)
-    except TypeError as exc:
-        raise SystemExit(f"bad arguments for shape {name!r}: {exc}") from exc
-    raise SystemExit(f"unknown shape {name!r}")
+        return build_structure(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
@@ -103,42 +78,145 @@ def cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+#: sweep experiment -> (built-in campaign, sweep axis, table title)
+_SWEEPS = {
+    "spsp": ("spsp-small", "n", "SPSP rounds vs n"),
+    "sssp": ("sssp-small", "n", "SSSP rounds vs n"),
+    "forest": ("forest-small", "k", "forest rounds vs k (n = 200)"),
+}
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Handle ``repro sweep``."""
-    if args.experiment == "spsp":
-        table = ResultTable("SPSP rounds vs n", ["n", "rounds"])
-        for n in (50, 100, 200, 400):
-            s = random_hole_free(n, seed=1)
-            nodes = sorted(s.nodes)
-            engine = CircuitEngine(s)
-            from repro.spf.spt import shortest_path_tree
+    """Handle ``repro sweep`` — thin wrapper over built-in campaigns."""
+    from repro.experiments import get_campaign, run_campaign, summary_table
 
-            shortest_path_tree(engine, s, nodes[0], [nodes[-1]])
-            table.add(n, engine.rounds.total)
-    elif args.experiment == "sssp":
-        table = ResultTable("SSSP rounds vs n", ["n", "rounds"])
-        for n in (50, 100, 200, 400):
-            s = random_hole_free(n, seed=1)
-            nodes = sorted(s.nodes)
-            engine = CircuitEngine(s)
-            from repro.spf.spt import shortest_path_tree
-
-            shortest_path_tree(engine, s, nodes[0], nodes)
-            table.add(n, engine.rounds.total)
-    elif args.experiment == "forest":
-        table = ResultTable("forest rounds vs k (n = 200)", ["k", "rounds"])
-        s = random_hole_free(200, seed=1)
-        for k in (2, 4, 8, 16):
-            sources = spread_nodes(s, k)
-            engine = CircuitEngine(s)
-            from repro.spf.forest import shortest_path_forest
-
-            shortest_path_forest(engine, s, sources)
-            table.add(k, engine.rounds.total)
-    else:  # pragma: no cover - argparse restricts choices
-        raise SystemExit(f"unknown experiment {args.experiment!r}")
+    name, axis, title = _SWEEPS[args.experiment]
+    report = run_campaign(get_campaign(name))
+    table = summary_table(report.records(), x=axis, columns=("rounds",), title=title)
     print(table.render())
     return 0
+
+
+def _load_campaign(args: argparse.Namespace):
+    """Resolve ``--name`` (registry) or ``--spec`` (JSON file)."""
+    from repro.experiments import CampaignSpec, SpecError, get_campaign
+
+    if getattr(args, "spec", None):
+        try:
+            return CampaignSpec.from_json(Path(args.spec).read_text())
+        except OSError as exc:
+            raise SystemExit(f"cannot read campaign spec: {exc}") from exc
+        except SpecError as exc:
+            raise SystemExit(f"bad campaign spec: {exc}") from exc
+    if getattr(args, "name", None):
+        try:
+            return get_campaign(args.name)
+        except KeyError as exc:
+            raise SystemExit(exc.args[0]) from exc
+    raise SystemExit("one of --name or --spec is required")
+
+
+def _store_path(args: argparse.Namespace, campaign_name: str) -> Path:
+    if args.store:
+        return Path(args.store)
+    return Path("campaigns") / f"{campaign_name}.jsonl"
+
+
+def _print_store_summary(records: List[dict]) -> None:
+    from repro.experiments import group_records, growth_report, summary_table, sweep_axis
+
+    for scenario, rows in sorted(group_records(records, "scenario").items()):
+        axis = sweep_axis(rows)
+        table = summary_table(
+            rows,
+            x=axis,
+            columns=("rounds", "forest_members"),
+            title=f"scenario {scenario!r}: mean rounds vs {axis}",
+        )
+        print()
+        print(table.render())
+        fit = growth_report(rows, x=axis)
+        if fit is not None:
+            print(f"growth vs {axis}: {fit.describe()}")
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    """Handle ``repro campaign run`` and ``repro campaign resume``."""
+    from repro.experiments import CampaignRunner, ResultStore
+
+    campaign = _load_campaign(args)
+    path = _store_path(args, campaign.name)
+    if args.action == "resume" and not path.exists():
+        raise SystemExit(f"no result store to resume at {path}")
+    store = ResultStore(path)
+    trials = campaign.trial_count()
+    print(
+        f"campaign {campaign.name!r}: {trials} trials, "
+        f"{len(campaign.scenarios)} scenario(s), workers = {args.workers}"
+    )
+    print(f"store: {path} ({len(store)} prior records)")
+
+    def progress(trial, result, done, total):
+        print(
+            f"[{done:>3}/{total}] {trial.scenario}: {trial.shape} "
+            f"k={trial.k} l={trial.l} seed={trial.seed} -> "
+            f"{result.rounds} rounds ({result.elapsed_s:.2f}s)"
+        )
+        sys.stdout.flush()
+
+    runner = CampaignRunner(store=store, workers=args.workers)
+    try:
+        report = runner.run(
+            campaign,
+            resume=not args.fresh,
+            progress=None if args.quiet else progress,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"campaign aborted: {exc}") from exc
+    print(report.summary())
+    print(f"executed {report.executed}, cache hits {report.cache_hits}")
+    _print_store_summary(report.records())
+    return 0
+
+
+def cmd_campaign_list(args: argparse.Namespace) -> int:
+    """Handle ``repro campaign list``."""
+    from repro.experiments import campaign_names, get_campaign
+
+    for name in campaign_names():
+        campaign = get_campaign(name)
+        print(
+            f"{name:<14} {campaign.trial_count():>3} trials  "
+            f"{campaign.description}"
+        )
+    return 0
+
+
+def cmd_campaign_summarize(args: argparse.Namespace) -> int:
+    """Handle ``repro campaign summarize``."""
+    from repro.experiments import ResultStore
+
+    if not args.store and not args.name:
+        raise SystemExit("one of --store or --name is required")
+    path = Path(args.store) if args.store else _store_path(args, args.name)
+    if not path.exists():
+        raise SystemExit(f"no result store at {path}")
+    store = ResultStore(path)
+    records = store.records(scenario=args.scenario)
+    if not records:
+        raise SystemExit(f"store {path} has no matching records")
+    print(f"store: {path} ({len(store)} records, scenarios: {store.scenarios()})")
+    _print_store_summary(records)
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Dispatch ``repro campaign <action>``."""
+    if args.action in ("run", "resume"):
+        return cmd_campaign_run(args)
+    if args.action == "list":
+        return cmd_campaign_list(args)
+    return cmd_campaign_summarize(args)
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -177,6 +255,36 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("experiment", choices=["spsp", "sssp", "forest"])
     sweep.set_defaults(func=cmd_sweep)
 
+    campaign = sub.add_parser(
+        "campaign", help="declarative experiment campaigns"
+    )
+    campaign.add_argument(
+        "action",
+        choices=["run", "resume", "list", "summarize"],
+        help="run/resume a campaign, list built-ins, summarize a store",
+    )
+    campaign.add_argument("--name", help="built-in campaign name (see 'list')")
+    campaign.add_argument("--spec", help="path to a campaign JSON file")
+    campaign.add_argument(
+        "--store",
+        help="JSONL result store path (default: campaigns/<name>.jsonl)",
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=1, help="parallel worker processes"
+    )
+    campaign.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore cached results and re-execute every trial",
+    )
+    campaign.add_argument(
+        "--scenario", help="summarize: restrict to one scenario"
+    )
+    campaign.add_argument(
+        "--quiet", action="store_true", help="suppress per-trial progress lines"
+    )
+    campaign.set_defaults(func=cmd_campaign)
+
     info = sub.add_parser("info", help="describe a generated structure")
     info.add_argument("--shape", default="hexagon:3")
     info.set_defaults(func=cmd_info)
@@ -188,7 +296,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro campaign summarize | head`
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

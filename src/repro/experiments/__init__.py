@@ -1,0 +1,83 @@
+"""Declarative scenario campaigns: specs, parallel runner, result store.
+
+The experiment subsystem turns "one solve at a time" into a campaign
+platform:
+
+* :mod:`~repro.experiments.spec` — scenarios and campaigns as data
+  (dataclasses round-trippable through JSON), expanded into
+  content-hashed :class:`TrialSpec` grids.
+* :mod:`~repro.experiments.runner` — a :class:`CampaignRunner` that
+  executes trials inline or across a process pool with deterministic
+  per-trial seeds.
+* :mod:`~repro.experiments.store` — an append-only JSONL
+  :class:`ResultStore`; re-running a campaign skips every trial whose
+  content hash is already recorded.
+* :mod:`~repro.experiments.aggregate` — groupby summaries and
+  growth-shape fits (flat / log / polylog / linear) over records.
+* :mod:`~repro.experiments.registry` — named built-in campaigns
+  mirroring the paper's experiment index.
+
+Quickstart::
+
+    from repro.experiments import ResultStore, get_campaign, run_campaign
+
+    store = ResultStore("campaigns/forest.jsonl")
+    report = run_campaign(get_campaign("forest"), store=store, workers=4)
+    print(report.summary())   # re-running reports every trial cached
+"""
+
+from repro.experiments.aggregate import (
+    GrowthFit,
+    classify_growth,
+    group_records,
+    growth_report,
+    summarize,
+    summary_table,
+    sweep_axis,
+)
+from repro.experiments.registry import (
+    campaign_names,
+    get_campaign,
+    register_campaign,
+)
+from repro.experiments.runner import (
+    CampaignReport,
+    CampaignRunner,
+    TrialResult,
+    execute_trial,
+    run_campaign,
+)
+from repro.experiments.spec import (
+    ALL_NODES,
+    CampaignSpec,
+    ScenarioSpec,
+    SpecError,
+    TrialSpec,
+    expand_trials,
+)
+from repro.experiments.store import ResultStore
+
+__all__ = [
+    "ALL_NODES",
+    "CampaignReport",
+    "CampaignRunner",
+    "CampaignSpec",
+    "GrowthFit",
+    "ResultStore",
+    "ScenarioSpec",
+    "SpecError",
+    "TrialResult",
+    "TrialSpec",
+    "campaign_names",
+    "classify_growth",
+    "execute_trial",
+    "expand_trials",
+    "get_campaign",
+    "group_records",
+    "growth_report",
+    "register_campaign",
+    "run_campaign",
+    "summarize",
+    "summary_table",
+    "sweep_axis",
+]

@@ -1,0 +1,199 @@
+"""Summary statistics and growth-shape fits over trial records.
+
+Works on plain dicts (what :class:`~repro.experiments.store.ResultStore`
+holds and :meth:`TrialResult.to_dict` emits), so it composes with
+stores, runner reports, and hand-built synthetic data alike.  This
+generalizes the ad-hoc ``log_fit_slope`` checks of
+:mod:`repro.metrics.records`: every paper claim is a *shape* (flat /
+logarithmic / polylogarithmic / linear), and :func:`classify_growth`
+fits all four shapes by least squares and reports the best.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.metrics.records import ResultTable, log_fit_slope
+
+Record = Mapping[str, object]
+
+#: Candidate growth shapes, simplest first: basis function f in the
+#: least-squares model ``y = a * f(x) + b``.
+_SHAPES: Tuple[Tuple[str, Callable[[float], float]], ...] = (
+    ("flat", lambda x: 0.0),
+    ("logarithmic", lambda x: math.log2(x)),
+    ("polylogarithmic", lambda x: math.log2(x) ** 2),
+    ("linear", lambda x: x),
+)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def group_records(
+    records: Sequence[Record], field: str
+) -> Dict[object, List[Record]]:
+    """Group records by a field value, preserving first-seen order."""
+    groups: Dict[object, List[Record]] = {}
+    for record in records:
+        groups.setdefault(record.get(field), []).append(record)
+    return groups
+
+
+def sweep_axis(records: Sequence[Record]) -> str:
+    """The first axis that actually varies across records.
+
+    Checked in order ``n``, ``k``, ``l``, ``seed``; defaults to ``n``.
+    """
+    for axis in ("n", "k", "l", "seed"):
+        if len({record.get(axis) for record in records}) > 1:
+            return axis
+    return "n"
+
+
+def summarize(
+    records: Sequence[Record],
+    x: str,
+    y: str = "rounds",
+    reduce: Callable[[Sequence[float]], float] = mean,
+) -> List[Tuple[object, float]]:
+    """Reduce ``y`` per distinct ``x`` value; rows sorted by ``x``."""
+    groups = group_records(records, x)
+    out: List[Tuple[object, float]] = []
+    for value in sorted(groups, key=lambda v: (v is None, v)):
+        ys = [float(r[y]) for r in groups[value] if r.get(y) is not None]
+        if ys:
+            out.append((value, reduce(ys)))
+    return out
+
+
+def _tidy(value: float) -> object:
+    """Render integral reductions as ints (tables stay readable)."""
+    return int(value) if float(value).is_integer() else value
+
+
+def summary_table(
+    records: Sequence[Record],
+    x: str,
+    columns: Sequence[str] = ("rounds",),
+    title: Optional[str] = None,
+    reduce: Callable[[Sequence[float]], float] = mean,
+) -> ResultTable:
+    """An aligned table of per-``x`` reductions of several columns."""
+    table = ResultTable(
+        title if title is not None else f"{'/'.join(columns)} vs {x}",
+        [x, *columns],
+    )
+    per_column = {c: dict(summarize(records, x, c, reduce)) for c in columns}
+    xs = sorted(
+        {value for series in per_column.values() for value in series},
+        key=lambda v: (v is None, v),
+    )
+    for value in xs:
+        table.add(
+            value,
+            *(
+                _tidy(per_column[c][value]) if value in per_column[c] else "-"
+                for c in columns
+            ),
+        )
+    return table
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """Best least-squares fit of ``y = a * f(x) + b`` over the shapes."""
+
+    shape: str
+    slope: float
+    intercept: float
+    rmse: float
+    r2: float
+
+    def describe(self) -> str:
+        """One-line human-readable description of the fit."""
+        return (
+            f"{self.shape} (a = {self.slope:.3f}, b = {self.intercept:.3f}, "
+            f"R^2 = {self.r2:.3f})"
+        )
+
+
+def _least_squares(
+    fs: Sequence[float], ys: Sequence[float]
+) -> Tuple[float, float, float]:
+    """Fit ``y = a * f + b``; returns ``(a, b, rmse)``."""
+    n = len(fs)
+    mean_f = sum(fs) / n
+    mean_y = sum(ys) / n
+    var = sum((f - mean_f) ** 2 for f in fs)
+    if var == 0:
+        a = 0.0
+    else:
+        a = sum((f - mean_f) * (y - mean_y) for f, y in zip(fs, ys)) / var
+    b = mean_y - a * mean_f
+    sse = sum((y - (a * f + b)) ** 2 for f, y in zip(fs, ys))
+    return a, b, math.sqrt(sse / n)
+
+
+def classify_growth(
+    xs: Sequence[float], ys: Sequence[float], tolerance: float = 0.05
+) -> Optional[GrowthFit]:
+    """Fit every candidate shape and return the best one.
+
+    Simpler shapes win ties: a shape is chosen over a more complex one
+    whenever its error is within ``tolerance`` (relative, plus a small
+    absolute epsilon) of the minimum.  Returns ``None`` when there are
+    fewer than three positive-``x`` points (underdetermined).
+    """
+    pairs = [(float(x), float(y)) for x, y in zip(xs, ys) if x > 0]
+    if len(pairs) < 3:
+        return None
+    pxs = [p[0] for p in pairs]
+    pys = [p[1] for p in pairs]
+    spread_y = max(pys) - min(pys)
+    fits: List[GrowthFit] = []
+    for name, basis in _SHAPES:
+        a, b, rmse = _least_squares([basis(x) for x in pxs], pys)
+        ss_tot = sum((y - sum(pys) / len(pys)) ** 2 for y in pys)
+        r2 = 1.0 if ss_tot == 0 else 1.0 - (rmse**2 * len(pys)) / ss_tot
+        fits.append(GrowthFit(shape=name, slope=a, intercept=b, rmse=rmse, r2=r2))
+    best_rmse = min(fit.rmse for fit in fits)
+    threshold = best_rmse * (1.0 + tolerance) + 1e-9 + 0.01 * spread_y * tolerance
+    for fit in fits:  # ordered simplest-first
+        if fit.rmse <= threshold:
+            return fit
+    return fits[-1]  # pragma: no cover - loop always returns
+
+
+def growth_report(
+    records: Sequence[Record], x: str, y: str = "rounds"
+) -> Optional[GrowthFit]:
+    """Classify the growth of mean ``y`` against ``x`` over records."""
+    rows = summarize(records, x, y)
+    numeric = [
+        (float(value), result)
+        for value, result in rows
+        if isinstance(value, (int, float))
+    ]
+    if len(numeric) < 3:
+        return None
+    return classify_growth([p[0] for p in numeric], [p[1] for p in numeric])
+
+
+__all__ = [
+    "GrowthFit",
+    "classify_growth",
+    "group_records",
+    "growth_report",
+    "log_fit_slope",
+    "mean",
+    "summarize",
+    "summary_table",
+    "sweep_axis",
+]

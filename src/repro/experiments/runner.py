@@ -1,0 +1,329 @@
+"""Campaign execution: expand specs into trials, run them in parallel.
+
+The runner is deliberately split in two layers:
+
+* :func:`execute_trial` — a pure, module-level function from
+  :class:`TrialSpec` to :class:`TrialResult`.  Being top-level makes it
+  picklable, so the same function body runs inline (``workers <= 1``)
+  and inside :class:`~concurrent.futures.ProcessPoolExecutor` workers.
+* :class:`CampaignRunner` — orchestration: cache lookups against a
+  :class:`~repro.experiments.store.ResultStore`, worker fan-out, and
+  progress reporting.
+
+Determinism: a trial's source/destination sampling seed is derived from
+its content hash (:meth:`TrialSpec.sampling_seed`), never from runner
+state, so serial and parallel runs produce bit-identical records.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.spec import ALL_NODES, CampaignSpec, TrialSpec, expand_trials
+from repro.experiments.store import ResultStore
+from repro.grid.coords import Node
+from repro.grid.oracle import structure_diameter
+from repro.grid.structure import AmoebotStructure
+from repro.sim.engine import CircuitEngine
+from repro.workloads.samplers import sample_sources_destinations, spread_nodes
+from repro.workloads.specs import build_structure
+
+
+@dataclass
+class TrialResult:
+    """Everything measured for one executed trial."""
+
+    key: str
+    scenario: str
+    shape: str
+    n: int
+    k: int
+    l: int
+    seed: int
+    algorithm: str
+    resolved: str
+    placement: str
+    rounds: int
+    forest_members: int
+    elapsed_s: float
+    diameter: Optional[int] = None
+    sections: Dict[str, int] = field(default_factory=dict)
+    cached: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flatten into the JSON-ready record the store persists."""
+        return {
+            "key": self.key,
+            "scenario": self.scenario,
+            "shape": self.shape,
+            "n": self.n,
+            "k": self.k,
+            "l": self.l,
+            "seed": self.seed,
+            "algorithm": self.algorithm,
+            "resolved": self.resolved,
+            "placement": self.placement,
+            "rounds": self.rounds,
+            "forest_members": self.forest_members,
+            "elapsed_s": self.elapsed_s,
+            "diameter": self.diameter,
+            "sections": dict(self.sections),
+            "cached": self.cached,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TrialResult":
+        """Rebuild from a stored record, ignoring unknown fields."""
+        known = {
+            "key", "scenario", "shape", "n", "k", "l", "seed", "algorithm",
+            "resolved", "placement", "rounds", "forest_members", "elapsed_s",
+            "diameter", "sections", "cached",
+        }
+        kwargs = {name: data[name] for name in known if name in data}
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+def _pick_endpoints(
+    structure: AmoebotStructure, trial: TrialSpec
+) -> Tuple[List[Node], List[Node]]:
+    """Choose sources and destinations per the trial's placement policy."""
+    ordered = sorted(structure.nodes)
+    n = len(ordered)
+    if trial.k > n:
+        raise ValueError(
+            f"trial {trial.key()}: k = {trial.k} exceeds structure size {n}"
+        )
+    want_all = trial.l == ALL_NODES
+    if not want_all and trial.k + trial.l > n:
+        # Reject rather than silently truncate: a record claiming l
+        # destinations must have been measured with exactly l.
+        raise ValueError(
+            f"trial {trial.key()}: cannot pick {trial.k}+{trial.l} "
+            f"disjoint nodes from {n}"
+        )
+
+    if trial.placement == "extremes":
+        sources = ordered[: trial.k]
+        destinations = list(ordered) if want_all else ordered[n - trial.l:]
+    elif trial.placement == "spread":
+        sources = spread_nodes(structure, trial.k)
+        if want_all:
+            destinations = list(ordered)
+        else:
+            chosen = set(sources)
+            destinations = [u for u in ordered if u not in chosen][: trial.l]
+    else:  # random
+        if want_all:
+            rng = random.Random(trial.sampling_seed())
+            sources = rng.sample(ordered, trial.k)
+            destinations = list(ordered)
+        else:
+            sources, destinations = sample_sources_destinations(
+                structure, trial.k, trial.l, seed=trial.sampling_seed()
+            )
+    if not destinations:
+        raise ValueError(f"trial {trial.key()}: no destinations (l = {trial.l})")
+    return sources, destinations
+
+
+def execute_trial(trial: TrialSpec) -> TrialResult:
+    """Run one trial and measure rounds, forest size and wall time."""
+    structure = build_structure(trial.shape)
+    sources, destinations = _pick_endpoints(structure, trial)
+    engine = CircuitEngine(structure)
+    resolved = trial.algorithm
+    start = time.perf_counter()
+
+    if trial.algorithm == "auto":
+        from repro.spf.api import solve_spf
+
+        solution = solve_spf(structure, sources, destinations, engine=engine)
+        members = len(solution.forest.members)
+        resolved = solution.algorithm
+    elif trial.algorithm == "spt":
+        from repro.spf.spt import shortest_path_tree
+
+        spt = shortest_path_tree(engine, structure, sources[0], destinations)
+        members = len(spt.members)
+    elif trial.algorithm == "forest":
+        from repro.spf.forest import shortest_path_forest
+
+        forest = shortest_path_forest(
+            engine,
+            structure,
+            sources,
+            destinations if trial.l != ALL_NODES else None,
+        )
+        members = len(forest.members)
+    elif trial.algorithm == "sequential":
+        from repro.baselines.sequential_merge import sequential_merge_forest
+
+        forest = sequential_merge_forest(engine, structure, sources)
+        members = len(forest.members)
+    elif trial.algorithm == "wave":
+        from repro.baselines.bfs_wave import bfs_wave_forest
+
+        forest = bfs_wave_forest(
+            engine, structure, set(sources), set(destinations)
+        )
+        members = len(forest.members)
+    else:  # pragma: no cover - spec validation rejects this earlier
+        raise ValueError(f"unknown algorithm {trial.algorithm!r}")
+
+    elapsed = time.perf_counter() - start
+    return TrialResult(
+        key=trial.key(),
+        scenario=trial.scenario,
+        shape=trial.shape,
+        n=len(structure),
+        k=trial.k,
+        l=trial.l,
+        seed=trial.seed,
+        algorithm=trial.algorithm,
+        resolved=resolved,
+        placement=trial.placement,
+        rounds=engine.rounds.total,
+        forest_members=members,
+        elapsed_s=round(elapsed, 6),
+        diameter=structure_diameter(structure) if trial.measure_diameter else None,
+        sections=dict(engine.rounds.breakdown()),
+    )
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one :meth:`CampaignRunner.run` invocation."""
+
+    campaign: str
+    results: List[TrialResult]
+    executed: int
+    cache_hits: int
+    elapsed_s: float
+
+    @property
+    def total(self) -> int:
+        """Total trials in the campaign (executed + cached)."""
+        return len(self.results)
+
+    def records(self) -> List[Dict[str, object]]:
+        """All results as plain dicts (aggregate-ready)."""
+        return [r.to_dict() for r in self.results]
+
+    def summary(self) -> str:
+        """One human-readable line: totals, cache hits, wall time."""
+        return (
+            f"campaign {self.campaign!r}: {self.total} trials, "
+            f"{self.executed} executed, {self.cache_hits} cache hits "
+            f"({self.elapsed_s:.2f}s)"
+        )
+
+
+ProgressFn = Callable[[TrialSpec, TrialResult, int, int], None]
+
+
+class CampaignRunner:
+    """Expands a campaign and executes its trials, possibly in parallel.
+
+    Parameters
+    ----------
+    store:
+        Result store consulted for cached trials and appended to as
+        trials complete.  Defaults to a fresh in-memory store.
+    workers:
+        ``<= 1`` runs inline; otherwise a ``ProcessPoolExecutor`` with
+        that many workers.  Results are identical either way.
+    """
+
+    def __init__(self, store: Optional[ResultStore] = None, workers: int = 1):
+        self.store = store if store is not None else ResultStore()
+        self.workers = max(1, int(workers))
+
+    def run(
+        self,
+        campaign: CampaignSpec,
+        resume: bool = True,
+        progress: Optional[ProgressFn] = None,
+    ) -> CampaignReport:
+        """Execute every trial of ``campaign`` not already in the store.
+
+        With ``resume=False`` cached records are ignored (and
+        overwritten in the store's in-memory view; the JSONL log keeps
+        both, last write wins on reload).
+        """
+        trials = expand_trials(campaign.trials())
+        started = time.perf_counter()
+        cached: Dict[str, TrialResult] = {}
+        todo: List[TrialSpec] = []
+        for trial in trials:
+            record = self.store.get(trial.key()) if resume else None
+            if record is not None:
+                # Cached results keep their originally recorded scenario
+                # label, so the report always matches the store contents
+                # (a hit may come from another campaign's scenario).
+                result = TrialResult.from_dict(record)
+                result.cached = True
+                cached[trial.key()] = result
+            else:
+                todo.append(trial)
+
+        fresh = self._execute(todo, progress, total=len(trials), done=len(cached))
+
+        results: List[TrialResult] = []
+        for trial in trials:
+            key = trial.key()
+            results.append(cached[key] if key in cached else fresh[key])
+        return CampaignReport(
+            campaign=campaign.name,
+            results=results,
+            executed=len(fresh),
+            cache_hits=len(cached),
+            elapsed_s=round(time.perf_counter() - started, 6),
+        )
+
+    def _execute(
+        self,
+        todo: Sequence[TrialSpec],
+        progress: Optional[ProgressFn],
+        total: int,
+        done: int,
+    ) -> Dict[str, TrialResult]:
+        out: Dict[str, TrialResult] = {}
+        if not todo:
+            return out
+
+        def record(trial: TrialSpec, result: TrialResult, done: int) -> None:
+            # Persist immediately so an interrupted campaign resumes
+            # from the last completed trial, not from scratch.
+            out[trial.key()] = result
+            self.store.add(result.to_dict())
+            if progress is not None:
+                progress(trial, result, done, total)
+
+        if self.workers == 1:
+            for trial in todo:
+                done += 1
+                record(trial, execute_trial(trial), done)
+            return out
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {pool.submit(execute_trial, trial): trial for trial in todo}
+            for future in as_completed(futures):
+                done += 1
+                record(futures[future], future.result(), done)
+        return out
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
+    resume: bool = True,
+    progress: Optional[ProgressFn] = None,
+) -> CampaignReport:
+    """Convenience wrapper: ``CampaignRunner(store, workers).run(...)``."""
+    return CampaignRunner(store=store, workers=workers).run(
+        campaign, resume=resume, progress=progress
+    )

@@ -1,0 +1,345 @@
+"""Declarative experiment specifications.
+
+A *campaign* is data, not code: a named list of scenarios, each of which
+describes a grid of (shape, n, k, l, seed, algorithm) configurations.
+Campaigns are plain dataclasses round-trippable through dicts/JSON, so a
+new experiment is a JSON file (or a registry entry), never an edit to a
+hardcoded loop.
+
+The cross product of one scenario's axes expands into
+:class:`TrialSpec` objects — one fully concrete configuration each.  A
+trial's identity is its *content hash* (:meth:`TrialSpec.key`): the
+same configuration always maps to the same key, which is what gives the
+result store caching and resume across runs, machines, and campaigns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+ALGORITHMS = ("auto", "spt", "forest", "sequential", "wave")
+PLACEMENTS = ("random", "spread", "extremes")
+
+#: ``l`` value meaning "every node is a destination" (the paper's SSSP
+#: setting, and the forest algorithm's default of no final pruning).
+ALL_NODES = 0
+
+
+class SpecError(ValueError):
+    """A scenario or campaign description is malformed."""
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One fully concrete experiment configuration.
+
+    ``shape`` is a CLI-style shape spec (``random:200:1``,
+    ``hexagon:4``, ...) as understood by
+    :func:`repro.workloads.build_structure`.  ``l == ALL_NODES`` selects
+    every node as a destination.
+    """
+
+    scenario: str
+    shape: str
+    k: int
+    l: int
+    seed: int
+    algorithm: str = "auto"
+    placement: str = "random"
+    measure_diameter: bool = False
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise SpecError(f"k must be positive, got {self.k}")
+        if self.l < ALL_NODES:
+            raise SpecError(f"l must be >= 0 (0 = all nodes), got {self.l}")
+        if self.algorithm not in ALGORITHMS:
+            raise SpecError(
+                f"unknown algorithm {self.algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        if self.placement not in PLACEMENTS:
+            raise SpecError(
+                f"unknown placement {self.placement!r}; expected one of {PLACEMENTS}"
+            )
+        if self.algorithm == "spt" and self.k != 1:
+            raise SpecError("algorithm 'spt' requires k = 1")
+        if self.algorithm == "sequential" and self.l != ALL_NODES:
+            # sequential_merge_forest spans the whole structure; a
+            # trial claiming l destinations would be mislabeled.
+            raise SpecError("algorithm 'sequential' requires l = 0 (all nodes)")
+
+    def config(self) -> Dict[str, object]:
+        """The identity-bearing configuration (scenario name excluded).
+
+        Two trials with equal configs are the same experiment even if
+        they appear under different scenario or campaign names — this is
+        what lets the store share cached results across campaigns.
+        """
+        return {
+            "shape": self.shape,
+            "k": self.k,
+            "l": self.l,
+            "seed": self.seed,
+            "algorithm": self.algorithm,
+            "placement": self.placement,
+            "measure_diameter": self.measure_diameter,
+        }
+
+    def key(self) -> str:
+        """Stable content hash of the configuration."""
+        blob = json.dumps(self.config(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
+
+    def sampling_seed(self) -> int:
+        """Deterministic per-trial seed for source/destination sampling.
+
+        Derived from the content hash so that every distinct
+        configuration samples independently, yet identically on every
+        run, process, and worker count.
+        """
+        digest = hashlib.blake2b(
+            self.key().encode("ascii"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") ^ self.seed
+
+    def to_dict(self) -> Dict[str, object]:
+        """Config plus scenario name, JSON-ready."""
+        out = dict(self.config())
+        out["scenario"] = self.scenario
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TrialSpec":
+        """Inverse of :meth:`to_dict`; rejects unknown fields."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"unknown trial fields: {sorted(unknown)}")
+        try:
+            return cls(**data)  # type: ignore[arg-type]
+        except TypeError as exc:
+            raise SpecError(f"bad trial spec: {exc}") from exc
+
+
+def _int_tuple(name: str, values: object) -> Tuple[int, ...]:
+    if isinstance(values, (int, float)) and not isinstance(values, bool):
+        values = [values]
+    if not isinstance(values, (list, tuple)):
+        raise SpecError(f"{name} must be an int or a list of ints")
+    out = []
+    for v in values:
+        if isinstance(v, bool) or not isinstance(v, int):
+            raise SpecError(f"{name} entries must be ints, got {v!r}")
+        out.append(v)
+    if not out:
+        raise SpecError(f"{name} must be non-empty")
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A grid of configurations sharing one shape template.
+
+    ``shape`` may contain a ``{n}`` placeholder; ``sizes`` supplies the
+    values substituted for it (and doubles as the sweep axis).  Without
+    a placeholder the scenario is a single-shape grid and ``sizes`` must
+    be empty.
+    """
+
+    name: str
+    shape: str
+    sizes: Tuple[int, ...] = ()
+    ks: Tuple[int, ...] = (1,)
+    ls: Tuple[int, ...] = (1,)
+    seeds: Tuple[int, ...] = (0,)
+    algorithm: str = "auto"
+    placement: str = "random"
+    measure_diameter: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("scenario name must be non-empty")
+        has_placeholder = "{n}" in self.shape
+        if has_placeholder and not self.sizes:
+            raise SpecError(
+                f"scenario {self.name!r}: shape template {self.shape!r} "
+                "has a {n} placeholder but no sizes"
+            )
+        if self.sizes and not has_placeholder:
+            raise SpecError(
+                f"scenario {self.name!r}: sizes given but shape "
+                f"{self.shape!r} has no {{n}} placeholder"
+            )
+        for attr in ("sizes", "ks", "ls", "seeds"):
+            object.__setattr__(self, attr, tuple(getattr(self, attr)))
+        if not self.ks or not self.ls or not self.seeds:
+            raise SpecError(f"scenario {self.name!r}: empty axis")
+        if self.algorithm not in ALGORITHMS:
+            raise SpecError(
+                f"scenario {self.name!r}: unknown algorithm "
+                f"{self.algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        if self.placement not in PLACEMENTS:
+            raise SpecError(
+                f"scenario {self.name!r}: unknown placement "
+                f"{self.placement!r}; expected one of {PLACEMENTS}"
+            )
+        if self.algorithm == "spt" and any(k != 1 for k in self.ks):
+            raise SpecError(
+                f"scenario {self.name!r}: algorithm 'spt' requires k = 1"
+            )
+        if self.algorithm == "sequential" and any(l != ALL_NODES for l in self.ls):
+            raise SpecError(
+                f"scenario {self.name!r}: algorithm 'sequential' requires "
+                "l = 0 (all nodes)"
+            )
+
+    def trials(self) -> List[TrialSpec]:
+        """Expand the grid into concrete trials (deduplicated, ordered)."""
+        shapes = (
+            [self.shape.replace("{n}", str(n)) for n in self.sizes]
+            if self.sizes
+            else [self.shape]
+        )
+        out: List[TrialSpec] = []
+        seen = set()
+        for shape in shapes:
+            for k in self.ks:
+                for l in self.ls:
+                    for seed in self.seeds:
+                        trial = TrialSpec(
+                            scenario=self.name,
+                            shape=shape,
+                            k=k,
+                            l=l,
+                            seed=seed,
+                            algorithm=self.algorithm,
+                            placement=self.placement,
+                            measure_diameter=self.measure_diameter,
+                        )
+                        if trial.key() not in seen:
+                            seen.add(trial.key())
+                            out.append(trial)
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "shape": self.shape,
+            "sizes": list(self.sizes),
+            "ks": list(self.ks),
+            "ls": list(self.ls),
+            "seeds": list(self.seeds),
+            "algorithm": self.algorithm,
+            "placement": self.placement,
+            "measure_diameter": self.measure_diameter,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioSpec":
+        """Parse and validate a scenario mapping (JSON-shaped)."""
+        if not isinstance(data, Mapping):
+            raise SpecError(f"scenario must be a mapping, got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"unknown scenario fields: {sorted(unknown)}")
+        if "name" not in data or "shape" not in data:
+            raise SpecError("scenario requires 'name' and 'shape'")
+        kwargs: Dict[str, object] = {
+            "name": data["name"],
+            "shape": data["shape"],
+        }
+        for axis in ("sizes", "ks", "ls", "seeds"):
+            if axis in data:
+                kwargs[axis] = _int_tuple(axis, data[axis])
+        for scalar in ("algorithm", "placement", "measure_diameter"):
+            if scalar in data:
+                kwargs[scalar] = data[scalar]
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, ordered collection of scenarios."""
+
+    name: str
+    scenarios: Tuple[ScenarioSpec, ...] = field(default_factory=tuple)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("campaign name must be non-empty")
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        if not self.scenarios:
+            raise SpecError(f"campaign {self.name!r} has no scenarios")
+        names = [s.name for s in self.scenarios]
+        if len(set(names)) != len(names):
+            raise SpecError(f"campaign {self.name!r} has duplicate scenario names")
+
+    def trials(self) -> List[TrialSpec]:
+        """All trials of all scenarios, in scenario order."""
+        out: List[TrialSpec] = []
+        for scenario in self.scenarios:
+            out.extend(scenario.trials())
+        return out
+
+    def trial_count(self) -> int:
+        """Number of distinct trials (deduplicated by content key)."""
+        return len(expand_trials(self.trials()))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize to the JSON format ``repro campaign --spec`` reads."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CampaignSpec":
+        """Parse and validate a campaign mapping (JSON-shaped)."""
+        if not isinstance(data, Mapping):
+            raise SpecError(f"campaign must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - {"name", "description", "scenarios"}
+        if unknown:
+            raise SpecError(f"unknown campaign fields: {sorted(unknown)}")
+        if "name" not in data:
+            raise SpecError("campaign requires a 'name'")
+        raw = data.get("scenarios", [])
+        if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+            raise SpecError("'scenarios' must be a list")
+        scenarios = tuple(ScenarioSpec.from_dict(s) for s in raw)
+        return cls(
+            name=data["name"],  # type: ignore[arg-type]
+            scenarios=scenarios,
+            description=data.get("description", ""),  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        """Parse a campaign from its JSON text."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"invalid campaign JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def expand_trials(specs: Iterable[TrialSpec]) -> List[TrialSpec]:
+    """Deduplicate trials across scenarios by content key, keeping order."""
+    seen = set()
+    out: List[TrialSpec] = []
+    for trial in specs:
+        if trial.key() not in seen:
+            seen.add(trial.key())
+            out.append(trial)
+    return out

@@ -1,0 +1,107 @@
+"""Persistent, append-only result store for campaign trials.
+
+Every completed trial is one JSON line keyed by the trial's content
+hash, in the spirit of an accountable append-only log: a campaign run
+never mutates history, it only appends.  Loading tolerates blank and
+corrupt lines (e.g. a run killed mid-write), so a store is always
+resumable; for duplicate keys the last record wins.
+
+A store constructed with ``path=None`` is purely in-memory — used by
+``repro sweep`` and by tests that do not need persistence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional
+
+
+class ResultStore:
+    """Dict-like view over a JSONL file of trial records.
+
+    Records are plain dicts that must carry a ``"key"`` entry (the
+    trial content hash, see :meth:`TrialSpec.key`).
+    """
+
+    def __init__(self, path: Optional[os.PathLike] = None):
+        self.path = Path(path) if path is not None else None
+        self._records: Dict[str, dict] = {}
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        assert self.path is not None
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from an interrupted run
+                if isinstance(record, dict) and "key" in record:
+                    self._records[record["key"]] = record
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def has(self, key: str) -> bool:
+        """Whether a result for this trial key is already recorded."""
+        return key in self._records
+
+    def get(self, key: str) -> Optional[dict]:
+        """The recorded result for ``key`` (a copy), or ``None``."""
+        record = self._records.get(key)
+        return dict(record) if record is not None else None
+
+    def keys(self) -> List[str]:
+        """All recorded trial keys."""
+        return list(self._records)
+
+    def records(self, scenario: Optional[str] = None) -> List[dict]:
+        """All records (copies), optionally filtered by scenario name."""
+        out = (dict(r) for r in self._records.values())
+        if scenario is None:
+            return list(out)
+        return [r for r in out if r.get("scenario") == scenario]
+
+    def scenarios(self) -> List[str]:
+        """Distinct scenario names present, sorted."""
+        return sorted(
+            {str(r.get("scenario")) for r in self._records.values() if "scenario" in r}
+        )
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.records())
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def add(self, record: Mapping[str, object]) -> None:
+        """Record one trial result, appending to the backing file."""
+        if "key" not in record:
+            raise ValueError("trial record must carry a 'key'")
+        record = dict(record)
+        self._records[str(record["key"])] = record
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+
+    def add_many(self, records: Iterator[Mapping[str, object]]) -> int:
+        """Record several results; returns how many were added."""
+        count = 0
+        for record in records:
+            self.add(record)
+            count += 1
+        return count

@@ -16,8 +16,11 @@ from repro.workloads.shapes import (
 )
 from repro.workloads.random_structures import random_hole_free, random_tree_like
 from repro.workloads.samplers import sample_sources_destinations, spread_nodes
+from repro.workloads.specs import build_structure, shape_names
 
 __all__ = [
+    "build_structure",
+    "shape_names",
     "line_structure",
     "parallelogram",
     "triangle",

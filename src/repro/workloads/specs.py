@@ -1,0 +1,73 @@
+"""Textual shape specs shared by the CLI and the experiment runner.
+
+A shape spec is a colon-separated string naming a generator and its
+integer arguments, e.g. ``hexagon:3``, ``random:200:7`` or
+``lollipop:2:10``.  Specs are how scenarios stay *data*: a campaign
+JSON file names structures without importing generator functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.grid.structure import AmoebotStructure
+from repro.workloads.random_structures import random_hole_free
+from repro.workloads.shapes import (
+    comb,
+    hexagon,
+    line_structure,
+    lollipop,
+    parallelogram,
+    staircase,
+    triangle,
+)
+
+
+def _random(n: int, seed: int = 0) -> AmoebotStructure:
+    return random_hole_free(n, seed=seed)
+
+
+def _dendrite(n: int, seed: int = 0) -> AmoebotStructure:
+    return random_hole_free(n, seed=seed, compactness=0.05)
+
+
+_GENERATORS: Dict[str, Callable[..., AmoebotStructure]] = {
+    "hexagon": hexagon,
+    "parallelogram": parallelogram,
+    "triangle": triangle,
+    "line": line_structure,
+    "comb": comb,
+    "staircase": staircase,
+    "lollipop": lollipop,
+    "random": _random,
+    "dendrite": _dendrite,
+}
+
+
+def shape_names() -> List[str]:
+    """Names accepted as the head of a shape spec."""
+    return sorted(_GENERATORS)
+
+
+def build_structure(spec: str) -> AmoebotStructure:
+    """Build a structure from a spec like ``hexagon:3`` or ``random:200:7``.
+
+    Supported: ``hexagon:R``, ``parallelogram:W:H``, ``triangle:S``,
+    ``line:N``, ``comb:T:L``, ``staircase:S:W``, ``lollipop:R:H``,
+    ``random:N[:SEED]``, ``dendrite:N[:SEED]``.
+
+    Raises :class:`ValueError` on an unknown name, non-integer
+    arguments, or a wrong argument count.
+    """
+    name, *args = spec.split(":")
+    generator = _GENERATORS.get(name)
+    if generator is None:
+        raise ValueError(f"unknown shape {name!r} (try one of {shape_names()})")
+    try:
+        values = [int(a) for a in args]
+    except ValueError as exc:
+        raise ValueError(f"non-integer argument in shape spec {spec!r}") from exc
+    try:
+        return generator(*values)
+    except TypeError as exc:
+        raise ValueError(f"bad arguments for shape {name!r}: {exc}") from exc

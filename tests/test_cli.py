@@ -28,6 +28,12 @@ class TestMakeStructure:
         make_structure("comb:3:2")
         make_structure("staircase:3:2")
 
+    def test_lollipop(self):
+        from repro.workloads import lollipop
+
+        assert make_structure("lollipop:2:10") == lollipop(2, 10)
+        assert len(make_structure("lollipop:2:10")) == 29
+
     def test_unknown_shape(self):
         with pytest.raises(SystemExit):
             make_structure("torus:3")
@@ -35,6 +41,10 @@ class TestMakeStructure:
     def test_bad_arity(self):
         with pytest.raises(SystemExit):
             make_structure("hexagon:1:2:3")
+
+    def test_non_integer_argument(self):
+        with pytest.raises(SystemExit):
+            make_structure("hexagon:big")
 
 
 class TestCommands:
@@ -72,3 +82,80 @@ class TestCommands:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCampaignCommand:
+    def test_list(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "spsp-small" in out
+        assert "trials" in out
+
+    def test_run_and_resume_cache_hits(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        spec = tmp_path / "campaign.json"
+        spec.write_text(
+            """
+            {"name": "cli-tiny", "scenarios": [
+                {"name": "hex", "shape": "hexagon:2",
+                 "ks": [1, 2], "ls": [2], "seeds": [0]}
+            ]}
+            """
+        )
+        assert main(
+            ["campaign", "run", "--spec", str(spec), "--store", store,
+             "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "executed 2, cache hits 0" in out
+        assert (tmp_path / "results.jsonl").exists()
+
+        assert main(
+            ["campaign", "resume", "--spec", str(spec), "--store", store]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "executed 0, cache hits 2" in out
+        assert "scenario 'hex'" in out
+
+    def test_run_builtin_by_name(self, tmp_path, capsys):
+        store = str(tmp_path / "spsp.jsonl")
+        assert main(
+            ["campaign", "run", "--name", "spsp-small", "--store", store,
+             "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "campaign 'spsp-small': 4 trials" in out
+        assert "scenario 'spsp'" in out
+
+    def test_summarize(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        spec = tmp_path / "campaign.json"
+        spec.write_text(
+            '{"name": "t", "scenarios": '
+            '[{"name": "hex", "shape": "hexagon:2", "ls": [2]}]}'
+        )
+        assert main(
+            ["campaign", "run", "--spec", str(spec), "--store", store,
+             "--quiet"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["campaign", "summarize", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "scenario 'hex'" in out
+
+    def test_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown campaign"):
+            main(["campaign", "run", "--name", "nope"])
+        with pytest.raises(SystemExit, match="required"):
+            main(["campaign", "run"])
+        with pytest.raises(SystemExit, match="resume"):
+            main(
+                ["campaign", "resume", "--name", "spsp-small", "--store",
+                 str(tmp_path / "absent.jsonl")]
+            )
+        with pytest.raises(SystemExit, match="no result store"):
+            main(["campaign", "summarize", "--store", str(tmp_path / "no.jsonl")])
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        with pytest.raises(SystemExit, match="bad campaign spec"):
+            main(["campaign", "run", "--spec", str(bad)])

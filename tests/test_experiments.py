@@ -1,0 +1,321 @@
+"""Tests for the experiment subsystem: specs, runner, store, aggregate."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments import (
+    CampaignSpec,
+    ResultStore,
+    ScenarioSpec,
+    SpecError,
+    TrialSpec,
+    campaign_names,
+    classify_growth,
+    execute_trial,
+    expand_trials,
+    get_campaign,
+    group_records,
+    growth_report,
+    run_campaign,
+    summarize,
+    summary_table,
+    sweep_axis,
+)
+
+TINY_CAMPAIGN = {
+    "name": "tiny",
+    "scenarios": [
+        {
+            "name": "hex",
+            "shape": "hexagon:{n}",
+            "sizes": [2, 3],
+            "ks": [1, 2],
+            "ls": [2],
+            "seeds": [0],
+        },
+    ],
+}
+
+
+class TestSpecParsing:
+    def test_round_trip_json(self):
+        campaign = CampaignSpec.from_dict(TINY_CAMPAIGN)
+        again = CampaignSpec.from_json(campaign.to_json())
+        assert again == campaign
+        assert again.trial_count() == 4
+
+    def test_scenario_defaults(self):
+        scenario = ScenarioSpec.from_dict({"name": "s", "shape": "hexagon:2"})
+        assert scenario.trials()[0].algorithm == "auto"
+        assert scenario.trials()[0].k == 1
+
+    def test_scalar_axis_promoted(self):
+        scenario = ScenarioSpec.from_dict(
+            {"name": "s", "shape": "hexagon:{n}", "sizes": 3, "ks": 2}
+        )
+        assert scenario.sizes == (3,)
+        assert scenario.ks == (2,)
+
+    @pytest.mark.parametrize(
+        "data,fragment",
+        [
+            ({"name": "s", "shape": "hexagon:2", "sizes": [2]}, "placeholder"),
+            ({"name": "s", "shape": "hexagon:{n}"}, "no sizes"),
+            ({"name": "s", "shape": "hexagon:2", "bogus": 1}, "unknown scenario"),
+            ({"shape": "hexagon:2"}, "requires"),
+            ({"name": "s", "shape": "hexagon:2", "ks": []}, "non-empty"),
+            ({"name": "s", "shape": "hexagon:2", "ks": ["two"]}, "ints"),
+            ({"name": "s", "shape": "hexagon:2", "algorithm": "magic"}, "algorithm"),
+            (
+                {"name": "s", "shape": "hexagon:2", "ks": [2], "algorithm": "spt"},
+                "requires k = 1",
+            ),
+            (
+                {"name": "s", "shape": "hexagon:2", "placement": "corners"},
+                "placement",
+            ),
+            (
+                {"name": "s", "shape": "hexagon:2", "ls": [3],
+                 "algorithm": "sequential"},
+                "requires l = 0",
+            ),
+        ],
+    )
+    def test_bad_scenarios_rejected(self, data, fragment):
+        with pytest.raises(SpecError, match=fragment):
+            ScenarioSpec.from_dict(data)
+
+    def test_bad_campaigns_rejected(self):
+        with pytest.raises(SpecError, match="no scenarios"):
+            CampaignSpec.from_dict({"name": "empty"})
+        with pytest.raises(SpecError, match="duplicate"):
+            CampaignSpec.from_dict(
+                {
+                    "name": "dup",
+                    "scenarios": [
+                        {"name": "s", "shape": "hexagon:2"},
+                        {"name": "s", "shape": "hexagon:3"},
+                    ],
+                }
+            )
+        with pytest.raises(SpecError, match="JSON"):
+            CampaignSpec.from_json("{not json")
+        with pytest.raises(SpecError, match="unknown campaign fields"):
+            CampaignSpec.from_dict(
+                {
+                    "name": "x",
+                    "extra": 1,
+                    "scenarios": [{"name": "s", "shape": "hexagon:2"}],
+                }
+            )
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(SpecError, match="k must be positive"):
+            TrialSpec(scenario="s", shape="hexagon:2", k=0, l=1, seed=0)
+        with pytest.raises(SpecError, match="l must be"):
+            TrialSpec(scenario="s", shape="hexagon:2", k=1, l=-1, seed=0)
+
+
+class TestTrialKeys:
+    def test_key_is_content_hash(self):
+        a = TrialSpec(scenario="a", shape="hexagon:2", k=1, l=1, seed=0)
+        b = TrialSpec(scenario="b", shape="hexagon:2", k=1, l=1, seed=0)
+        c = TrialSpec(scenario="a", shape="hexagon:2", k=1, l=1, seed=1)
+        assert a.key() == b.key()  # scenario name is not identity
+        assert a.key() != c.key()
+
+    def test_sampling_seed_deterministic(self):
+        t = TrialSpec(scenario="s", shape="hexagon:3", k=2, l=2, seed=7)
+        assert t.sampling_seed() == t.sampling_seed()
+        other = TrialSpec(scenario="s", shape="hexagon:3", k=2, l=2, seed=8)
+        assert t.sampling_seed() != other.sampling_seed()
+
+    def test_expand_trials_dedupes_across_scenarios(self):
+        a = ScenarioSpec(name="a", shape="hexagon:2")
+        b = ScenarioSpec(name="b", shape="hexagon:2")
+        trials = expand_trials([*a.trials(), *b.trials()])
+        assert len(trials) == 1
+
+
+class TestRunner:
+    def test_execute_trial_measures(self):
+        trial = TrialSpec(
+            scenario="s", shape="hexagon:2", k=2, l=2, seed=0,
+            measure_diameter=True,
+        )
+        result = execute_trial(trial)
+        assert result.key == trial.key()
+        assert result.n == 19
+        assert result.rounds > 0
+        assert result.resolved == "forest"
+        assert result.forest_members >= 2
+        assert result.diameter == 4
+        assert result.sections
+
+    @pytest.mark.parametrize("placement", ["extremes", "spread", "random"])
+    def test_oversized_l_rejected_not_truncated(self, placement):
+        trial = TrialSpec(
+            scenario="s", shape="hexagon:1", k=1, l=50, seed=0,
+            placement=placement,
+        )
+        with pytest.raises(ValueError, match="cannot pick"):
+            execute_trial(trial)
+
+    def test_parallel_matches_serial(self):
+        campaign = CampaignSpec.from_dict(TINY_CAMPAIGN)
+        serial = run_campaign(campaign, workers=1)
+        parallel = run_campaign(campaign, workers=2)
+        assert serial.total == parallel.total == 4
+
+        def comparable(report):
+            rows = []
+            for record in report.records():
+                record.pop("elapsed_s")
+                record.pop("cached")
+                rows.append(record)
+            return sorted(rows, key=lambda r: r["key"])
+
+        assert comparable(serial) == comparable(parallel)
+
+    def test_resume_skips_cached_trials(self, tmp_path):
+        campaign = CampaignSpec.from_dict(TINY_CAMPAIGN)
+        path = tmp_path / "tiny.jsonl"
+        first = run_campaign(campaign, store=ResultStore(path))
+        assert first.executed == 4 and first.cache_hits == 0
+        rerun = run_campaign(campaign, store=ResultStore(path))
+        assert rerun.executed == 0 and rerun.cache_hits == 4
+        assert all(r.cached for r in rerun.results)
+        assert comparable_rounds(first) == comparable_rounds(rerun)
+
+    def test_fresh_run_ignores_cache(self, tmp_path):
+        campaign = CampaignSpec.from_dict(TINY_CAMPAIGN)
+        store = ResultStore(tmp_path / "tiny.jsonl")
+        run_campaign(campaign, store=store)
+        again = run_campaign(campaign, store=store, resume=False)
+        assert again.executed == 4 and again.cache_hits == 0
+
+    def test_interrupted_run_resumes_from_last_trial(self, tmp_path):
+        campaign = CampaignSpec.from_dict(TINY_CAMPAIGN)
+        path = tmp_path / "tiny.jsonl"
+
+        def bomb(trial, result, done, total):
+            if done == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(campaign, store=ResultStore(path), progress=bomb)
+        assert len(ResultStore(path)) == 2  # completed trials were persisted
+        rerun = run_campaign(campaign, store=ResultStore(path))
+        assert rerun.cache_hits == 2 and rerun.executed == 2
+
+    def test_progress_callback(self):
+        campaign = CampaignSpec.from_dict(TINY_CAMPAIGN)
+        seen = []
+        run_campaign(
+            campaign, progress=lambda t, r, done, total: seen.append((done, total))
+        )
+        assert sorted(seen) == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+
+def comparable_rounds(report):
+    return sorted((r.key, r.rounds, r.forest_members) for r in report.results)
+
+
+class TestStore:
+    def test_in_memory_store(self):
+        store = ResultStore()
+        store.add({"key": "k1", "rounds": 3, "scenario": "s"})
+        assert store.has("k1") and len(store) == 1
+        assert store.get("k1")["rounds"] == 3
+        assert store.get("missing") is None
+
+    def test_requires_key(self):
+        with pytest.raises(ValueError, match="key"):
+            ResultStore().add({"rounds": 3})
+
+    def test_persistence_and_corrupt_lines(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.add({"key": "a", "rounds": 1, "scenario": "x"})
+        store.add({"key": "b", "rounds": 2, "scenario": "y"})
+        with path.open("a") as handle:
+            handle.write("{torn-write\n\n")
+            handle.write(json.dumps({"key": "a", "rounds": 9, "scenario": "x"}) + "\n")
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 2
+        assert reloaded.get("a")["rounds"] == 9  # last write wins
+        assert reloaded.scenarios() == ["x", "y"]
+        assert [r["key"] for r in reloaded.records(scenario="y")] == ["b"]
+
+
+class TestAggregate:
+    def test_summarize_means(self):
+        records = [
+            {"n": 10, "rounds": 4},
+            {"n": 10, "rounds": 6},
+            {"n": 20, "rounds": 10},
+        ]
+        assert summarize(records, x="n") == [(10, 5.0), (20, 10.0)]
+
+    def test_group_and_axis(self):
+        records = [
+            {"scenario": "a", "n": 10, "k": 1, "rounds": 1},
+            {"scenario": "b", "n": 10, "k": 2, "rounds": 2},
+        ]
+        assert set(group_records(records, "scenario")) == {"a", "b"}
+        assert sweep_axis(records) == "k"
+
+    def test_summary_table_renders(self):
+        records = [{"n": 10, "rounds": 4}, {"n": 20, "rounds": 8}]
+        text = summary_table(records, x="n", title="demo").render()
+        assert "demo" in text and "10" in text and "8" in text
+
+    @pytest.mark.parametrize(
+        "fn,expected",
+        [
+            (lambda x: 7.0, "flat"),
+            (lambda x: 3 * math.log2(x) + 5, "logarithmic"),
+            (lambda x: 4 * math.log2(x) ** 2 + 1, "polylogarithmic"),
+            (lambda x: 2 * x + 3, "linear"),
+        ],
+    )
+    def test_classify_growth_shapes(self, fn, expected):
+        xs = [50, 100, 200, 400, 800]
+        fit = classify_growth(xs, [fn(x) for x in xs])
+        assert fit is not None and fit.shape == expected
+
+    def test_classify_growth_underdetermined(self):
+        assert classify_growth([10, 20], [1, 2]) is None
+
+    def test_growth_report_over_records(self):
+        records = [
+            {"n": n, "rounds": 3 * math.log2(n) + 2} for n in (64, 128, 256, 512)
+        ]
+        fit = growth_report(records, x="n")
+        assert fit.shape == "logarithmic"
+        assert fit.slope == pytest.approx(3.0)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = campaign_names()
+        for expected in ("spsp-small", "sssp-small", "forest-small", "forest",
+                         "ablations", "shapes"):
+            assert expected in names
+
+    def test_builtin_trial_counts(self):
+        assert get_campaign("forest").trial_count() >= 12
+        assert get_campaign("shapes").trial_count() >= 12
+        assert get_campaign("spsp-small").trial_count() == 4
+
+    def test_unknown_campaign(self):
+        with pytest.raises(KeyError, match="unknown campaign"):
+            get_campaign("nope")
+
+    def test_all_builtins_expand(self):
+        for name in campaign_names():
+            trials = get_campaign(name).trials()
+            assert trials, name
+            assert len({t.key() for t in trials}) == len(trials)
