@@ -3,20 +3,29 @@
 Chain length swept over three orders of magnitude; the measured
 iteration count must track ceil(log2 m) + 1 exactly and rounds must be
 exactly twice the iterations.
+
+This bench also guards the layout-reuse contract: one PASC execution
+must perform exactly one from-scratch layout build (iteration 0) and at
+most one component computation per iteration — a regression to
+per-iteration rebuilds fails the assertions below.  CI runs the bench
+in quick mode (``BENCH_QUICK=1`` shrinks the sweep) as a perf smoke.
 """
 
 import math
+import os
 
 from repro.grid.coords import Node
 from repro.metrics.records import ResultTable
 from repro.pasc.chain import PascChainRun, chain_links_for_nodes
 from repro.pasc.runner import run_pasc
+from repro.sim.circuits import LAYOUT_STATS
 from repro.sim.engine import CircuitEngine
 from repro.workloads import line_structure
 
 from benchmarks.conftest import emit
 
-LENGTHS = (4, 16, 64, 256, 1024)
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+LENGTHS = (4, 16, 256) if QUICK else (4, 16, 64, 256, 1024)
 
 
 def pasc_run(length: int):
@@ -24,7 +33,19 @@ def pasc_run(length: int):
     nodes = [Node(i, 0) for i in range(length)]
     engine = CircuitEngine(structure)
     run = PascChainRun([(u, "") for u in nodes], chain_links_for_nodes(nodes))
+    LAYOUT_STATS.reset()
     result = run_pasc(engine, [run])
+    # Layout-reuse contract: one full build for the initial wiring, then
+    # at most one (incremental) component computation per distinct
+    # wiring — never a from-scratch rebuild per iteration.
+    assert LAYOUT_STATS.full_builds <= 1, (
+        f"PASC performed {LAYOUT_STATS.full_builds} from-scratch layout "
+        "builds; the layout-reuse contract allows one"
+    )
+    assert LAYOUT_STATS.total_builds() <= result.iterations, (
+        f"{LAYOUT_STATS.total_builds()} component builds for "
+        f"{result.iterations} distinct wirings; layouts are being rebuilt"
+    )
     assert run.node_values() == {u: i for i, u in enumerate(nodes)}
     return result
 

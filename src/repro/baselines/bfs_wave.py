@@ -45,15 +45,26 @@ def bfs_wave_forest(
     pending = set(dest_set) - source_set
 
     # Singleton pin configuration: one partition set per incident link.
-    layout = engine.new_layout()
-    for u in structure:
-        for d in structure.occupied_directions(u):
-            layout.assign(u, f"wave:{d.name}", [(d, 0)])
-    layout.freeze()
+    # The wiring never changes, so the layout is built once (and cached
+    # on the engine for repeated waves over the same structure).
+    def build_wave_layout():
+        layout = engine.new_layout()
+        for u in structure:
+            for d in structure.occupied_directions(u):
+                layout.assign(u, f"wave:{d.name}", [(d, 0)])
+        layout.freeze()
+        return layout
+
+    # The key carries the node set: callers may run waves over
+    # sub-structures of the engine's structure.
+    layout = engine.layouts.get_or_build(
+        ("bfs-wave", 0, structure.nodes), build_wave_layout
+    )
 
     parent: Dict[Node, Node] = {}
     reached: Set[Node] = set(source_set)
     frontier: Set[Node] = set(source_set)
+    unreached: Set[Node] = set(structure.nodes) - reached
 
     with engine.rounds.section(section):
         while pending:
@@ -63,17 +74,23 @@ def bfs_wave_forest(
                     beeps.append((u, f"wave:{d.name}"))
             if not beeps:
                 raise AssertionError("wave died before covering all destinations")
-            received = engine.run_round(layout, beeps)
+            # Only unreached amoebots read their link sets; the heard
+            # region shrinks as the wave advances.
+            listen = [
+                (u, f"wave:{d.name}")
+                for u in unreached
+                for d in structure.occupied_directions(u)
+            ]
+            received = engine.run_round(layout, beeps, listen=listen)
             new_frontier: Set[Node] = set()
-            for u in structure:
-                if u in reached:
-                    continue
+            for u in unreached:
                 for d in structure.occupied_directions(u):
                     if received.get((u, f"wave:{d.name}"), False):
                         parent[u] = u.neighbor(d)
                         new_frontier.add(u)
                         break
             reached |= new_frontier
+            unreached -= new_frontier
             pending -= new_frontier
             frontier = new_frontier
         # Termination announcement on a global circuit.

@@ -53,29 +53,30 @@ def elect_first_marked_many(
     if not requests:
         return []
     with engine.rounds.section(section):
-        layout = engine.new_layout()
-        for request in requests:
-            tour, marked = request.tour, request.marked
-            # Unit i joins its incoming wire and, unless e_i is marked,
-            # its outgoing wire into one partition set: subpath circuits.
-            for i, (node, uid) in enumerate(tour.units):
-                label = f"{tag}:{uid}"
-                pins = []
-                if i > 0:
-                    u, v = tour.edges[i - 1]
-                    d = u.direction_to(v)
-                    pch, _ = _channels_for(d)
-                    pins.append((opposite(d), pch))
-                if i < len(tour.edges) and tour.edges[i] not in marked:
-                    u, v = tour.edges[i]
-                    d = u.direction_to(v)
-                    pch, _ = _channels_for(d)
-                    pins.append((d, pch))
-                layout.assign(node, label, pins)
-        layout.freeze()
+        # The wiring is fully determined by the tours and their marked
+        # edges; deterministic algorithms (the recomputed decomposition
+        # tree, repeated merge levels) re-issue identical elections, so
+        # the layout is memoized in the engine's cache.
+        key = (
+            "elect", tag,
+            tuple(
+                (tuple(r.tour.edges), tuple(sorted(r.marked))) for r in requests
+            ),
+        )
+        layout = engine.layouts.get_or_build(
+            key, lambda: _election_layout(engine, requests, tag)
+        )
 
         beeps = [(request.tour.root, f"{tag}:0") for request in requests]
-        received = engine.run_round(layout, beeps)
+        # Only the candidate units (marked outgoing edge) ever read the
+        # result, so only their sets are materialized.
+        listen = [
+            (node, f"{tag}:{uid}")
+            for request in requests
+            for i, (node, uid) in enumerate(request.tour.units)
+            if i < len(request.tour.edges) and request.tour.edges[i] in request.marked
+        ]
+        received = engine.run_round(layout, beeps, listen=listen)
 
     winners: List[Node] = []
     for request in requests:
@@ -94,6 +95,33 @@ def elect_first_marked_many(
             raise AssertionError("no unit identified itself as elected")
         winners.append(winner)
     return winners
+
+
+def _election_layout(
+    engine: CircuitEngine, requests: Sequence[ElectionRequest], tag: str
+):
+    """Build the shared subpath-circuit layout of all requests."""
+    layout = engine.new_layout()
+    for request in requests:
+        tour, marked = request.tour, request.marked
+        # Unit i joins its incoming wire and, unless e_i is marked,
+        # its outgoing wire into one partition set: subpath circuits.
+        for i, (node, uid) in enumerate(tour.units):
+            label = f"{tag}:{uid}"
+            pins = []
+            if i > 0:
+                u, v = tour.edges[i - 1]
+                d = u.direction_to(v)
+                pch, _ = _channels_for(d)
+                pins.append((opposite(d), pch))
+            if i < len(tour.edges) and tour.edges[i] not in marked:
+                u, v = tour.edges[i]
+                d = u.direction_to(v)
+                pch, _ = _channels_for(d)
+                pins.append((d, pch))
+            layout.assign(node, label, pins)
+    layout.freeze()
+    return layout
 
 
 def elect_first_marked(

@@ -43,6 +43,10 @@ class ResultStore:
                 except json.JSONDecodeError:
                     continue  # torn write from an interrupted run
                 if isinstance(record, dict) and "key" in record:
+                    # Normalize exactly like add(): a non-string key must
+                    # index under the same string before and after a
+                    # restart, or resume silently re-runs finished trials.
+                    record["key"] = str(record["key"])
                     self._records[record["key"]] = record
 
     # ------------------------------------------------------------------
@@ -52,15 +56,18 @@ class ResultStore:
         return len(self._records)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._records
+        return str(key) in self._records
 
     def has(self, key: str) -> bool:
-        """Whether a result for this trial key is already recorded."""
-        return key in self._records
+        """Whether a result for this trial key is already recorded.
+
+        Keys are normalized to ``str``, matching :meth:`add`/loading.
+        """
+        return str(key) in self._records
 
     def get(self, key: str) -> Optional[dict]:
         """The recorded result for ``key`` (a copy), or ``None``."""
-        record = self._records.get(key)
+        record = self._records.get(str(key))
         return dict(record) if record is not None else None
 
     def keys(self) -> List[str]:
@@ -87,11 +94,16 @@ class ResultStore:
     # writes
     # ------------------------------------------------------------------
     def add(self, record: Mapping[str, object]) -> None:
-        """Record one trial result, appending to the backing file."""
+        """Record one trial result, appending to the backing file.
+
+        The trial key is normalized to ``str`` both in memory and on
+        disk, so lookups behave identically before and after a reload.
+        """
         if "key" not in record:
             raise ValueError("trial record must carry a 'key'")
         record = dict(record)
-        self._records[str(record["key"])] = record
+        record["key"] = str(record["key"])
+        self._records[record["key"]] = record
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with self.path.open("a", encoding="utf-8") as handle:

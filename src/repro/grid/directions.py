@@ -92,19 +92,24 @@ _OFFSET_DIRECTION: Dict[Tuple[int, int], Direction] = {
 }
 
 
+#: Rotation tables: enum construction (``Direction(i)``) is surprisingly
+#: expensive and these helpers sit on the simulator's hottest paths.
+_ROTATED: List[Direction] = [Direction(i % 6) for i in range(12)]
+
+
 def opposite(direction: Direction) -> Direction:
     """Return the direction pointing the opposite way."""
-    return Direction((direction + 3) % 6)
+    return _ROTATED[direction + 3]
 
 
 def counterclockwise(direction: Direction, steps: int = 1) -> Direction:
     """Rotate a direction counterclockwise by ``steps`` sixths of a turn."""
-    return Direction((direction + steps) % 6)
+    return _ROTATED[(direction + steps) % 6]
 
 
 def clockwise(direction: Direction, steps: int = 1) -> Direction:
     """Rotate a direction clockwise by ``steps`` sixths of a turn."""
-    return Direction((direction - steps) % 6)
+    return _ROTATED[(direction - steps) % 6]
 
 
 def direction_between(src: Tuple[int, int], dst: Tuple[int, int]) -> Direction:
@@ -119,6 +124,11 @@ def direction_between(src: Tuple[int, int], dst: Tuple[int, int]) -> Direction:
         raise ValueError(f"nodes {src} and {dst} are not adjacent") from None
 
 
+_CCW_ORDERS: Dict[Direction, Tuple[Direction, ...]] = {
+    d: tuple(_ROTATED[(d + i) % 6] for i in range(6)) for d in Direction
+}
+
+
 def all_directions_ccw(start: Direction = Direction.E) -> List[Direction]:
     """All six directions in counterclockwise order starting at ``start``."""
-    return [counterclockwise(start, i) for i in range(6)]
+    return list(_CCW_ORDERS[start])

@@ -37,6 +37,7 @@ class AmoebotStructure:
             raise StructureError("amoebot structure must be non-empty")
         self._nodes: FrozenSet[Node] = node_set
         self._neighbor_cache: Dict[Node, Tuple[Node, ...]] = {}
+        self._direction_cache: Dict[Node, Tuple[Direction, ...]] = {}
         if not self._is_connected():
             raise StructureError("amoebot structure must be connected")
         if require_hole_free:
@@ -96,8 +97,18 @@ class AmoebotStructure:
         return node.neighbor(direction) in self._nodes
 
     def occupied_directions(self, node: Node) -> List[Direction]:
-        """Directions toward occupied neighbors, counterclockwise order."""
-        return [d for d in all_directions_ccw() if self.has_neighbor(node, d)]
+        """Directions toward occupied neighbors, counterclockwise order.
+
+        Cached per node (the structure is immutable): layout construction
+        asks for these on every amoebot, often once per wiring.
+        """
+        cached = self._direction_cache.get(node)
+        if cached is None:
+            cached = tuple(
+                d for d in all_directions_ccw() if self.has_neighbor(node, d)
+            )
+            self._direction_cache[node] = cached
+        return list(cached)
 
     def edges(self) -> List[Tuple[Node, Node]]:
         """All undirected edges of :math:`G_X` (each listed once)."""

@@ -109,11 +109,20 @@ class PascChainRun:
         self._active = [w == 1 for w in self.weights]
         self._value = [0] * len(units)
         self._iteration = 0
+        #: Units whose activity flipped in the last absorb(); exactly
+        #: these change their outgoing-link wiring for the next
+        #: iteration (the layout-reuse contract's "touched region").
+        self._flipped: List[int] = []
         seen = set()
         for unit in self.units:
             if unit in seen:
                 raise ValueError(f"duplicate unit {unit}")
             seen.add(unit)
+        # Static part of the wiring fingerprint; the dynamic part is the
+        # per-unit activity snapshot (see wiring_key()).
+        self._wiring_base = (
+            "chain", self.tag, tuple(self.units), tuple(self.links),
+        )
 
     # ------------------------------------------------------------------
     # labels
@@ -137,34 +146,65 @@ class PascChainRun:
         """No participant is active: all further bits are zero."""
         return not any(self._active)
 
-    def contribute_layout(self, layout: CircuitLayout) -> None:
-        """Wire this iteration's primary/secondary circuits into ``layout``.
+    def _unit_wiring(
+        self, i: int
+    ) -> Tuple[List[Tuple[Direction, int]], List[Tuple[Direction, int]]]:
+        """Primary/secondary pin lists of unit ``i`` for its current state.
 
         Unit ``i`` owns the wiring of its *outgoing* link ``links[i]``:
         straight when passive, crossed when active.  Incoming links are
         always joined straight to the unit's own sets.
         """
+        p_pins: List[Tuple[Direction, int]] = []
+        s_pins: List[Tuple[Direction, int]] = []
+        if i > 0:
+            link = self.links[i - 1]
+            back = opposite(link.direction)
+            p_pins.append((back, link.primary_channel))
+            s_pins.append((back, link.secondary_channel))
+        if i < len(self.links):
+            link = self.links[i]
+            if self._active[i]:
+                # Crossed: the primary set drives the secondary wire.
+                p_pins.append((link.direction, link.secondary_channel))
+                s_pins.append((link.direction, link.primary_channel))
+            else:
+                p_pins.append((link.direction, link.primary_channel))
+                s_pins.append((link.direction, link.secondary_channel))
+        return p_pins, s_pins
+
+    def contribute_layout(self, layout: CircuitLayout) -> None:
+        """Wire this iteration's primary/secondary circuits into ``layout``."""
         for i, (node, _) in enumerate(self.units):
-            p_label = self._label(i, "p")
-            s_label = self._label(i, "s")
-            p_pins: List[Tuple[Direction, int]] = []
-            s_pins: List[Tuple[Direction, int]] = []
-            if i > 0:
-                link = self.links[i - 1]
-                back = opposite(link.direction)
-                p_pins.append((back, link.primary_channel))
-                s_pins.append((back, link.secondary_channel))
-            if i < len(self.links):
-                link = self.links[i]
-                if self._active[i]:
-                    # Crossed: the primary set drives the secondary wire.
-                    p_pins.append((link.direction, link.secondary_channel))
-                    s_pins.append((link.direction, link.primary_channel))
-                else:
-                    p_pins.append((link.direction, link.primary_channel))
-                    s_pins.append((link.direction, link.secondary_channel))
+            p_pins, s_pins = self._unit_wiring(i)
+            layout.assign(node, self._label(i, "p"), p_pins)
+            layout.assign(node, self._label(i, "s"), s_pins)
+        self._flipped = []
+
+    def rewire_layout(self, layout: CircuitLayout) -> None:
+        """Reassign only the units whose wiring changed since the last
+        contribute/rewire (a derived layout recomputes just their circuits)."""
+        for i in self._flipped:
+            if i >= len(self.links):
+                continue  # the last unit has no outgoing link to re-cross
+            node = self.units[i][0]
+            p_label, s_label = self._label(i, "p"), self._label(i, "s")
+            # Release the pair first: un-crossing swaps the channels of
+            # the same physical pins between the two sets.
+            layout.release(node, p_label)
+            layout.release(node, s_label)
+            p_pins, s_pins = self._unit_wiring(i)
             layout.assign(node, p_label, p_pins)
             layout.assign(node, s_label, s_pins)
+        self._flipped = []
+
+    def listen_sets(self) -> List[PartitionSetId]:
+        """The partition sets absorb() reads: every unit's secondary set."""
+        return [self.secondary_set(i) for i in range(len(self.units))]
+
+    def wiring_key(self) -> Tuple:
+        """Hashable snapshot determining this run's current wiring."""
+        return (self._wiring_base, tuple(self._active))
 
     def beeps(self) -> List[PartitionSetId]:
         """The chain's first unit beeps on its primary set."""
@@ -173,6 +213,7 @@ class PascChainRun:
     def absorb(self, received: Dict[PartitionSetId, bool]) -> None:
         """Read this iteration's bit at every unit and update activity."""
         bit_index = self._iteration
+        flipped: List[int] = []
         for i in range(len(self.units)):
             heard_secondary = received.get(self.secondary_set(i), False)
             if heard_secondary:
@@ -182,6 +223,8 @@ class PascChainRun:
                 # units with bits 0..t all 1 stay active, preserving the
                 # parity invariant for the next iteration.
                 self._active[i] = False
+                flipped.append(i)
+        self._flipped = flipped
         self._iteration += 1
 
     def active_units(self) -> List[Unit]:

@@ -9,12 +9,27 @@ of Padalkin et al. [26]):
 2. the structure forms a global circuit on a reserved channel and every
    still-active participant beeps; silence tells all amoebots that every
    run has finished (all remaining bits are zero).
+
+The pin configuration barely changes between iterations — only units
+whose activity flipped re-cross their outgoing links — so the runner
+honors the layout-reuse contract of :mod:`repro.sim.circuits`: the full
+layout (including the never-changing global termination circuit) is
+built and frozen **once**, and every subsequent iteration *derives* it,
+re-wiring only the flipped units and recomputing only the touched
+circuits.  When every run exposes a wiring key, the *initial* layout is
+additionally memoized in the engine's layout cache, so deterministic
+algorithms that re-execute identical PASC runs (e.g. the recomputed
+decomposition tree of the forest algorithm) skip the one full build as
+well.  Only iteration 0 is cached on purpose: per-iteration activity
+snapshots would insert a never-repeating key per iteration, churning the
+LRU out of its genuinely reusable entries and pinning structure-sized
+layout copies, while derivation already makes iterations 1+ cheap.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Protocol, Sequence
+from typing import List, Optional, Protocol, Sequence, Tuple
 
 from repro.sim.circuits import CircuitLayout
 from repro.sim.engine import CircuitEngine
@@ -22,7 +37,20 @@ from repro.sim.pins import PartitionSetId
 
 
 class PascRun(Protocol):
-    """Protocol shared by chain and tree runs (and ETT wrappers)."""
+    """Protocol shared by chain and tree runs (and ETT wrappers).
+
+    Implementations may additionally offer three optional methods the
+    runner exploits when present (duck-typed, checked via ``hasattr``):
+
+    * ``rewire_layout(layout)`` — reassign only the partition sets whose
+      wiring changed since the last ``contribute_layout``/``rewire_layout``
+      call, enabling derived-layout reuse instead of full rebuilds;
+    * ``listen_sets()`` — the partition sets ``absorb`` actually reads,
+      so the engine materializes only those beep results;
+    * ``wiring_key()`` — a hashable snapshot determining this run's
+      current wiring, enabling layout-cache hits across repeated
+      identical executions.
+    """
 
     def is_done(self) -> bool:
         """Whether no participant is active (all further bits zero)."""
@@ -67,34 +95,59 @@ def run_pasc(
 
     ``term_channel`` is the channel of the global termination circuit
     (default: the engine's highest channel, which the wiring conventions
-    in this repository leave free).  ``max_iterations`` is a safety net
-    for tests; the algorithm terminates by itself via the silence of the
-    termination circuit.
+    in this repository leave free).  ``max_iterations`` is an inclusive
+    safety cap for tests; the algorithm terminates by itself via the
+    silence of the termination circuit.
+
+    The round count is a function of the runs alone: layout derivation
+    and caching change only wall-clock cost, never the round structure
+    (two rounds per iteration, Lemma 4).
     """
     if term_channel is None:
         term_channel = engine.channels - 1
     if max_iterations is None:
         max_iterations = 2 * len(engine.structure).bit_length() + 8
 
+    # The termination circuit is global (one component spanning every
+    # amoebot), so listening on a single probe set is equivalent to
+    # scanning all of them.
+    term_probe: PartitionSetId = (next(iter(engine.structure)), TERMINATION_LABEL)
+
+    listen: Optional[List[PartitionSetId]] = None
+    if all(hasattr(run, "listen_sets") for run in runs):
+        listen = []
+        for run in runs:
+            listen.extend(run.listen_sets())
+
+    rewirable = all(hasattr(run, "rewire_layout") for run in runs)
+    keyable = all(hasattr(run, "wiring_key") for run in runs)
+
+    def wiring_key() -> Tuple:
+        """Cache key of the *initial* wiring (iteration-0 activity)."""
+        return ("pasc", term_channel, tuple(run.wiring_key() for run in runs))
+
     iterations = 0
     start_rounds = engine.rounds.total
+    layout: Optional[CircuitLayout] = None
     with engine.rounds.section(section):
         while True:
-            if iterations > max_iterations:
+            if iterations >= max_iterations:
                 raise RuntimeError(
-                    f"PASC exceeded {max_iterations} iterations; "
+                    f"PASC exceeded its cap of {max_iterations} iterations "
+                    f"(completed {iterations}) on a structure of "
+                    f"{len(engine.structure)} amoebots; "
                     "wiring or activity update is broken"
                 )
-            layout = engine.new_layout()
-            for run in runs:
-                run.contribute_layout(layout)
-            _contribute_global(engine, layout, term_channel)
-            layout.freeze()
+            first_iteration = layout is None
+            layout = _iteration_layout(
+                engine, runs, term_channel, layout, rewirable,
+                wiring_key() if keyable and first_iteration else None,
+            )
 
             beeps: List[PartitionSetId] = []
             for run in runs:
                 beeps.extend(run.beeps())
-            received = engine.run_round(layout, beeps)
+            received = engine.run_round(layout, beeps, listen=listen)
             for run in runs:
                 run.absorb(received)
             iterations += 1
@@ -104,16 +157,53 @@ def run_pasc(
                 for unit in run.active_units():
                     node = unit[0] if isinstance(unit, tuple) else unit
                     term_beeps.append((node, TERMINATION_LABEL))
-            term_received = engine.run_round(layout, term_beeps)
-            if not any(term_received.values()):
+            term_received = engine.run_round(
+                layout, term_beeps, listen=(term_probe,)
+            )
+            if not term_received[term_probe]:
                 break
     return PascResult(iterations=iterations, rounds=engine.rounds.total - start_rounds)
+
+
+def _iteration_layout(
+    engine: CircuitEngine,
+    runs: Sequence[PascRun],
+    term_channel: int,
+    previous: Optional[CircuitLayout],
+    rewirable: bool,
+    key: Optional[Tuple],
+) -> CircuitLayout:
+    """The frozen layout for the coming iteration, built as cheaply as
+    possible: cache hit (iteration 0 only) > derivation from the previous
+    iteration > full build (runs without incremental support)."""
+    if key is not None:
+        cached = engine.layouts.get(key)
+        if cached is not None:
+            return cached
+    if previous is not None and rewirable:
+        layout = previous.derive()
+        for run in runs:
+            run.rewire_layout(layout)
+    else:
+        layout = engine.new_layout()
+        for run in runs:
+            run.contribute_layout(layout)
+        _contribute_global(engine, layout, term_channel)
+    layout.freeze()
+    if key is not None:
+        engine.layouts.put(key, layout)
+    return layout
 
 
 def _contribute_global(
     engine: CircuitEngine, layout: CircuitLayout, channel: int
 ) -> None:
-    """Add the global termination circuit to ``layout``."""
+    """Add the global termination circuit to ``layout``.
+
+    Contributed exactly once per :func:`run_pasc` call — derived
+    iteration layouts inherit it untouched, so the union-find never
+    revisits the structure-sized termination circuit.
+    """
     for node in engine.structure:
         pins = [(d, channel) for d in engine.structure.occupied_directions(node)]
         layout.assign(node, TERMINATION_LABEL, pins)

@@ -64,6 +64,13 @@ class PascTreeRun:
         self._active: Dict[Node, bool] = {u: True for u in self.nodes}
         self._value: Dict[Node, int] = {u: 0 for u in self.nodes}
         self._iteration = 0
+        #: Nodes whose activity flipped in the last absorb(); only these
+        #: re-cross their child links in the next iteration's layout.
+        self._flipped: List[Node] = []
+        self._wiring_base = (
+            "tree", self.tag, self.root,
+            tuple(sorted(self.parent.items())), self.pch, self.sch,
+        )
 
     def _check_acyclic(self) -> None:
         seen = {self.root}
@@ -96,26 +103,57 @@ class PascTreeRun:
         """No amoebot is active: all further bits are zero."""
         return not any(self._active.values())
 
+    def _node_wiring(
+        self, u: Node
+    ) -> Tuple[List[Tuple[Direction, int]], List[Tuple[Direction, int]]]:
+        """Primary/secondary pin lists of ``u`` for its current activity."""
+        p_pins: List[Tuple[Direction, int]] = []
+        s_pins: List[Tuple[Direction, int]] = []
+        par = self.parent.get(u)
+        if par is not None:
+            d = u.direction_to(par)
+            p_pins.append((d, self.pch))
+            s_pins.append((d, self.sch))
+        for child in self.children[u]:
+            d = u.direction_to(child)
+            if self._active[u]:
+                p_pins.append((d, self.sch))
+                s_pins.append((d, self.pch))
+            else:
+                p_pins.append((d, self.pch))
+                s_pins.append((d, self.sch))
+        return p_pins, s_pins
+
     def contribute_layout(self, layout: CircuitLayout) -> None:
         """Wire this iteration's primary/secondary circuits."""
         for u in self.nodes:
-            p_pins: List[Tuple[Direction, int]] = []
-            s_pins: List[Tuple[Direction, int]] = []
-            par = self.parent.get(u)
-            if par is not None:
-                d = u.direction_to(par)
-                p_pins.append((d, self.pch))
-                s_pins.append((d, self.sch))
-            for child in self.children[u]:
-                d = u.direction_to(child)
-                if self._active[u]:
-                    p_pins.append((d, self.sch))
-                    s_pins.append((d, self.pch))
-                else:
-                    p_pins.append((d, self.pch))
-                    s_pins.append((d, self.sch))
+            p_pins, s_pins = self._node_wiring(u)
             layout.assign(u, f"{self.tag}:p", p_pins)
             layout.assign(u, f"{self.tag}:s", s_pins)
+        self._flipped = []
+
+    def rewire_layout(self, layout: CircuitLayout) -> None:
+        """Reassign only the nodes whose activity (and hence child-link
+        crossing) changed since the last contribute/rewire."""
+        for u in self._flipped:
+            if not self.children[u]:
+                continue  # leaves own no child links; their wiring is static
+            # Release the pair first: un-crossing swaps the channels of
+            # the same physical pins between the two sets.
+            layout.release(u, f"{self.tag}:p")
+            layout.release(u, f"{self.tag}:s")
+            p_pins, s_pins = self._node_wiring(u)
+            layout.assign(u, f"{self.tag}:p", p_pins)
+            layout.assign(u, f"{self.tag}:s", s_pins)
+        self._flipped = []
+
+    def listen_sets(self) -> List[PartitionSetId]:
+        """The partition sets absorb() reads: every node's secondary set."""
+        return [self.secondary_set(u) for u in self.nodes]
+
+    def wiring_key(self) -> Tuple:
+        """Hashable snapshot determining this run's current wiring."""
+        return (self._wiring_base, tuple(self._active[u] for u in self.nodes))
 
     def beeps(self) -> List[PartitionSetId]:
         """The root beeps on its primary set."""
@@ -124,12 +162,15 @@ class PascTreeRun:
     def absorb(self, received: Dict[PartitionSetId, bool]) -> None:
         """Read this iteration's bit and update activity."""
         bit_index = self._iteration
+        flipped: List[Node] = []
         for u in self.nodes:
             heard_secondary = received.get(self.secondary_set(u), False)
             if heard_secondary:
                 self._value[u] |= 1 << bit_index
             if self._active[u] and not heard_secondary:
                 self._active[u] = False
+                flipped.append(u)
+        self._flipped = flipped
         self._iteration += 1
 
     def active_units(self) -> List[Node]:

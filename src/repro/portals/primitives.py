@@ -77,6 +77,7 @@ class PortalScope:
             p: [q for q in system.portal_adjacency[p] if q in self.portals]
             for p in self.portals
         }
+        self._circuit_edges: Optional[List[Tuple[Node, Node]]] = None
 
     def tour(self, root_portal: Portal) -> EulerTour:
         """Euler tour of the scope's implicit tree, rooted at the portal's representative."""
@@ -89,13 +90,20 @@ class PortalScope:
         return [p.representative for p in portals]
 
     def portal_circuit_layout(self, engine: CircuitEngine, label: str = "portal"):
-        """One circuit per portal: its internal (axis-parallel) edges."""
-        edges = []
-        for p in self.portals:
-            for u, v in zip(p.nodes, p.nodes[1:]):
-                edges.append((u, v))
+        """One circuit per portal: its internal (axis-parallel) edges.
+
+        The edge list is computed once per scope and the layout itself is
+        memoized by the engine's cache, so the many per-label broadcasts
+        of the primitives reuse one frozen layout each.
+        """
+        if self._circuit_edges is None:
+            edges: List[Tuple[Node, Node]] = []
+            for p in self.portals:
+                for u, v in zip(p.nodes, p.nodes[1:]):
+                    edges.append((u, v))
+            self._circuit_edges = edges
         return engine.edge_subset_layout(
-            edges, label=label, channel=PORTAL_CIRCUIT_CHANNEL
+            self._circuit_edges, label=label, channel=PORTAL_CIRCUIT_CHANNEL
         )
 
 
@@ -174,7 +182,9 @@ def _membership_broadcast(
     beeps = []
     for p in result.in_vq:
         beeps.append((p.nodes[0], "portal"))
-    engine.run_round(layout, beeps)
+    # The simulator already knows the outcome through `result`; the round
+    # is executed for its cost, so nothing needs to be materialized.
+    engine.run_round(layout, beeps, listen=())
     engine.charge_local_round()  # parent-direction beeps (Fig. 4b)
 
 
@@ -253,7 +263,7 @@ def _count_degrees(
     # on their portal circuits.
     layout = scope.portal_circuit_layout(engine, label="portal:aq")
     beeps = [(p.nodes[-1], "portal:aq") for p in result.augmentation]
-    engine.run_round(layout, beeps)
+    engine.run_round(layout, beeps, listen=())
 
 
 def _is_north_side(system: PortalSystem, u: Node, v: Node) -> bool:
@@ -293,7 +303,7 @@ def portal_elect(
         winner_portal = system.portal_of[winners[0]]
         # Announce the winning portal on its portal circuit.
         layout = scope.portal_circuit_layout(engine, label="portal:won")
-        engine.run_round(layout, [(winners[0], "portal:won")])
+        engine.run_round(layout, [(winners[0], "portal:won")], listen=())
     return winner_portal
 
 
@@ -363,7 +373,7 @@ def portal_centroids(
             run_pasc(engine, [op.phase2.chain], section=f"{section}:ett2")
         # Portals learn non-centroid status via one portal-circuit beep.
         layout = scope.portal_circuit_layout(engine, label="portal:cen")
-        engine.run_round(layout, [])
+        engine.run_round(layout, [], listen=())
     return op.centroids()
 
 
@@ -424,6 +434,11 @@ def portal_centroid_decomposition(
     remaining = set(q_prime)
     guard = 2 * len(q_prime).bit_length() + 4
 
+    # Global termination circuit: built (or cache-hit) once, reused by
+    # every level; one probe set carries the single bit it can hold.
+    term_layout = engine.global_layout(label="pdec:term")
+    term_probe = (next(iter(engine.structure)), "pdec:term")
+
     with engine.rounds.section(section):
         level_index = 0
         while active:
@@ -432,11 +447,10 @@ def portal_centroid_decomposition(
             elected, next_active = _portal_level(engine, system, active, tree)
             tree.levels.append(elected)
             remaining.difference_update(elected)
-            layout = engine.global_layout(label="pdec:term")
             beeps = [(p.representative, "pdec:term") for p in remaining]
-            received = engine.run_round(layout, beeps)
+            received = engine.run_round(term_layout, beeps, listen=(term_probe,))
             active = next_active
-            if not any(received.values()):
+            if not received[term_probe]:
                 break
             level_index += 1
 
@@ -513,7 +527,12 @@ def _portal_level(
     for rec, choice, component in specs:
         for p in (rec.q - {choice}) & component:
             beeps.append((p.representative, "pdec:comp"))
-    received = engine.run_round(layout, beeps)
+    # One probe per component circuit (matching the reads below).
+    listen = [
+        (next(iter(component)).representative, "pdec:comp")
+        for _rec, _choice, component in specs
+    ]
+    received = engine.run_round(layout, beeps, listen=listen)
 
     next_active: List[_PortalRecursion] = []
     for rec, choice, component in specs:

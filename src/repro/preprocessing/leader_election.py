@@ -60,14 +60,17 @@ def elect_leader(
     phases = safety_factor * (max(n, 2).bit_length() + 1)
     start_rounds = engine.rounds.total
 
+    # One global circuit, reused for every phase (cache-hit if another
+    # primitive already built it); a single probe set carries the bit.
     layout = engine.global_layout(label="leader")
+    probe = (next(iter(structure)), "leader")
     with engine.rounds.section(section):
         for _phase in range(phases):
             heads = {u for u in candidates if rng.random() < 0.5}
             received = engine.run_round(
-                layout, [(u, "leader") for u in heads]
+                layout, [(u, "leader") for u in heads], listen=(probe,)
             )
-            someone_beeped = any(received.values())
+            someone_beeped = received[probe]
             if someone_beeped:
                 candidates = heads
             if len(candidates) <= 1:

@@ -89,6 +89,12 @@ def centroid_decomposition(
     remaining = set(q_prime)
     guard = 2 * len(q_prime).bit_length() + 4
 
+    # The termination circuit never changes: built (or cache-hit) once,
+    # reused by every level's check.  It is global, so listening on a
+    # single probe set is equivalent to scanning all of them.
+    term_layout = engine.global_layout(label="decomp:term")
+    term_probe = (next(iter(engine.structure)), "decomp:term")
+
     with engine.rounds.section(section):
         level_index = 0
         while active:
@@ -99,11 +105,10 @@ def centroid_decomposition(
             remaining.difference_update(level_centroids)
             # Termination check: a global circuit where every unelected
             # Q' node beeps; silence ends the primitive.
-            layout = engine.global_layout(label="decomp:term")
             beeps = [(u, "decomp:term") for u in remaining]
-            received = engine.run_round(layout, beeps)
+            received = engine.run_round(term_layout, beeps, listen=(term_probe,))
             active = next_active
-            if not any(received.values()):
+            if not received[term_probe]:
                 break
             level_index += 1
 
@@ -204,7 +209,13 @@ def _run_level(
     for rec, choice, component in component_specs:
         for u in (rec.q - {choice}) & component:
             beeps.append((u, "decomp:comp"))
-    received = engine.run_round(layout, beeps)
+    # Each component circuit carries one bit; one probe per component
+    # suffices (the loop below re-derives the same probe per component).
+    listen = [
+        (next(iter(component)), "decomp:comp")
+        for _rec, _choice, component in component_specs
+    ]
+    received = engine.run_round(layout, beeps, listen=listen)
 
     next_active: List[_Recursion] = []
     for rec, choice, component in component_specs:

@@ -14,11 +14,25 @@ The simulator is strict about the model:
 * beeps carry no payload and no origin information;
 * every call to :meth:`CircuitEngine.run_round` is one synchronous round
   and ticks the shared :class:`~repro.metrics.RoundCounter`.
+
+Layout reuse contract: build layouts *outside* round loops.  Frozen
+layouts are immutable and pay their component computation once; evolving
+wirings go through :meth:`CircuitLayout.derive` (incremental re-wiring,
+components recomputed only over the touched circuits) and repeated
+wirings through the engine's :class:`LayoutCache`
+(``engine.layouts``).  ``run_round(..., listen=...)`` materializes only
+the beep results the caller reads.  See ``repro.sim.circuits`` for the
+full contract and :data:`LAYOUT_STATS` for the rebuild probe.
 """
 
 from repro.sim.errors import SimulationError, PinConfigurationError
 from repro.sim.pins import Pin, PartitionSetId
-from repro.sim.circuits import CircuitLayout
+from repro.sim.circuits import (
+    LAYOUT_STATS,
+    CircuitLayout,
+    LayoutBuildStats,
+    LayoutCache,
+)
 from repro.sim.engine import CircuitEngine
 from repro.sim.trace import RoundTrace, attach_trace
 
@@ -28,6 +42,9 @@ __all__ = [
     "Pin",
     "PartitionSetId",
     "CircuitLayout",
+    "LayoutCache",
+    "LayoutBuildStats",
+    "LAYOUT_STATS",
     "CircuitEngine",
     "RoundTrace",
     "attach_trace",

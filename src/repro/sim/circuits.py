@@ -6,11 +6,34 @@ and computes its *circuits* — the connected components of the graph whose
 vertices are partition sets and whose edges are the external links between
 them (Section 1.2).  Layouts are reusable: algorithms that keep the same
 pin configuration over many rounds pay the component computation once.
+
+**Rule: build layouts outside round loops.**  Per-round work should be
+:meth:`CircuitEngine.run_round <repro.sim.engine.CircuitEngine.run_round>`
+calls against a layout that already exists.  Two tools make that cheap
+even when the wiring *does* evolve between rounds:
+
+* :meth:`CircuitLayout.derive` clones a frozen layout into a new,
+  re-wirable one.  :meth:`CircuitLayout.reassign` replaces the pins of
+  individual partition sets, and the subsequent :meth:`freeze` re-runs
+  the union-find only over the circuits touched by the re-wiring — the
+  untouched region keeps its component assignment verbatim.  PASC uses
+  this: each iteration flips the crossing of a few links, so deriving is
+  O(touched region) instead of O(structure).
+* :class:`LayoutCache` memoizes frozen layouts under a caller-chosen
+  wiring fingerprint (any hashable key that determines the wiring, e.g.
+  ``("global", label, channel)`` or a tuple of tour edges).  Algorithms
+  that rebuild the *same* wiring repeatedly (global termination circuits,
+  the deterministic decomposition recomputed every merge iteration) hit
+  the cache and skip both assignment validation and the union-find.
+
+:data:`LAYOUT_STATS` counts full versus incremental component builds so
+tests and CI can assert that nobody reintroduces per-round rebuilds.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.grid.coords import Node
 from repro.grid.directions import Direction
@@ -19,37 +42,89 @@ from repro.sim.errors import PinConfigurationError
 from repro.sim.pins import PartitionSetId, Pin
 
 
-class _UnionFind:
-    """Union-find over hashable items, path-halving + union by size."""
+def _group_components(
+    sets_list: List[PartitionSetId],
+    edges: Iterable[Tuple[PartitionSetId, PartitionSetId]],
+) -> Tuple[Dict[PartitionSetId, int], List[List[PartitionSetId]]]:
+    """Connected components of ``sets_list`` under ``edges``.
 
-    def __init__(self) -> None:
-        self._parent: Dict[object, object] = {}
-        self._size: Dict[object, int] = {}
-
-    def add(self, item: object) -> None:
-        if item not in self._parent:
-            self._parent[item] = item
-            self._size[item] = 1
-
-    def find(self, item: object) -> object:
-        parent = self._parent
-        root = item
-        while parent[root] is not root:
+    Int-indexed union-find (path halving + union by size): partition-set
+    ids are hashed exactly once into indices, keeping the per-freeze cost
+    dominated by the edge count rather than by tuple hashing.
+    Returns ``(set -> component index, members per component)`` with
+    component indices dense in ``0..k-1``.
+    """
+    index = {set_id: i for i, set_id in enumerate(sets_list)}
+    parent = list(range(len(sets_list)))
+    size = [1] * len(sets_list)
+    for a, b in edges:
+        ia, ib = index[a], index[b]
+        while parent[ia] != ia:
+            parent[ia] = parent[parent[ia]]
+            ia = parent[ia]
+        while parent[ib] != ib:
+            parent[ib] = parent[parent[ib]]
+            ib = parent[ib]
+        if ia == ib:
+            continue
+        if size[ia] < size[ib]:
+            ia, ib = ib, ia
+        parent[ib] = ia
+        size[ia] += size[ib]
+    roots: Dict[int, int] = {}
+    components: Dict[PartitionSetId, int] = {}
+    members: List[List[PartitionSetId]] = []
+    for i, set_id in enumerate(sets_list):
+        root = i
+        while parent[root] != root:
             parent[root] = parent[parent[root]]
             root = parent[root]
-        return root
+        comp = roots.get(root)
+        if comp is None:
+            comp = len(members)
+            roots[root] = comp
+            members.append([])
+        components[set_id] = comp
+        members[comp].append(set_id)
+    return components, members
 
-    def union(self, a: object, b: object) -> None:
-        ra, rb = self.find(a), self.find(b)
-        if ra is rb:
-            return
-        if self._size[ra] < self._size[rb]:
-            ra, rb = rb, ra
-        self._parent[rb] = ra
-        self._size[ra] += self._size[rb]
 
-    def items(self) -> Iterable[object]:
-        return self._parent.keys()
+class LayoutBuildStats:
+    """Counters for layout component computations (probe for tests/CI).
+
+    ``full_builds`` counts freezes of from-scratch layouts (assignment
+    validation plus union-find over everything); ``incremental_builds``
+    counts freezes of derived layouts, which skip re-validation and
+    recompute components only as far as the re-wiring reaches;
+    ``noop_freezes`` counts derived freezes with no re-wiring at all
+    (components adopted verbatim).
+    """
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero all counters (tests do this before probing a run)."""
+        self.full_builds = 0
+        self.incremental_builds = 0
+        self.noop_freezes = 0
+
+    def total_builds(self) -> int:
+        """Component computations of either kind."""
+        return self.full_builds + self.incremental_builds
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"LayoutBuildStats(full={self.full_builds}, "
+            f"incremental={self.incremental_builds}, "
+            f"noop={self.noop_freezes})"
+        )
+
+
+#: Process-wide component-computation counters.  Reset in tests via
+#: ``LAYOUT_STATS.reset()``; purely observational, never read by the
+#: algorithms themselves.
+LAYOUT_STATS = LayoutBuildStats()
 
 
 class CircuitLayout:
@@ -60,6 +135,9 @@ class CircuitLayout:
     the engine).  Unassigned pins are inert singletons: they belong to no
     algorithm-visible partition set and never carry beeps, which is
     equivalent to each amoebot parking them in private singleton sets.
+
+    A frozen layout is immutable; to change the wiring, :meth:`derive` a
+    new layout and :meth:`reassign` the partition sets that moved.
     """
 
     def __init__(self, structure: AmoebotStructure, channels: int):
@@ -69,9 +147,15 @@ class CircuitLayout:
         self._channels = channels
         self._pin_owner: Dict[Pin, PartitionSetId] = {}
         self._sets: Set[PartitionSetId] = set()
+        self._set_pins: Dict[PartitionSetId, List[Pin]] = {}
         self._frozen = False
         self._components: Optional[Dict[PartitionSetId, int]] = None
         self._component_members: Optional[List[List[PartitionSetId]]] = None
+        # Derivation bookkeeping: when non-None, freeze() recomputes the
+        # components incrementally from the base layout's result.
+        self._base_components: Optional[Dict[PartitionSetId, int]] = None
+        self._base_members: Optional[List[List[PartitionSetId]]] = None
+        self._dirty: Set[PartitionSetId] = set()
 
     # ------------------------------------------------------------------
     # construction
@@ -95,6 +179,9 @@ class CircuitLayout:
             raise PinConfigurationError(f"{node} is not part of the structure")
         set_id: PartitionSetId = (node, label)
         self._sets.add(set_id)
+        track = self._base_components is not None
+        if track:
+            self._dirty.add(set_id)
         for direction, channel in pins:
             if not 0 <= channel < self._channels:
                 raise PinConfigurationError(
@@ -111,40 +198,217 @@ class CircuitLayout:
                     f"pin {pin} already assigned to partition set {existing}"
                 )
             self._pin_owner[pin] = set_id
+            self._set_pins.setdefault(set_id, []).append(pin)
+            if track:
+                mate_owner = self._pin_owner.get(pin.mate())
+                if mate_owner is not None:
+                    self._dirty.add(mate_owner)
 
     def declare(self, node: Node, label: str) -> None:
         """Declare a pin-less partition set (a private flag circuit)."""
         self.assign(node, label, ())
 
     # ------------------------------------------------------------------
+    # derivation: cheap re-wiring of an already-computed layout
+    # ------------------------------------------------------------------
+    def derive(self) -> "CircuitLayout":
+        """Clone this (frozen) layout into a new, re-wirable layout.
+
+        The clone starts with identical wiring and remembers this
+        layout's component computation.  After :meth:`reassign` calls,
+        freezing the clone re-runs union-find only over the circuits
+        touched by the re-wiring; everything else is adopted verbatim.
+        The original layout stays frozen and valid.
+        """
+        self.freeze()
+        clone = CircuitLayout.__new__(CircuitLayout)
+        clone._structure = self._structure
+        clone._channels = self._channels
+        clone._pin_owner = dict(self._pin_owner)
+        clone._sets = set(self._sets)
+        # Per-set pin lists are copied: assign() appends in place, and a
+        # shared list would silently corrupt the frozen base layout.
+        clone._set_pins = {k: list(v) for k, v in self._set_pins.items()}
+        clone._frozen = False
+        clone._components = None
+        clone._component_members = None
+        clone._base_components = self._components
+        clone._base_members = self._component_members
+        clone._dirty = set()
+        return clone
+
+    def release(self, node: Node, label: str) -> None:
+        """Un-declare partition set ``(node, label)`` and free its pins.
+
+        Used when *groups* of sets are re-wired together (e.g. a PASC
+        unit's primary/secondary pair swapping channels): release every
+        member first, then :meth:`assign` the new pin collections —
+        otherwise the new pins of one set collide with the old pins of
+        its sibling.  A released set that is never re-assigned simply
+        disappears from the layout.
+        """
+        if self._frozen:
+            raise PinConfigurationError("layout is frozen; derive() a new one first")
+        set_id: PartitionSetId = (node, label)
+        track = self._base_components is not None
+        if track:
+            self._dirty.add(set_id)
+        old_pins = self._set_pins.pop(set_id, None)
+        if old_pins:
+            for pin in old_pins:
+                if self._pin_owner.get(pin) == set_id:
+                    del self._pin_owner[pin]
+            if track:
+                for pin in old_pins:
+                    mate_owner = self._pin_owner.get(pin.mate())
+                    if mate_owner is not None:
+                        self._dirty.add(mate_owner)
+        self._sets.discard(set_id)
+
+    def reassign(
+        self,
+        node: Node,
+        label: str,
+        pins: Iterable[Tuple[Direction, int]],
+    ) -> None:
+        """Replace the pin collection of partition set ``(node, label)``.
+
+        Unlike :meth:`assign` this does not accumulate: the set's old
+        pins are released first.  On a derived layout both the set and
+        every neighbor set it was or becomes wired to are marked dirty,
+        bounding the incremental component recomputation.
+        """
+        self.release(node, label)
+        self.assign(node, label, pins)
+
+    # ------------------------------------------------------------------
     # freezing and component computation
     # ------------------------------------------------------------------
     def freeze(self) -> None:
-        """Validate the layout and compute its circuits."""
+        """Validate the layout and compute its circuits.
+
+        Idempotent: freezing a frozen layout is a no-op — reusing a
+        layout over many rounds pays the component computation once.
+        Derived layouts recompute only the touched region.
+        """
         if self._frozen:
             return
-        uf = _UnionFind()
-        for set_id in self._sets:
-            uf.add(set_id)
-        for pin, owner in self._pin_owner.items():
-            mate_owner = self._pin_owner.get(pin.mate())
-            if mate_owner is not None:
-                uf.union(owner, mate_owner)
-        roots: Dict[object, int] = {}
-        components: Dict[PartitionSetId, int] = {}
-        members: List[List[PartitionSetId]] = []
-        for set_id in self._sets:
-            root = uf.find(set_id)
-            index = roots.get(root)
-            if index is None:
-                index = len(members)
-                roots[root] = index
-                members.append([])
-            components[set_id] = index
-            members[index].append(set_id)
-        self._components = components
-        self._component_members = members
+        if self._base_components is not None:
+            self._freeze_incremental()
+        else:
+            self._freeze_full()
         self._frozen = True
+
+    def _link_edges(self) -> Iterable[Tuple[PartitionSetId, PartitionSetId]]:
+        """All (owner, mate owner) pairs of wired external links."""
+        pin_owner = self._pin_owner
+        get = pin_owner.get
+        for pin, owner in pin_owner.items():
+            mate_owner = get(pin.mate())
+            if mate_owner is not None:
+                yield owner, mate_owner
+
+    def _freeze_full(self) -> None:
+        self._components, self._component_members = _group_components(
+            list(self._sets), self._link_edges()
+        )
+        LAYOUT_STATS.full_builds += 1
+
+    def _freeze_incremental(self) -> None:
+        base_components = self._base_components
+        base_members = self._base_members
+        assert base_components is not None and base_members is not None
+        if not self._dirty:
+            # Wiring unchanged: adopt the base computation wholesale.
+            self._components = base_components
+            self._component_members = base_members
+            LAYOUT_STATS.noop_freezes += 1
+            self._base_components = None
+            self._base_members = None
+            return
+
+        # The touched region: every circuit containing a dirty set, plus
+        # sets declared only after the derivation.  Re-wiring can only
+        # merge or split circuits inside this region (both endpoints of
+        # every added or removed link are dirty, and base circuits are
+        # closed under unchanged links).
+        affected: Set[int] = set()
+        region: Set[PartitionSetId] = set()
+        for set_id in self._dirty:
+            index = base_components.get(set_id)
+            if index is None:
+                if set_id in self._sets:
+                    region.add(set_id)
+            else:
+                affected.add(index)
+        for index in affected:
+            region.update(base_members[index])
+
+        if 2 * len(region) > len(self._sets):
+            # The re-wiring touched most of the layout (PASC's early
+            # iterations do): recomputing everything is cheaper than
+            # copying the untouched part.  Assignment validation is
+            # still skipped — that is the derive() contract.
+            self._components, self._component_members = _group_components(
+                list(self._sets), self._link_edges()
+            )
+        else:
+            components = dict(base_components)
+            members: List[List[PartitionSetId]] = [list(m) for m in base_members]
+            region_list: List[PartitionSetId] = []
+            for index in affected:
+                members[index] = []
+                for set_id in base_members[index]:
+                    if set_id in self._sets:
+                        region_list.append(set_id)
+                    else:
+                        del components[set_id]  # released, never re-assigned
+            for set_id in region:
+                if set_id not in base_components:
+                    region_list.append(set_id)
+
+            pin_owner = self._pin_owner
+            set_pins = self._set_pins
+
+            def region_edges():
+                get = pin_owner.get
+                for set_id in region_list:
+                    for pin in set_pins.get(set_id, ()):
+                        mate_owner = get(pin.mate())
+                        if mate_owner is not None:
+                            yield set_id, mate_owner
+
+            sub_members = _group_components(region_list, region_edges())[1]
+
+            holes = sorted(affected)
+            for group in sub_members:
+                if holes:
+                    index = holes.pop(0)
+                else:
+                    index = len(members)
+                    members.append([])
+                members[index] = group
+                for set_id in group:
+                    components[set_id] = index
+            # Compact leftover holes (circuits merged away) so circuit
+            # indices stay dense and circuits() never reports empties.
+            for hole in holes:
+                while members and not members[-1]:
+                    members.pop()
+                if hole >= len(members):
+                    break
+                tail = members.pop()
+                members[hole] = tail
+                for set_id in tail:
+                    components[set_id] = hole
+
+            self._components = components
+            self._component_members = members
+
+        LAYOUT_STATS.incremental_builds += 1
+        self._base_components = None
+        self._base_members = None
+        self._dirty.clear()
 
     @property
     def frozen(self) -> bool:
@@ -184,7 +448,84 @@ class CircuitLayout:
         return [list(c) for c in self._component_members]
 
     def component_map(self) -> Dict[PartitionSetId, int]:
-        """Partition set -> circuit index (simulator/test view)."""
+        """Partition set -> circuit index (simulator/test view).
+
+        Returns the layout's internal mapping *without copying* — the
+        engine reads it on every round, and copying a structure-sized
+        dict per round dominated the simulator's hot path.  Treat the
+        result as read-only; mutate the wiring via :meth:`derive` /
+        :meth:`reassign` instead.
+        """
         self.freeze()
         assert self._components is not None
-        return dict(self._components)
+        return self._components
+
+    def wiring_fingerprint(self) -> int:
+        """A hash over the full wiring (diagnostics / cache keying).
+
+        Prefer cheap semantic keys (the parameters that *determined* the
+        wiring) for :class:`LayoutCache`; this exhaustive fingerprint is
+        O(pins) and meant for tests and debugging.
+        """
+        assignments = tuple(sorted(
+            (pin.node.x, pin.node.y, pin.direction.value, pin.channel,
+             owner[0].x, owner[0].y, owner[1])
+            for pin, owner in self._pin_owner.items()
+        ))
+        sets = tuple(sorted((n.x, n.y, label) for n, label in self._sets))
+        return hash((self._channels, assignments, sets))
+
+
+class LayoutCache:
+    """A bounded LRU cache of frozen layouts, keyed by wiring fingerprints.
+
+    Keys are caller-chosen hashables that *determine* the wiring (e.g.
+    ``("global", label, channel)``, a tuple of tour edges plus marked
+    edges, or a PASC run's units/links/activity snapshot).  Entries are
+    frozen on insertion, so a hit skips assignment validation and the
+    union-find entirely.  Every :class:`CircuitEngine` owns one (bound to
+    its structure, so keys never need to include the structure).
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError("cache must hold at least one layout")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Hashable, CircuitLayout]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[CircuitLayout]:
+        """The cached frozen layout for ``key``, or ``None``."""
+        layout = self._entries.get(key)
+        if layout is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return layout
+
+    def put(self, key: Hashable, layout: CircuitLayout) -> CircuitLayout:
+        """Freeze ``layout`` and cache it under ``key``."""
+        layout.freeze()
+        self._entries[key] = layout
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return layout
+
+    def get_or_build(
+        self, key: Hashable, builder: Callable[[], CircuitLayout]
+    ) -> CircuitLayout:
+        """The cached layout for ``key``, building (and caching) on miss."""
+        layout = self.get(key)
+        if layout is not None:
+            return layout
+        return self.put(key, builder())
+
+    def clear(self) -> None:
+        """Drop every cached layout (hit/miss counters are kept)."""
+        self._entries.clear()

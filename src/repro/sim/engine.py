@@ -6,18 +6,48 @@ captured by the :class:`~repro.sim.circuits.CircuitLayout` passed in —
 and activate any of its partition sets; beeps propagate on the (updated)
 configuration and are received at the beginning of the next round
 (Section 1.2).  One :meth:`run_round` call is one synchronous round.
+
+Layouts are built *outside* round loops and passed in repeatedly: an
+already-frozen layout is accepted as-is (no re-validation, no component
+recomputation), and the engine's :attr:`layouts` cache memoizes the
+standard layouts (:meth:`global_layout`, :meth:`edge_subset_layout`) by
+wiring fingerprint so that repeated constructions are free.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple, TypeVar
 
 from repro.grid.coords import Node
 from repro.grid.structure import AmoebotStructure
 from repro.metrics.rounds import RoundCounter
-from repro.sim.circuits import CircuitLayout
+from repro.sim.circuits import CircuitLayout, LayoutCache
 from repro.sim.errors import PinConfigurationError
 from repro.sim.pins import PartitionSetId
+
+_V = TypeVar("_V")
+
+
+def listen_subset(
+    mapping: Mapping[PartitionSetId, _V],
+    listen: Iterable[PartitionSetId],
+) -> Dict[PartitionSetId, _V]:
+    """Restrict a per-partition-set mapping to the ``listen``-ed sets.
+
+    The single source of the ``listen`` contract: every listened set must
+    be declared in ``mapping``, otherwise :class:`PinConfigurationError`
+    is raised.  Used by :meth:`CircuitEngine.run_round` (on the component
+    map) and by the trace wrapper (on a full beep result).
+    """
+    subset: Dict[PartitionSetId, _V] = {}
+    for set_id in listen:
+        try:
+            subset[set_id] = mapping[set_id]
+        except KeyError:
+            raise PinConfigurationError(
+                f"cannot listen on undeclared partition set {set_id}"
+            ) from None
+    return subset
 
 
 class CircuitEngine:
@@ -35,6 +65,8 @@ class CircuitEngine:
         channel pair per directed tree edge: up to 4 links per edge).
     counter:
         Round counter to tick; a fresh one is created if omitted.
+    layout_cache_size:
+        Capacity of the engine's :class:`~repro.sim.circuits.LayoutCache`.
     """
 
     def __init__(
@@ -42,10 +74,14 @@ class CircuitEngine:
         structure: AmoebotStructure,
         channels: int = 8,
         counter: Optional[RoundCounter] = None,
+        layout_cache_size: int = 256,
     ):
         self.structure = structure
         self.channels = channels
         self.rounds = counter if counter is not None else RoundCounter()
+        #: Frozen-layout cache, keyed by wiring fingerprints.  Bound to
+        #: this engine's structure, so keys never include the structure.
+        self.layouts = LayoutCache(maxsize=layout_cache_size)
 
     # ------------------------------------------------------------------
     # layout construction helpers
@@ -59,8 +95,17 @@ class CircuitEngine:
 
         Every amoebot puts all channel-``channel`` pins into one partition
         set.  Because :math:`G_X` is connected this yields a single
-        circuit — the standard global coordination circuit.
+        circuit — the standard global coordination circuit.  Cached: the
+        wiring is fully determined by ``(label, channel)``, so repeated
+        calls (e.g. one termination check per loop iteration) return the
+        same frozen layout.
         """
+        return self.layouts.get_or_build(
+            ("global", label, channel),
+            lambda: self._build_global_layout(label, channel),
+        )
+
+    def _build_global_layout(self, label: str, channel: int) -> CircuitLayout:
         layout = self.new_layout()
         for node in self.structure:
             pins = [(d, channel) for d in self.structure.occupied_directions(node)]
@@ -82,8 +127,26 @@ class CircuitEngine:
         circuits are exactly the connected components of the edge subset.
         Amoebots not incident to any listed edge declare an empty
         partition set (so they can still listen, hearing nothing) when
-        ``isolated_ok`` is set.
+        ``isolated_ok`` is set.  Cached by the edge set: deterministic
+        algorithms that rebuild identical sub-circuits (the recomputed
+        decomposition tree, repeated portal broadcasts) hit the cache.
         """
+        edge_list = list(edges)
+        key = ("edges", label, channel, isolated_ok, frozenset(edge_list))
+        return self.layouts.get_or_build(
+            key,
+            lambda: self._build_edge_subset_layout(
+                edge_list, label, channel, isolated_ok
+            ),
+        )
+
+    def _build_edge_subset_layout(
+        self,
+        edges: List[Tuple[Node, Node]],
+        label: str,
+        channel: int,
+        isolated_ok: bool,
+    ) -> CircuitLayout:
         layout = self.new_layout()
         touched: Set[Node] = set()
         for u, v in edges:
@@ -106,6 +169,7 @@ class CircuitEngine:
         self,
         layout: CircuitLayout,
         beeps: Iterable[PartitionSetId],
+        listen: Optional[Iterable[PartitionSetId]] = None,
     ) -> Dict[PartitionSetId, bool]:
         """Execute one synchronous round.
 
@@ -113,8 +177,17 @@ class CircuitEngine:
         Returns, for every declared partition set, whether a beep is heard
         there at the beginning of the next round.  Ticks the round
         counter by one.
+
+        An already-frozen layout is used as-is — freezing is idempotent,
+        so passing the same layout for many rounds pays the component
+        computation once.  ``listen`` (opt-in) names the partition sets
+        the caller will actually read: only those entries are
+        materialized, which keeps rounds on large layouts from building
+        structure-sized dicts nobody looks at.  ``listen=()`` is valid
+        for rounds whose result the caller ignores entirely.
         """
-        layout.freeze()
+        if not layout.frozen:
+            layout.freeze()
         component_of = layout.component_map()
         beeping_components: Set[int] = set()
         for set_id in beeps:
@@ -125,9 +198,14 @@ class CircuitEngine:
                     f"cannot beep on undeclared partition set {set_id}"
                 ) from None
         self.rounds.tick()
+        if listen is None:
+            return {
+                set_id: (component in beeping_components)
+                for set_id, component in component_of.items()
+            }
         return {
             set_id: (component in beeping_components)
-            for set_id, component in component_of.items()
+            for set_id, component in listen_subset(component_of, listen).items()
         }
 
     def charge_local_round(self, rounds: int = 1) -> None:

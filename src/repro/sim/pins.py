@@ -27,8 +27,33 @@ class Pin:
     channel: int
 
     def mate(self) -> "Pin":
-        """The pin at the other endpoint of this pin's external link."""
-        return Pin(self.node.neighbor(self.direction), opposite(self.direction), self.channel)
+        """The pin at the other endpoint of this pin's external link.
+
+        Memoized process-wide: mates are immutable, and the component
+        computation asks for them on every freeze — constructing fresh
+        ``Node``/``Pin`` objects there dominated layout freezing.
+        """
+        mate = _MATE_CACHE.get(self)
+        if mate is None:
+            if len(_MATE_CACHE) >= _MATE_CACHE_LIMIT:
+                _MATE_CACHE.clear()
+            mate = Pin(
+                self.node.neighbor(self.direction),
+                opposite(self.direction),
+                self.channel,
+            )
+            _MATE_CACHE[self] = mate
+            _MATE_CACHE[mate] = self
+        return mate
+
+
+#: Pin -> its mate.  One structure needs ≤ 6·c entries per amoebot, so
+#: the limit comfortably covers the largest single workload; it exists
+#: because long-lived processes (campaign workers) touch thousands of
+#: distinct structures, and an unbounded memo would leak across trials.
+#: Clearing wholesale is fine — the memo only saves reconstruction cost.
+_MATE_CACHE = {}
+_MATE_CACHE_LIMIT = 1 << 18
 
 
 #: A partition set is identified by its owning amoebot plus a local label.

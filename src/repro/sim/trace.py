@@ -14,7 +14,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from repro.sim.circuits import CircuitLayout
-from repro.sim.engine import CircuitEngine
+from repro.sim.engine import CircuitEngine, listen_subset
 
 
 @dataclass
@@ -113,13 +113,18 @@ def attach_trace(engine: CircuitEngine) -> RoundTrace:
     original_run = engine.run_round
     original_charge = engine.charge_local_round
 
-    def run_round(layout, beeps):
+    def run_round(layout, beeps, listen=None):
         beep_list = list(beeps)
+        # Always materialize the full result so the trace records how
+        # many sets heard the beep, then hand the caller only the subset
+        # it asked to listen on (same contract as the engine's).
         received = original_run(layout, beep_list)
         trace.record_round(
             layout, len(beep_list), sum(1 for v in received.values() if v)
         )
-        return received
+        if listen is None:
+            return received
+        return listen_subset(received, listen)
 
     def charge_local_round(rounds: int = 1):
         original_charge(rounds)

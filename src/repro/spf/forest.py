@@ -76,7 +76,9 @@ def shortest_path_forest(
         # ---- Step 1: Q, A_Q, Q' (Lemma 51) ----------------------------
         scope = PortalScope(system)
         layout = scope.portal_circuit_layout(engine, label="portal:src")
-        engine.run_round(layout, [(s, "portal:src") for s in source_set])
+        # The round is charged for its cost; the simulator reads Q from
+        # the portal map directly, so nothing is materialized.
+        engine.run_round(layout, [(s, "portal:src") for s in source_set], listen=())
         q_portals = {system.portal_of[s] for s in source_set}
 
         rp = portal_root_and_prune(

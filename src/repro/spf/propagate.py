@@ -101,7 +101,9 @@ def propagate_forest(
             for run in systems[d].portals:
                 circuit_edges.extend(zip(run.nodes, run.nodes[1:]))
         layout = engine.edge_subset_layout(circuit_edges, label="vis", channel=4)
-        engine.run_round(layout, [(p, "vis") for p in portal])
+        # Charged for its cost; the projection bookkeeping below mirrors
+        # what each amoebot reads locally, so nothing is materialized.
+        engine.run_round(layout, [(p, "vis") for p in portal], listen=())
 
         visible: Dict[Node, Dict[Axis, Node]] = {}
         for u in sorted(b_nodes):

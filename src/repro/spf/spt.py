@@ -62,7 +62,7 @@ def _mark_destination_portals(
     """One beep round: every destination beeps on its portal circuit."""
     layout = scope.portal_circuit_layout(engine, label="portal:dst")
     beeps = [(d, "portal:dst") for d in destinations]
-    engine.run_round(layout, beeps)
+    engine.run_round(layout, beeps, listen=())
     return {system.portal_of[d] for d in destinations}
 
 

@@ -43,6 +43,14 @@ _GENERATORS: Dict[str, Callable[..., AmoebotStructure]] = {
     "dendrite": _dendrite,
 }
 
+#: How many leading arguments are *sizes* (must be >= 1).  Trailing
+#: arguments beyond this count are free-form (e.g. random seeds, which
+#: may legitimately be zero or negative).
+_SIZE_ARG_COUNTS: Dict[str, int] = {
+    "random": 1,
+    "dendrite": 1,
+}
+
 
 def shape_names() -> List[str]:
     """Names accepted as the head of a shape spec."""
@@ -57,7 +65,9 @@ def build_structure(spec: str) -> AmoebotStructure:
     ``random:N[:SEED]``, ``dendrite:N[:SEED]``.
 
     Raises :class:`ValueError` on an unknown name, non-integer
-    arguments, or a wrong argument count.
+    arguments, a wrong argument count, or a non-positive size argument
+    (``random:0`` or ``line:-3`` never reach a generator; the error
+    names the offending spec).
     """
     name, *args = spec.split(":")
     generator = _GENERATORS.get(name)
@@ -67,6 +77,13 @@ def build_structure(spec: str) -> AmoebotStructure:
         values = [int(a) for a in args]
     except ValueError as exc:
         raise ValueError(f"non-integer argument in shape spec {spec!r}") from exc
+    size_args = _SIZE_ARG_COUNTS.get(name, len(values))
+    for position, value in enumerate(values[:size_args]):
+        if value <= 0:
+            raise ValueError(
+                f"shape spec {spec!r}: size argument {position + 1} "
+                f"must be positive, got {value}"
+            )
     try:
         return generator(*values)
     except TypeError as exc:

@@ -249,6 +249,29 @@ class TestStore:
         assert reloaded.scenarios() == ["x", "y"]
         assert [r["key"] for r in reloaded.records(scenario="y")] == ["b"]
 
+    def test_non_string_key_survives_reload(self, tmp_path):
+        """A trial recorded under a non-string key must still count as
+        cached after a restart — resume must not silently re-run it."""
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.add({"key": 123, "rounds": 7, "scenario": "s"})
+        assert store.has(123) and store.has("123")  # normalized in memory
+
+        reloaded = ResultStore(path)
+        assert reloaded.has(123), "trial lost across reload: would re-run"
+        assert reloaded.has("123")
+        assert reloaded.get(123)["rounds"] == 7
+        # The normalized key is what reached the disk.
+        assert json.loads(path.read_text().strip())["key"] == "123"
+
+    def test_mixed_key_types_do_not_duplicate(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.add({"key": 7, "rounds": 1, "scenario": "s"})
+        store.add({"key": "7", "rounds": 2, "scenario": "s"})
+        assert len(store) == 1
+        assert ResultStore(path).get(7)["rounds"] == 2  # last write wins
+
 
 class TestAggregate:
     def test_summarize_means(self):

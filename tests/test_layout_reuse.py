@@ -1,0 +1,309 @@
+"""Regression tests for the layout-reuse contract (derive/cache/listen).
+
+Guards three things the refactor promised:
+
+(a) freezing a layout twice never recomputes its components;
+(b) ``run_pasc`` on a fixed structure performs exactly one from-scratch
+    layout build per execution — every further iteration derives or
+    cache-hits, never rebuilds — counted via the ``LAYOUT_STATS`` probe;
+(c) round totals of the end-to-end algorithms are bit-identical to the
+    seed implementation (this was a simulator-cost fix, not an algorithm
+    change): SPSP/SSSP/SPT/forest/ETT-election on ``hexagon:3`` and
+    ``lollipop:2:8``, with the totals pinned from the seed revision.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.coords import Node
+from repro.ett.election import elect_first_marked
+from repro.ett.technique import mark_one_outgoing_edge
+from repro.ett.tour import build_euler_tour
+from repro.pasc.chain import PascChainRun, chain_links_for_nodes
+from repro.pasc.runner import run_pasc
+from repro.pasc.tree import PascTreeRun
+from repro.sim.circuits import LAYOUT_STATS, CircuitLayout, LayoutCache
+from repro.sim.engine import CircuitEngine
+from repro.spf.api import solve_spf
+from repro.spf.forest import shortest_path_forest
+from repro.spf.spt import shortest_path_tree
+from repro.workloads import hexagon, line_structure
+from repro.workloads.specs import build_structure
+
+from tests.conftest import bfs_tree_adjacency
+
+
+def line_nodes(n):
+    return [Node(i, 0) for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# (a) freeze idempotence
+# ----------------------------------------------------------------------
+
+
+class TestFreezeIdempotence:
+    def test_freezing_twice_does_not_recompute(self):
+        engine = CircuitEngine(hexagon(2))
+        LAYOUT_STATS.reset()
+        layout = engine.new_layout()
+        for node in engine.structure:
+            pins = [(d, 0) for d in engine.structure.occupied_directions(node)]
+            layout.assign(node, "g", pins)
+        layout.freeze()
+        assert LAYOUT_STATS.total_builds() == 1
+        before = layout.component_map()
+        layout.freeze()
+        layout.freeze()
+        assert LAYOUT_STATS.total_builds() == 1
+        assert layout.component_map() is before
+
+    def test_repeated_rounds_share_one_computation(self):
+        engine = CircuitEngine(hexagon(2))
+        LAYOUT_STATS.reset()
+        layout = engine.global_layout(label="t")
+        probe = (next(iter(engine.structure)), "t")
+        for _ in range(10):
+            engine.run_round(layout, [probe])
+        assert LAYOUT_STATS.total_builds() == 1
+
+
+# ----------------------------------------------------------------------
+# derive / reassign correctness
+# ----------------------------------------------------------------------
+
+
+def _partition(layout: CircuitLayout):
+    """Canonical view of the circuits (independent of index numbering)."""
+    return {frozenset(circuit) for circuit in layout.circuits()}
+
+
+class TestDerive:
+    def test_derived_rewiring_matches_from_scratch(self):
+        structure = line_structure(8)
+        nodes = line_nodes(8)
+        engine = CircuitEngine(structure)
+
+        run = PascChainRun([(u, "") for u in nodes], chain_links_for_nodes(nodes))
+        base = engine.new_layout()
+        run.contribute_layout(base)
+        base.freeze()
+
+        # Flip some units and re-wire incrementally...
+        run._active[2] = False
+        run._active[5] = False
+        run._flipped = [2, 5]
+        derived = base.derive()
+        run.rewire_layout(derived)
+        derived.freeze()
+
+        # ...and compare against a from-scratch build of the same state.
+        fresh = engine.new_layout()
+        run.contribute_layout(fresh)
+        fresh.freeze()
+        assert _partition(derived) == _partition(fresh)
+        assert derived.partition_sets() == fresh.partition_sets()
+        assert derived.wiring_fingerprint() == fresh.wiring_fingerprint()
+        assert derived.wiring_fingerprint() != base.wiring_fingerprint()
+        # Index maps agree as functions up to renumbering: same grouping.
+        assert len(derived.circuits()) == len(fresh.circuits())
+
+    def test_derive_without_changes_adopts_components(self):
+        engine = CircuitEngine(hexagon(2))
+        LAYOUT_STATS.reset()
+        base = engine.global_layout(label="noop")
+        derived = base.derive()
+        derived.freeze()
+        assert LAYOUT_STATS.noop_freezes == 1
+        assert _partition(derived) == _partition(base)
+
+    def test_base_layout_survives_derived_rewiring(self):
+        structure = line_structure(4)
+        nodes = line_nodes(4)
+        engine = CircuitEngine(structure)
+        run = PascChainRun([(u, "") for u in nodes], chain_links_for_nodes(nodes))
+        base = engine.new_layout()
+        run.contribute_layout(base)
+        base.freeze()
+        snapshot = _partition(base)
+
+        run._active[1] = False
+        run._flipped = [1]
+        derived = base.derive()
+        run.rewire_layout(derived)
+        derived.freeze()
+        assert _partition(base) == snapshot  # untouched by the derivation
+
+    def test_released_set_disappears(self):
+        engine = CircuitEngine(line_structure(3))
+        layout = engine.new_layout()
+        a, b = Node(0, 0), Node(1, 0)
+        layout.assign(a, "x", [(a.direction_to(b), 0)])
+        layout.assign(b, "x", [(b.direction_to(a), 0)])
+        layout.freeze()
+        derived = layout.derive()
+        derived.release(b, "x")
+        derived.freeze()
+        assert (b, "x") not in derived.partition_sets()
+        assert (b, "x") not in derived.component_map()
+        assert (a, "x") in derived.component_map()
+
+
+# ----------------------------------------------------------------------
+# (b) one layout build per distinct wiring in run_pasc
+# ----------------------------------------------------------------------
+
+
+class TestPascLayoutReuse:
+    def test_one_full_build_then_derivations(self):
+        structure = line_structure(64)
+        nodes = line_nodes(64)
+        engine = CircuitEngine(structure)
+        run = PascChainRun([(u, "") for u in nodes], chain_links_for_nodes(nodes))
+        LAYOUT_STATS.reset()
+        result = run_pasc(engine, [run])
+        assert run.node_values() == {u: i for i, u in enumerate(nodes)}
+        # Exactly one from-scratch build (iteration 0); every other
+        # iteration has a distinct wiring and gets exactly one
+        # *incremental* computation — never a rebuild per iteration.
+        assert LAYOUT_STATS.full_builds == 1
+        assert LAYOUT_STATS.total_builds() == result.iterations
+
+    def test_repeated_execution_hits_the_layout_cache(self):
+        structure = line_structure(32)
+        nodes = line_nodes(32)
+        engine = CircuitEngine(structure)
+        first = PascChainRun([(u, "") for u in nodes], chain_links_for_nodes(nodes))
+        run_pasc(engine, [first])
+        second = PascChainRun([(u, "") for u in nodes], chain_links_for_nodes(nodes))
+        LAYOUT_STATS.reset()
+        result = run_pasc(engine, [second])
+        # The initial wiring cache-hits (only iteration 0 is cached, by
+        # design — see runner docstring); iterations 1+ derive as usual,
+        # so no from-scratch build happens at all.
+        assert LAYOUT_STATS.full_builds == 0
+        assert LAYOUT_STATS.total_builds() <= result.iterations - 1
+        assert second.node_values() == {u: i for i, u in enumerate(nodes)}
+        assert result.rounds == 2 * result.iterations
+
+    def test_tree_runs_reuse_layouts_too(self):
+        structure = hexagon(2)
+        root = structure.westernmost()
+        _adjacency, parent = bfs_tree_adjacency(structure, root)
+        engine = CircuitEngine(structure)
+        run = PascTreeRun(root, parent)
+        LAYOUT_STATS.reset()
+        run_pasc(engine, [run])
+        assert LAYOUT_STATS.full_builds == 1
+        # Depths must match the BFS tree depths.
+        values = run.values()
+        for child, par in parent.items():
+            assert values[child] == values[par] + 1
+
+    def test_inclusive_iteration_cap(self):
+        structure = line_structure(4)
+        nodes = line_nodes(4)
+        engine = CircuitEngine(structure)
+
+        class NeverDone(PascChainRun):
+            def active_units(self):
+                return [self.units[0]]
+
+        run = NeverDone([(u, "") for u in nodes], chain_links_for_nodes(nodes))
+        with pytest.raises(RuntimeError, match=r"4 amoebots"):
+            run_pasc(engine, [run], max_iterations=5)
+        # The cap is inclusive: exactly max_iterations iterations ran
+        # (2 rounds each) before the guard tripped.
+        assert engine.rounds.total == 10
+
+
+# ----------------------------------------------------------------------
+# engine cache and listen subset
+# ----------------------------------------------------------------------
+
+
+class TestEngineLayoutCache:
+    def test_global_layout_is_cached(self):
+        engine = CircuitEngine(hexagon(2))
+        assert engine.global_layout(label="g") is engine.global_layout(label="g")
+        assert engine.global_layout(label="g") is not engine.global_layout(label="h")
+
+    def test_edge_subset_layout_cached_by_content(self):
+        engine = CircuitEngine(hexagon(2))
+        edges = [(Node(0, 0), Node(1, 0))]
+        first = engine.edge_subset_layout(edges, label="e")
+        second = engine.edge_subset_layout(list(edges), label="e")
+        assert first is second
+
+    def test_listen_subset_matches_full_result(self):
+        engine = CircuitEngine(hexagon(2))
+        layout = engine.global_layout(label="g")
+        beeps = [(next(iter(engine.structure)), "g")]
+        full = engine.run_round(layout, beeps)
+        listen = sorted(full)[:3]
+        subset = engine.run_round(layout, beeps, listen=listen)
+        assert subset == {set_id: full[set_id] for set_id in listen}
+        assert engine.run_round(layout, beeps, listen=()) == {}
+
+    def test_cache_eviction_is_bounded(self):
+        cache = LayoutCache(maxsize=2)
+        engine = CircuitEngine(line_structure(3))
+        for i in range(4):
+            cache.put(i, engine.global_layout(label=f"l{i}"))
+        assert len(cache) == 2
+        assert cache.get(0) is None and cache.get(3) is not None
+
+
+# ----------------------------------------------------------------------
+# (c) round totals bit-identical to seed
+# ----------------------------------------------------------------------
+
+# Captured from the seed revision (commit 2191028) before the
+# layout-reuse refactor; these totals must never drift.
+SEED_ROUNDS = {
+    "hexagon:3": {"spsp": 24, "sssp": 40, "spt": 40, "forest": 54, "election": 1},
+    "lollipop:2:8": {"spsp": 24, "sssp": 42, "spt": 42, "forest": 219, "election": 1},
+}
+SEED_WINNERS = {"hexagon:3": Node(-2, 0), "lollipop:2:8": Node(-1, 1)}
+
+
+@pytest.mark.parametrize("spec", sorted(SEED_ROUNDS))
+class TestRoundTotalsMatchSeed:
+    def test_spsp_and_sssp(self, spec):
+        structure = build_structure(spec)
+        nodes = sorted(structure.nodes)
+        src, dst = nodes[0], nodes[-1]
+        engine = CircuitEngine(structure)
+        spsp = solve_spf(structure, [src], [dst], engine=engine)
+        assert spsp.rounds == SEED_ROUNDS[spec]["spsp"]
+        engine = CircuitEngine(structure)
+        sssp = solve_spf(structure, [src], list(structure.nodes), engine=engine)
+        assert sssp.rounds == SEED_ROUNDS[spec]["sssp"]
+
+    def test_spt(self, spec):
+        structure = build_structure(spec)
+        nodes = sorted(structure.nodes)
+        engine = CircuitEngine(structure)
+        shortest_path_tree(engine, structure, nodes[0], set(nodes))
+        assert engine.rounds.total == SEED_ROUNDS[spec]["spt"]
+
+    def test_forest(self, spec):
+        structure = build_structure(spec)
+        nodes = sorted(structure.nodes)
+        sources = [nodes[0], nodes[-1], nodes[len(nodes) // 2]]
+        engine = CircuitEngine(structure)
+        shortest_path_forest(engine, structure, sources)
+        assert engine.rounds.total == SEED_ROUNDS[spec]["forest"]
+
+    def test_ett_election(self, spec):
+        structure = build_structure(spec)
+        nodes = sorted(structure.nodes)
+        root = structure.westernmost()
+        adjacency, _ = bfs_tree_adjacency(structure, root)
+        tour = build_euler_tour(root, adjacency)
+        engine = CircuitEngine(structure)
+        marked = mark_one_outgoing_edge(tour, [nodes[2], nodes[5]])
+        winner = elect_first_marked(engine, tour, marked)
+        assert engine.rounds.total == SEED_ROUNDS[spec]["election"]
+        assert winner == SEED_WINNERS[spec]

@@ -76,6 +76,33 @@ class TestShapes:
             staircase(0)
 
 
+class TestSpecValidation:
+    """build_structure must reject degenerate size arguments up front."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["random:0", "line:-3", "hexagon:0", "lollipop:0:8", "comb:3:0",
+         "dendrite:-1", "triangle:0"],
+    )
+    def test_non_positive_sizes_rejected(self, spec):
+        from repro.workloads.specs import build_structure
+
+        with pytest.raises(ValueError, match="size argument"):
+            build_structure(spec)
+
+    def test_error_names_the_spec(self):
+        from repro.workloads.specs import build_structure
+
+        with pytest.raises(ValueError, match="random:0"):
+            build_structure("random:0")
+
+    @pytest.mark.parametrize("spec", ["random:12:0", "dendrite:12:-5"])
+    def test_seed_arguments_may_be_non_positive(self, spec):
+        from repro.workloads.specs import build_structure
+
+        assert len(build_structure(spec)) == 12
+
+
 class TestRandomStructures:
     def test_deterministic_by_seed(self):
         a = random_hole_free(60, seed=5)
