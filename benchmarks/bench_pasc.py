@@ -4,11 +4,13 @@ Chain length swept over three orders of magnitude; the measured
 iteration count must track ceil(log2 m) + 1 exactly and rounds must be
 exactly twice the iterations.
 
-This bench also guards the layout-reuse contract: one PASC execution
-must perform exactly one from-scratch layout build (iteration 0) and at
-most one component computation per iteration — a regression to
-per-iteration rebuilds fails the assertions below.  CI runs the bench
-in quick mode (``BENCH_QUICK=1`` shrinks the sweep) as a perf smoke.
+This bench also guards the layout-reuse-and-compile contract: one PASC
+execution must perform exactly one from-scratch layout build (iteration
+0) and at most one component computation per iteration, every build must
+lower to flat arrays exactly once, and every round must execute on the
+integer fast path — a regression to per-iteration rebuilds or to
+id-keyed dict rounds fails the assertions below.  CI runs the bench in
+quick mode (``BENCH_QUICK=1`` shrinks the sweep) as a perf smoke.
 """
 
 import math
@@ -45,6 +47,19 @@ def pasc_run(length: int):
     assert LAYOUT_STATS.total_builds() <= result.iterations, (
         f"{LAYOUT_STATS.total_builds()} component builds for "
         f"{result.iterations} distinct wirings; layouts are being rebuilt"
+    )
+    # Compile contract: every build lowers to arrays exactly once, and
+    # the round loop never falls back to the id-keyed dict path.
+    assert LAYOUT_STATS.compiles == LAYOUT_STATS.total_builds(), (
+        f"{LAYOUT_STATS.compiles} array compilations for "
+        f"{LAYOUT_STATS.total_builds()} builds; layouts are being recompiled"
+    )
+    assert LAYOUT_STATS.indexed_rounds == 2 * result.iterations, (
+        f"{LAYOUT_STATS.indexed_rounds} indexed rounds for "
+        f"{result.iterations} iterations; rounds left the integer fast path"
+    )
+    assert LAYOUT_STATS.mapped_rounds == 0, (
+        "PASC executed id-keyed dict rounds; the compiled contract is broken"
     )
     assert run.node_values() == {u: i for i, u in enumerate(nodes)}
     return result

@@ -5,7 +5,6 @@ isolation over growing structures; all three must stay logarithmic.
 """
 
 from repro.grid.coords import Node
-from repro.grid.structure import AmoebotStructure
 from repro.metrics.records import ResultTable
 from repro.sim.engine import CircuitEngine
 from repro.spf.line import line_forest

@@ -1,0 +1,165 @@
+"""Perf-regression gate: measure quick workloads, compare to a baseline.
+
+CI runs this after the benchmark smoke step::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --baseline BENCH_compiled_rounds.json --output perf-fresh.json
+
+Each workload is executed several times and the *median* wall-clock is
+compared against the committed baseline's ``after_s`` entry for the same
+workload name.  A workload regresses when its fresh median exceeds
+``baseline * tolerance``; any regression fails the gate (exit code 1).
+
+The tolerance (default 3.0, override with ``--tolerance`` or the
+``PERF_TOLERANCE`` environment variable) is deliberately generous:
+committed baselines were measured on one container and CI runners vary
+widely, so the gate is meant to catch algorithmic regressions — the
+per-round dict rebuilds this repository keeps engineering away from —
+not scheduler noise.  The fresh measurements are written to ``--output``
+and uploaded as a workflow artifact so regressions can be diagnosed
+from the run page.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from typing import Callable, Dict, List
+
+# Runnable as a plain script (`python benchmarks/check_regression.py`):
+# the repository root must be importable for the benchmark modules.
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)
+
+
+def _pasc_chain(length: int) -> None:
+    from repro.grid.coords import Node
+    from repro.pasc.chain import PascChainRun, chain_links_for_nodes
+    from repro.pasc.runner import run_pasc
+    from repro.sim.engine import CircuitEngine
+    from repro.workloads import line_structure
+
+    structure = line_structure(length)
+    nodes = [Node(i, 0) for i in range(length)]
+    engine = CircuitEngine(structure)
+    run = PascChainRun([(u, "") for u in nodes], chain_links_for_nodes(nodes))
+    run_pasc(engine, [run])
+    assert run.node_values() == {u: i for i, u in enumerate(nodes)}
+
+
+def _primitive_rounds(q: int) -> None:
+    from benchmarks.bench_primitives import primitive_rounds
+
+    primitive_rounds(q)
+
+
+def _sssp(n: int, seed: int) -> None:
+    from repro.spf.api import solve_spf
+    from repro.workloads import random_hole_free
+
+    structure = random_hole_free(n, seed=seed)
+    nodes = sorted(structure.nodes)
+    solve_spf(structure, [nodes[0]], list(structure.nodes))
+
+
+#: Workload name -> zero-argument callable.  Names must match the
+#: ``workloads`` keys of the committed baseline JSON.
+WORKLOADS: Dict[str, Callable[[], None]] = {
+    "pasc_chain_m256": lambda: _pasc_chain(256),
+    "pasc_chain_m1024": lambda: _pasc_chain(1024),
+    "primitives_n400_q16": lambda: _primitive_rounds(16),
+    "sssp_random200": lambda: _sssp(200, seed=7),
+}
+
+
+def measure(repeats: int) -> Dict[str, Dict[str, object]]:
+    """Run every workload ``repeats`` times; report per-workload medians."""
+    results: Dict[str, Dict[str, object]] = {}
+    for name, workload in WORKLOADS.items():
+        workload()  # warm-up: imports, caches, pyc compilation
+        runs: List[float] = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            workload()
+            runs.append(round(time.perf_counter() - start, 6))
+        results[name] = {"median_s": statistics.median(runs), "runs_s": runs}
+        print(f"measured {name}: median {results[name]['median_s']:.3f}s {runs}")
+    return results
+
+
+def compare(
+    fresh: Dict[str, Dict[str, object]],
+    baseline: Dict[str, object],
+    tolerance: float,
+) -> List[str]:
+    """Regression messages for every workload exceeding its budget."""
+    problems: List[str] = []
+    workloads = baseline.get("workloads", {})
+    for name, result in fresh.items():
+        entry = workloads.get(name)
+        if entry is None or "after_s" not in entry:
+            print(f"note: no baseline entry for {name!r}; skipping comparison")
+            continue
+        budget = float(entry["after_s"]) * tolerance
+        median = float(result["median_s"])
+        if median > budget:
+            problems.append(
+                f"{name}: median {median:.3f}s exceeds budget {budget:.3f}s "
+                f"(baseline {float(entry['after_s']):.3f}s x tolerance {tolerance})"
+            )
+        else:
+            print(f"ok: {name} median {median:.3f}s within budget {budget:.3f}s")
+    return problems
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_compiled_rounds.json",
+        help="committed baseline JSON with workloads.<name>.after_s medians",
+    )
+    parser.add_argument("--output", default=None, help="write fresh measurements to this JSON file")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("PERF_TOLERANCE", "3.0")),
+        help="regression threshold as a multiple of the baseline median",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="timed runs per workload")
+    args = parser.parse_args(argv)
+
+    fresh = measure(args.repeats)
+    if args.output:
+        payload = {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "tolerance": args.tolerance,
+            "workloads": fresh,
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+
+    try:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except OSError as exc:
+        print(f"cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
+        return 2
+
+    problems = compare(fresh, baseline, args.tolerance)
+    for problem in problems:
+        print(f"REGRESSION: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,20 +16,19 @@ Run:  python examples/figures.py
 import os
 import random
 
-from repro import CircuitEngine, Node, hexagon, random_hole_free
+from repro import CircuitEngine, random_hole_free
 from repro.grid.directions import Axis
 from repro.portals.portals import PortalSystem
 from repro.portals.primitives import portal_root_and_prune
 from repro.primitives import root_and_prune
 from repro.sim.engine import CircuitEngine
-from repro.spf.forest import shortest_path_forest
 from repro.spf.line import line_forest
 from repro.spf.regions import RegionDecomposition
 from repro.spf.spt import shortest_path_tree
 from repro.ett.tour import adjacency_from_edges
 from repro.grid.oracle import bfs_tree
 from repro.viz.svg import render_structure_svg
-from repro.workloads import line_structure, parallelogram
+from repro.workloads import line_structure
 
 
 def bfs_tree_adjacency(structure, root):

@@ -8,13 +8,7 @@ against the BFS oracle, and renders the forest as ASCII art.
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    CircuitEngine,
-    assert_valid_forest,
-    hexagon,
-    solve_spf,
-    spread_nodes,
-)
+from repro import assert_valid_forest, hexagon, solve_spf, spread_nodes
 from repro.viz.ascii_art import render_forest_ascii
 
 

@@ -49,7 +49,7 @@ def main() -> None:
         total_hops += depth
         print(f"  mover {tuple(mover)} -> entry {tuple(entry)}  ({depth} hops)")
     print(f"total travel: {total_hops} hops "
-          f"(provably minimal per mover, to its closest entry)")
+          "(provably minimal per mover, to its closest entry)")
 
     # Execute the migration: synchronous token routing with
     # single-occupancy congestion resolution (repro.motion).

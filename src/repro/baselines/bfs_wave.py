@@ -20,9 +20,10 @@ baseline's cost at ``ecc(S) + O(1)`` rounds.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.grid.coords import Node
+from repro.grid.directions import Direction
 from repro.grid.structure import AmoebotStructure
 from repro.sim.engine import CircuitEngine
 from repro.spf.types import Forest
@@ -66,29 +67,38 @@ def bfs_wave_forest(
     frontier: Set[Node] = set(source_set)
     unreached: Set[Node] = set(structure.nodes) - reached
 
+    # Integer set-ids per (amoebot, incident direction), resolved once:
+    # each wave round then builds flat index lists instead of re-keying
+    # f-string labels into dicts.
+    index = layout.compiled().index
+    slots: Dict[Node, List[Tuple[Direction, int]]] = {
+        u: [
+            (d, index.index_of((u, f"wave:{d.name}"), "listen on"))
+            for d in structure.occupied_directions(u)
+        ]
+        for u in structure
+    }
+
     with engine.rounds.section(section):
         while pending:
-            beeps = []
-            for u in frontier:
-                for d in structure.occupied_directions(u):
-                    beeps.append((u, f"wave:{d.name}"))
+            beeps = [i for u in frontier for _d, i in slots[u]]
             if not beeps:
                 raise AssertionError("wave died before covering all destinations")
             # Only unreached amoebots read their link sets; the heard
             # region shrinks as the wave advances.
-            listen = [
-                (u, f"wave:{d.name}")
-                for u in unreached
-                for d in structure.occupied_directions(u)
-            ]
-            received = engine.run_round(layout, beeps, listen=listen)
+            ordered = list(unreached)
+            listen = [i for u in ordered for _d, i in slots[u]]
+            received = engine.run_round_indexed(layout, beeps, listen)
             new_frontier: Set[Node] = set()
-            for u in unreached:
-                for d in structure.occupied_directions(u):
-                    if received.get((u, f"wave:{d.name}"), False):
+            cursor = 0
+            for u in ordered:
+                u_slots = slots[u]
+                for offset, (d, _i) in enumerate(u_slots):
+                    if received[cursor + offset]:
                         parent[u] = u.neighbor(d)
                         new_frontier.add(u)
                         break
+                cursor += len(u_slots)
             reached |= new_frontier
             unreached -= new_frontier
             pending -= new_frontier

@@ -66,31 +66,39 @@ def elect_first_marked_many(
         layout = engine.layouts.get_or_build(
             key, lambda: _election_layout(engine, requests, tag)
         )
+        index = layout.compiled().index
 
-        beeps = [(request.tour.root, f"{tag}:0") for request in requests]
+        beeps = index.indices(
+            ((request.tour.root, f"{tag}:0") for request in requests), "beep on"
+        )
         # Only the candidate units (marked outgoing edge) ever read the
-        # result, so only their sets are materialized.
-        listen = [
-            (node, f"{tag}:{uid}")
-            for request in requests
-            for i, (node, uid) in enumerate(request.tour.units)
-            if i < len(request.tour.edges) and request.tour.edges[i] in request.marked
-        ]
-        received = engine.run_round(layout, beeps, listen=listen)
+        # result, so only their integer set-ids are resolved and read —
+        # the simulator scans candidates in tour order, mirroring each
+        # amoebot checking only its own occurrences.
+        candidates: List[List[Node]] = []
+        listen: List[int] = []
+        for request in requests:
+            tour, marked = request.tour, request.marked
+            per_request: List[Node] = []
+            for i, (node, uid) in enumerate(tour.units):
+                if i < len(tour.edges) and tour.edges[i] in marked:
+                    per_request.append(node)
+                    listen.append(index.index_of((node, f"{tag}:{uid}"), "listen on"))
+            candidates.append(per_request)
+        bits = engine.run_round_indexed(layout, beeps, listen)
 
     winners: List[Node] = []
-    for request in requests:
-        tour, marked = request.tour, request.marked
+    cursor = 0
+    for per_request in candidates:
         # The elected amoebot hears the beep at an occurrence whose
-        # outgoing edge it marked (locally checkable).  The simulator
-        # scans all units; distributedly each amoebot checks only its
-        # own occurrences.
+        # outgoing edge it marked (locally checkable): the first set bit
+        # among this request's candidate occurrences.
         winner = None
-        for i, (node, uid) in enumerate(tour.units):
-            if i < len(tour.edges) and tour.edges[i] in marked:
-                if received.get((node, f"{tag}:{uid}"), False):
-                    winner = node
-                    break
+        for offset, node in enumerate(per_request):
+            if bits[cursor + offset]:
+                winner = node
+                break
+        cursor += len(per_request)
         if winner is None:
             raise AssertionError("no unit identified itself as elected")
         winners.append(winner)

@@ -28,9 +28,26 @@ from repro.experiments.store import ResultStore
 from repro.grid.coords import Node
 from repro.grid.oracle import structure_diameter
 from repro.grid.structure import AmoebotStructure
+from repro.sim.circuits import LayoutCache
 from repro.sim.engine import CircuitEngine
 from repro.workloads.samplers import sample_sources_destinations, spread_nodes
 from repro.workloads.specs import build_structure
+
+#: Process-wide layout cache shared by every trial a worker executes.
+#: Keys are scoped by the trial structure's node set, so trials over the
+#: same shape (different seeds, algorithms, or endpoint placements) reuse
+#: one frozen-and-compiled layout per wiring fingerprint instead of
+#: rebuilding and recompiling it per trial.  Bounded LRU: long campaigns
+#: with many distinct shapes cannot pin unbounded layout memory.
+_WORKER_LAYOUTS = LayoutCache(maxsize=128)
+
+
+def _trial_engine(structure: AmoebotStructure) -> CircuitEngine:
+    """An engine whose layout cache is shared across the worker's trials."""
+    return CircuitEngine(
+        structure,
+        layouts=_WORKER_LAYOUTS.scoped(frozenset(structure.nodes)),
+    )
 
 
 @dataclass
@@ -134,7 +151,7 @@ def execute_trial(trial: TrialSpec) -> TrialResult:
     """Run one trial and measure rounds, forest size and wall time."""
     structure = build_structure(trial.shape)
     sources, destinations = _pick_endpoints(structure, trial)
-    engine = CircuitEngine(structure)
+    engine = _trial_engine(structure)
     resolved = trial.algorithm
     start = time.perf_counter()
 

@@ -94,6 +94,9 @@ class AmoebotStructure:
 
     def has_neighbor(self, node: Node, direction: Direction) -> bool:
         """Whether the adjacent node in ``direction`` is occupied."""
+        cached = self._direction_cache.get(node)
+        if cached is not None:
+            return direction in cached
         return node.neighbor(direction) in self._nodes
 
     def occupied_directions(self, node: Node) -> List[Direction]:

@@ -188,14 +188,18 @@ class PascChainRun:
             if i >= len(self.links):
                 continue  # the last unit has no outgoing link to re-cross
             node = self.units[i][0]
-            p_label, s_label = self._label(i, "p"), self._label(i, "s")
-            # Release the pair first: un-crossing swaps the channels of
-            # the same physical pins between the two sets.
-            layout.release(node, p_label)
-            layout.release(node, s_label)
-            p_pins, s_pins = self._unit_wiring(i)
-            layout.assign(node, p_label, p_pins)
-            layout.assign(node, s_label, s_pins)
+            link = self.links[i]
+            # Un-crossing swaps the channels of the same physical pins
+            # between the primary and secondary set: one pin exchange.
+            layout.exchange_pins(
+                node,
+                self._label(i, "p"),
+                self._label(i, "s"),
+                (
+                    (link.direction, link.primary_channel),
+                    (link.direction, link.secondary_channel),
+                ),
+            )
         self._flipped = []
 
     def listen_sets(self) -> List[PartitionSetId]:
@@ -212,17 +216,29 @@ class PascChainRun:
 
     def absorb(self, received: Dict[PartitionSetId, bool]) -> None:
         """Read this iteration's bit at every unit and update activity."""
+        self.absorb_bits(
+            [received.get(self.secondary_set(i), False) for i in range(len(self.units))]
+        )
+
+    def absorb_bits(self, bits: Sequence[bool]) -> None:
+        """Absorb a flat bit list aligned with :meth:`listen_sets` order.
+
+        The compiled fast path of :func:`~repro.pasc.runner.run_pasc`
+        hands each run its slice of the round's bit list; unit ``i``'s
+        bit is simply ``bits[i]`` — no dict lookups, no tuple hashing.
+        """
         bit_index = self._iteration
         flipped: List[int] = []
-        for i in range(len(self.units)):
-            heard_secondary = received.get(self.secondary_set(i), False)
+        value = self._value
+        active = self._active
+        for i, heard_secondary in enumerate(bits):
             if heard_secondary:
-                self._value[i] |= 1 << bit_index
-            if self._active[i] and not heard_secondary:
+                value[i] |= 1 << bit_index
+            if active[i] and not heard_secondary:
                 # Active participants whose bit is 0 drop out; exactly the
                 # units with bits 0..t all 1 stay active, preserving the
                 # parity invariant for the next iteration.
-                self._active[i] = False
+                active[i] = False
                 flipped.append(i)
         self._flipped = flipped
         self._iteration += 1

@@ -15,21 +15,31 @@ whose activity flipped re-cross their outgoing links — so the runner
 honors the layout-reuse contract of :mod:`repro.sim.circuits`: the full
 layout (including the never-changing global termination circuit) is
 built and frozen **once**, and every subsequent iteration *derives* it,
-re-wiring only the flipped units and recomputing only the touched
-circuits.  When every run exposes a wiring key, the *initial* layout is
-additionally memoized in the engine's layout cache, so deterministic
-algorithms that re-execute identical PASC runs (e.g. the recomputed
-decomposition tree of the forest algorithm) skip the one full build as
-well.  Only iteration 0 is cached on purpose: per-iteration activity
-snapshots would insert a never-repeating key per iteration, churning the
-LRU out of its genuinely reusable entries and pinning structure-sized
-layout copies, while derivation already makes iterations 1+ cheap.
+re-wiring only the flipped units (one ``exchange_pins`` crossing flip
+per unit) and recomputing only the touched circuits.  When every run
+exposes a wiring key, the *initial* layout is additionally memoized in
+the engine's layout cache, so deterministic algorithms that re-execute
+identical PASC runs (e.g. the recomputed decomposition tree of the
+forest algorithm) skip the one full build as well.  Only iteration 0 is
+cached on purpose: per-iteration activity snapshots would insert a
+never-repeating key per iteration, churning the LRU out of its genuinely
+reusable entries and pinning structure-sized layout copies, while
+derivation already makes iterations 1+ cheap.
+
+Execution itself rides the compiled fast path: freezing lowers each
+iteration's layout to flat integer arrays, the runs' listen sets and the
+termination probe are resolved to stable integer set-ids once per derive
+chain, both rounds of an iteration go through
+:meth:`~repro.sim.engine.CircuitEngine.run_rounds`, and each run absorbs
+its slice of the flat bit list (``absorb_bits``) — zero per-round dict
+construction.  Runs lacking ``listen_sets``/``absorb_bits`` fall back to
+the id-keyed dict path with identical round counts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Protocol, Sequence, Tuple
+from typing import Iterator, List, Optional, Protocol, Sequence, Tuple
 
 from repro.sim.circuits import CircuitLayout
 from repro.sim.engine import CircuitEngine
@@ -39,14 +49,18 @@ from repro.sim.pins import PartitionSetId
 class PascRun(Protocol):
     """Protocol shared by chain and tree runs (and ETT wrappers).
 
-    Implementations may additionally offer three optional methods the
-    runner exploits when present (duck-typed, checked via ``hasattr``):
+    Implementations may additionally offer optional methods the runner
+    exploits when present (duck-typed, checked via ``hasattr``):
 
     * ``rewire_layout(layout)`` — reassign only the partition sets whose
       wiring changed since the last ``contribute_layout``/``rewire_layout``
       call, enabling derived-layout reuse instead of full rebuilds;
     * ``listen_sets()`` — the partition sets ``absorb`` actually reads,
       so the engine materializes only those beep results;
+    * ``absorb_bits(bits)`` — like ``absorb`` but consuming a flat bit
+      list aligned with ``listen_sets()`` order; together with
+      ``listen_sets`` this lets the runner execute iterations on the
+      compiled integer fast path with zero per-round dict construction;
     * ``wiring_key()`` — a hashable snapshot determining this run's
       current wiring, enabling layout-cache hits across repeated
       identical executions.
@@ -113,11 +127,17 @@ def run_pasc(
     # scanning all of them.
     term_probe: PartitionSetId = (next(iter(engine.structure)), TERMINATION_LABEL)
 
+    listenable = all(hasattr(run, "listen_sets") for run in runs)
+    indexed = listenable and all(hasattr(run, "absorb_bits") for run in runs)
+
     listen: Optional[List[PartitionSetId]] = None
-    if all(hasattr(run, "listen_sets") for run in runs):
+    slices: List[Tuple[int, int]] = []
+    if listenable:
         listen = []
         for run in runs:
-            listen.extend(run.listen_sets())
+            run_listen = run.listen_sets()
+            slices.append((len(listen), len(listen) + len(run_listen)))
+            listen.extend(run_listen)
 
     rewirable = all(hasattr(run, "rewire_layout") for run in runs)
     keyable = all(hasattr(run, "wiring_key") for run in runs)
@@ -129,6 +149,13 @@ def run_pasc(
     iterations = 0
     start_rounds = engine.rounds.total
     layout: Optional[CircuitLayout] = None
+    # Integer set-ids, resolved once per partition-set index.  Derived
+    # layouts keep the index object of their base, so one resolution
+    # covers the whole derive chain; a fresh index (full rebuild, cache
+    # hit on a different layout object) triggers re-resolution.
+    cached_index = None
+    listen_idx: List[int] = []
+    term_probe_idx = 0
     with engine.rounds.section(section):
         while True:
             if iterations >= max_iterations:
@@ -144,24 +171,65 @@ def run_pasc(
                 wiring_key() if keyable and first_iteration else None,
             )
 
-            beeps: List[PartitionSetId] = []
-            for run in runs:
-                beeps.extend(run.beeps())
-            received = engine.run_round(layout, beeps, listen=listen)
-            for run in runs:
-                run.absorb(received)
-            iterations += 1
+            if indexed:
+                assert listen is not None
+                index = layout.compiled().index
+                if index is not cached_index:
+                    cached_index = index
+                    listen_idx = index.indices(listen, "listen on")
+                    term_probe_idx = index.index_of(term_probe, "listen on")
+                beep_idx = index.indices(
+                    (set_id for run in runs for set_id in run.beeps()), "beep on"
+                )
 
-            term_beeps: List[PartitionSetId] = []
-            for run in runs:
-                for unit in run.active_units():
-                    node = unit[0] if isinstance(unit, tuple) else unit
-                    term_beeps.append((node, TERMINATION_LABEL))
-            term_received = engine.run_round(
-                layout, term_beeps, listen=(term_probe,)
-            )
-            if not term_received[term_probe]:
-                break
+                def term_beeps() -> List[int]:
+                    return index.indices(
+                        (
+                            (unit[0] if isinstance(unit, tuple) else unit,
+                             TERMINATION_LABEL)
+                            for run in runs
+                            for unit in run.active_units()
+                        ),
+                        "beep on",
+                    )
+
+                def activations() -> Iterator[Tuple[List[int], Sequence[int]]]:
+                    yield beep_idx, listen_idx
+                    # Evaluated only when pulled — after the consumer
+                    # absorbed round 1 — so the termination beeps read
+                    # this iteration's activity.  (If a refactor ever
+                    # pulls it early, stale activity keeps the circuit
+                    # beeping and the iteration cap trips loudly.)
+                    yield term_beeps(), (term_probe_idx,)
+
+                rounds_iter = engine.run_rounds(layout, activations())
+                bits = next(rounds_iter)
+                for run, (lo, hi) in zip(runs, slices):
+                    run.absorb_bits(bits[lo:hi])
+                iterations += 1
+                term_bits = next(rounds_iter)
+                rounds_iter.close()
+                if not term_bits[0]:
+                    break
+            else:
+                beeps: List[PartitionSetId] = []
+                for run in runs:
+                    beeps.extend(run.beeps())
+                received = engine.run_round(layout, beeps, listen=listen)
+                for run in runs:
+                    run.absorb(received)
+                iterations += 1
+
+                term_beeps: List[PartitionSetId] = []
+                for run in runs:
+                    for unit in run.active_units():
+                        node = unit[0] if isinstance(unit, tuple) else unit
+                        term_beeps.append((node, TERMINATION_LABEL))
+                term_received = engine.run_round(
+                    layout, term_beeps, listen=(term_probe,)
+                )
+                if not term_received[term_probe]:
+                    break
     return PascResult(iterations=iterations, rounds=engine.rounds.total - start_rounds)
 
 

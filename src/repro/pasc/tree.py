@@ -11,7 +11,7 @@ Corollary 5 notes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.grid.coords import Node
 from repro.grid.directions import Direction
@@ -136,15 +136,17 @@ class PascTreeRun:
         """Reassign only the nodes whose activity (and hence child-link
         crossing) changed since the last contribute/rewire."""
         for u in self._flipped:
-            if not self.children[u]:
+            children = self.children[u]
+            if not children:
                 continue  # leaves own no child links; their wiring is static
-            # Release the pair first: un-crossing swaps the channels of
-            # the same physical pins between the two sets.
-            layout.release(u, f"{self.tag}:p")
-            layout.release(u, f"{self.tag}:s")
-            p_pins, s_pins = self._node_wiring(u)
-            layout.assign(u, f"{self.tag}:p", p_pins)
-            layout.assign(u, f"{self.tag}:s", s_pins)
+            # Un-crossing swaps the channels of the same physical pins of
+            # every child link between the two sets: one pin exchange.
+            pins = []
+            for child in children:
+                d = u.direction_to(child)
+                pins.append((d, self.pch))
+                pins.append((d, self.sch))
+            layout.exchange_pins(u, f"{self.tag}:p", f"{self.tag}:s", pins)
         self._flipped = []
 
     def listen_sets(self) -> List[PartitionSetId]:
@@ -161,10 +163,20 @@ class PascTreeRun:
 
     def absorb(self, received: Dict[PartitionSetId, bool]) -> None:
         """Read this iteration's bit and update activity."""
+        self.absorb_bits(
+            [received.get(self.secondary_set(u), False) for u in self.nodes]
+        )
+
+    def absorb_bits(self, bits: Sequence[bool]) -> None:
+        """Absorb a flat bit list aligned with :meth:`listen_sets` order.
+
+        ``bits[i]`` is the bit of ``self.nodes[i]`` (the listen order);
+        the compiled fast path of :func:`~repro.pasc.runner.run_pasc`
+        reads bits positionally instead of through id-keyed dicts.
+        """
         bit_index = self._iteration
         flipped: List[Node] = []
-        for u in self.nodes:
-            heard_secondary = received.get(self.secondary_set(u), False)
+        for u, heard_secondary in zip(self.nodes, bits):
             if heard_secondary:
                 self._value[u] |= 1 << bit_index
             if self._active[u] and not heard_secondary:

@@ -179,12 +179,13 @@ def _membership_broadcast(
     which carry one beep each — charged as one more round.
     """
     layout = scope.portal_circuit_layout(engine)
-    beeps = []
-    for p in result.in_vq:
-        beeps.append((p.nodes[0], "portal"))
+    index = layout.compiled().index
+    beeps = index.indices(
+        ((p.nodes[0], "portal") for p in result.in_vq), "beep on"
+    )
     # The simulator already knows the outcome through `result`; the round
     # is executed for its cost, so nothing needs to be materialized.
-    engine.run_round(layout, beeps, listen=())
+    engine.run_round_indexed(layout, beeps, ())
     engine.charge_local_round()  # parent-direction beeps (Fig. 4b)
 
 
@@ -262,8 +263,10 @@ def _count_degrees(
     # One more round: portals with degree >= 3 announce membership in A_Q
     # on their portal circuits.
     layout = scope.portal_circuit_layout(engine, label="portal:aq")
-    beeps = [(p.nodes[-1], "portal:aq") for p in result.augmentation]
-    engine.run_round(layout, beeps, listen=())
+    beeps = layout.compiled().index.indices(
+        ((p.nodes[-1], "portal:aq") for p in result.augmentation), "beep on"
+    )
+    engine.run_round_indexed(layout, beeps, ())
 
 
 def _is_north_side(system: PortalSystem, u: Node, v: Node) -> bool:
@@ -303,7 +306,11 @@ def portal_elect(
         winner_portal = system.portal_of[winners[0]]
         # Announce the winning portal on its portal circuit.
         layout = scope.portal_circuit_layout(engine, label="portal:won")
-        engine.run_round(layout, [(winners[0], "portal:won")], listen=())
+        engine.run_round_indexed(
+            layout,
+            (layout.compiled().index.index_of((winners[0], "portal:won"), "beep on"),),
+            (),
+        )
     return winner_portal
 
 
@@ -373,7 +380,7 @@ def portal_centroids(
             run_pasc(engine, [op.phase2.chain], section=f"{section}:ett2")
         # Portals learn non-centroid status via one portal-circuit beep.
         layout = scope.portal_circuit_layout(engine, label="portal:cen")
-        engine.run_round(layout, [], listen=())
+        engine.run_round_indexed(layout, (), ())
     return op.centroids()
 
 
@@ -437,7 +444,10 @@ def portal_centroid_decomposition(
     # Global termination circuit: built (or cache-hit) once, reused by
     # every level; one probe set carries the single bit it can hold.
     term_layout = engine.global_layout(label="pdec:term")
-    term_probe = (next(iter(engine.structure)), "pdec:term")
+    term_index = term_layout.compiled().index
+    term_probe = term_index.index_of(
+        (next(iter(engine.structure)), "pdec:term"), "listen on"
+    )
 
     with engine.rounds.section(section):
         level_index = 0
@@ -447,10 +457,12 @@ def portal_centroid_decomposition(
             elected, next_active = _portal_level(engine, system, active, tree)
             tree.levels.append(elected)
             remaining.difference_update(elected)
-            beeps = [(p.representative, "pdec:term") for p in remaining]
-            received = engine.run_round(term_layout, beeps, listen=(term_probe,))
+            beeps = term_index.indices(
+                ((p.representative, "pdec:term") for p in remaining), "beep on"
+            )
+            received = engine.run_round_indexed(term_layout, beeps, (term_probe,))
             active = next_active
-            if not received[term_probe]:
+            if not received[0]:
                 break
             level_index += 1
 
@@ -523,22 +535,29 @@ def _portal_level(
                 if v in comp_nodes and (u.x, u.y) < (v.x, v.y):
                     edges.append((u, v))
     layout = engine.edge_subset_layout(edges, label="pdec:comp", channel=0)
-    beeps = []
-    for rec, choice, component in specs:
-        for p in (rec.q - {choice}) & component:
-            beeps.append((p.representative, "pdec:comp"))
+    index = layout.compiled().index
+    beeps = index.indices(
+        (
+            (p.representative, "pdec:comp")
+            for rec, choice, component in specs
+            for p in (rec.q - {choice}) & component
+        ),
+        "beep on",
+    )
     # One probe per component circuit (matching the reads below).
-    listen = [
-        (next(iter(component)).representative, "pdec:comp")
-        for _rec, _choice, component in specs
-    ]
-    received = engine.run_round(layout, beeps, listen=listen)
+    listen = index.indices(
+        (
+            (next(iter(component)).representative, "pdec:comp")
+            for _rec, _choice, component in specs
+        ),
+        "listen on",
+    )
+    received = engine.run_round_indexed(layout, beeps, listen)
 
     next_active: List[_PortalRecursion] = []
-    for rec, choice, component in specs:
+    for probe_bit, (rec, choice, component) in zip(received, specs):
         q_in = (rec.q - {choice}) & component
-        probe = next(iter(component)).representative
-        heard = received.get((probe, "pdec:comp"), False)
+        heard = probe_bit
         if heard != bool(q_in):
             raise AssertionError("component beep disagrees with portal membership")
         if not q_in:

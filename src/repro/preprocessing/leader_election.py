@@ -62,15 +62,18 @@ def elect_leader(
 
     # One global circuit, reused for every phase (cache-hit if another
     # primitive already built it); a single probe set carries the bit.
+    # Integer set-ids are resolved once, so each phase is one array pass.
     layout = engine.global_layout(label="leader")
-    probe = (next(iter(structure)), "leader")
+    index = layout.compiled().index
+    set_of = {u: index.index_of((u, "leader"), "beep on") for u in structure}
+    probe = index.index_of((next(iter(structure)), "leader"), "listen on")
     with engine.rounds.section(section):
         for _phase in range(phases):
             heads = {u for u in candidates if rng.random() < 0.5}
-            received = engine.run_round(
-                layout, [(u, "leader") for u in heads], listen=(probe,)
+            received = engine.run_round_indexed(
+                layout, [set_of[u] for u in heads], (probe,)
             )
-            someone_beeped = received[probe]
+            someone_beeped = received[0]
             if someone_beeped:
                 candidates = heads
             if len(candidates) <= 1:

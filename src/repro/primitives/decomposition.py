@@ -93,7 +93,10 @@ def centroid_decomposition(
     # reused by every level's check.  It is global, so listening on a
     # single probe set is equivalent to scanning all of them.
     term_layout = engine.global_layout(label="decomp:term")
-    term_probe = (next(iter(engine.structure)), "decomp:term")
+    term_index = term_layout.compiled().index
+    term_probe = term_index.index_of(
+        (next(iter(engine.structure)), "decomp:term"), "listen on"
+    )
 
     with engine.rounds.section(section):
         level_index = 0
@@ -105,10 +108,12 @@ def centroid_decomposition(
             remaining.difference_update(level_centroids)
             # Termination check: a global circuit where every unelected
             # Q' node beeps; silence ends the primitive.
-            beeps = [(u, "decomp:term") for u in remaining]
-            received = engine.run_round(term_layout, beeps, listen=(term_probe,))
+            beeps = term_index.indices(
+                ((u, "decomp:term") for u in remaining), "beep on"
+            )
+            received = engine.run_round_indexed(term_layout, beeps, (term_probe,))
             active = next_active
-            if not received[term_probe]:
+            if not received[0]:
                 break
             level_index += 1
 
@@ -205,23 +210,30 @@ def _run_level(
                 if v in component and (u.x, u.y, v.x, v.y) < (v.x, v.y, u.x, u.y):
                     edges.append((u, v))
     layout = engine.edge_subset_layout(edges, label="decomp:comp", channel=0)
-    beeps = []
-    for rec, choice, component in component_specs:
-        for u in (rec.q - {choice}) & component:
-            beeps.append((u, "decomp:comp"))
+    index = layout.compiled().index
+    beeps = index.indices(
+        (
+            (u, "decomp:comp")
+            for rec, choice, component in component_specs
+            for u in (rec.q - {choice}) & component
+        ),
+        "beep on",
+    )
     # Each component circuit carries one bit; one probe per component
-    # suffices (the loop below re-derives the same probe per component).
-    listen = [
-        (next(iter(component)), "decomp:comp")
-        for _rec, _choice, component in component_specs
-    ]
-    received = engine.run_round(layout, beeps, listen=listen)
+    # suffices (bits align with the spec order read below).
+    listen = index.indices(
+        (
+            (next(iter(component)), "decomp:comp")
+            for _rec, _choice, component in component_specs
+        ),
+        "listen on",
+    )
+    received = engine.run_round_indexed(layout, beeps, listen)
 
     next_active: List[_Recursion] = []
-    for rec, choice, component in component_specs:
+    for probe_bit, (rec, choice, component) in zip(received, component_specs):
         q_in_component = (rec.q - {choice}) & component
-        probe = next(iter(component))
-        heard = received.get((probe, "decomp:comp"), False)
+        heard = probe_bit
         if heard != bool(q_in_component):
             raise AssertionError("component beep disagrees with membership")
         if not q_in_component:

@@ -12,26 +12,36 @@ The simulator is strict about the model:
 * pins only exist toward occupied neighbors;
 * a pin belongs to at most one partition set;
 * beeps carry no payload and no origin information;
-* every call to :meth:`CircuitEngine.run_round` is one synchronous round
-  and ticks the shared :class:`~repro.metrics.RoundCounter`.
+* every call to :meth:`CircuitEngine.run_round` (or its integer twin
+  :meth:`CircuitEngine.run_round_indexed`) is one synchronous round and
+  ticks the shared :class:`~repro.metrics.RoundCounter`.
 
-Layout reuse contract: build layouts *outside* round loops.  Frozen
-layouts are immutable and pay their component computation once; evolving
-wirings go through :meth:`CircuitLayout.derive` (incremental re-wiring,
-components recomputed only over the touched circuits) and repeated
-wirings through the engine's :class:`LayoutCache`
-(``engine.layouts``).  ``run_round(..., listen=...)`` materializes only
-the beep results the caller reads.  See ``repro.sim.circuits`` for the
-full contract and :data:`LAYOUT_STATS` for the rebuild probe.
+Execution pipeline — **build -> freeze -> compile -> run**: build
+layouts *outside* round loops; freezing validates a layout once and
+*compiles* it to flat integer arrays
+(:class:`~repro.sim.compiled.CompiledLayout`), so a round is a couple of
+array passes.  Evolving wirings go through :meth:`CircuitLayout.derive`
+(incremental re-wiring, components recomputed only over the touched
+circuits, integer set-ids stable across the chain) and repeated wirings
+through the engine's :class:`LayoutCache` (``engine.layouts``).  Hot
+loops resolve their partition sets to integer ids once via
+:class:`~repro.sim.compiled.PartitionSetIndex` and run
+:meth:`CircuitEngine.run_rounds` with zero per-round dict construction;
+``run_round(..., listen=...)`` remains the id-keyed surface and
+materializes only the beep results the caller reads.  See
+``repro.sim.circuits`` for the full contract and :data:`LAYOUT_STATS`
+for the rebuild/compile/round probes.
 """
 
 from repro.sim.errors import SimulationError, PinConfigurationError
 from repro.sim.pins import Pin, PartitionSetId
+from repro.sim.compiled import CompiledLayout, PartitionSetIndex
 from repro.sim.circuits import (
     LAYOUT_STATS,
     CircuitLayout,
     LayoutBuildStats,
     LayoutCache,
+    ScopedLayoutCache,
 )
 from repro.sim.engine import CircuitEngine
 from repro.sim.trace import RoundTrace, attach_trace
@@ -41,8 +51,11 @@ __all__ = [
     "PinConfigurationError",
     "Pin",
     "PartitionSetId",
+    "CompiledLayout",
+    "PartitionSetIndex",
     "CircuitLayout",
     "LayoutCache",
+    "ScopedLayoutCache",
     "LayoutBuildStats",
     "LAYOUT_STATS",
     "CircuitEngine",

@@ -9,25 +9,37 @@ pin configuration over many rounds pay the component computation once.
 
 **Rule: build layouts outside round loops.**  Per-round work should be
 :meth:`CircuitEngine.run_round <repro.sim.engine.CircuitEngine.run_round>`
-calls against a layout that already exists.  Two tools make that cheap
+calls against a layout that already exists.  Three tools make that cheap
 even when the wiring *does* evolve between rounds:
 
+* Freezing *compiles* the layout: partition sets are hashed exactly once
+  into dense integer ids and the circuits live in flat arrays
+  (:class:`~repro.sim.compiled.CompiledLayout`), so a round is a couple
+  of integer array passes instead of dict traversal.  The dict views
+  (:meth:`CircuitLayout.component_map`, :meth:`CircuitLayout.circuits`)
+  are derived lazily from the arrays for tests and tracing.
 * :meth:`CircuitLayout.derive` clones a frozen layout into a new,
   re-wirable one.  :meth:`CircuitLayout.reassign` replaces the pins of
   individual partition sets, and the subsequent :meth:`freeze` re-runs
-  the union-find only over the circuits touched by the re-wiring — the
-  untouched region keeps its component assignment verbatim.  PASC uses
-  this: each iteration flips the crossing of a few links, so deriving is
-  O(touched region) instead of O(structure).
+  the integer union-find only over the circuits touched by the
+  re-wiring — the untouched region keeps its component labels and its
+  adjacency rows verbatim, and the integer set-ids stay stable across
+  the whole derive chain.  PASC uses this: each iteration flips the
+  crossing of a few links, so the union-find and recompilation cost
+  O(touched region) instead of O(structure).  (The clone itself still
+  shallow-copies the ownership tables — a hash-free C-level dict copy;
+  pin *lists* are shared copy-on-write.)
 * :class:`LayoutCache` memoizes frozen layouts under a caller-chosen
   wiring fingerprint (any hashable key that determines the wiring, e.g.
   ``("global", label, channel)`` or a tuple of tour edges).  Algorithms
   that rebuild the *same* wiring repeatedly (global termination circuits,
   the deterministic decomposition recomputed every merge iteration) hit
-  the cache and skip both assignment validation and the union-find.
+  the cache and skip validation, union-find, and compilation entirely.
 
-:data:`LAYOUT_STATS` counts full versus incremental component builds so
-tests and CI can assert that nobody reintroduces per-round rebuilds.
+:data:`LAYOUT_STATS` counts full versus incremental component builds,
+array compilations, rounds executed over the array backend, and layout
+cache traffic, so tests and CI can assert that nobody reintroduces
+per-round rebuilds.
 """
 
 from __future__ import annotations
@@ -38,55 +50,13 @@ from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tupl
 from repro.grid.coords import Node
 from repro.grid.directions import Direction
 from repro.grid.structure import AmoebotStructure
+from repro.sim.compiled import (
+    CompiledLayout,
+    compile_wiring,
+    recompile_derived,
+)
 from repro.sim.errors import PinConfigurationError
 from repro.sim.pins import PartitionSetId, Pin
-
-
-def _group_components(
-    sets_list: List[PartitionSetId],
-    edges: Iterable[Tuple[PartitionSetId, PartitionSetId]],
-) -> Tuple[Dict[PartitionSetId, int], List[List[PartitionSetId]]]:
-    """Connected components of ``sets_list`` under ``edges``.
-
-    Int-indexed union-find (path halving + union by size): partition-set
-    ids are hashed exactly once into indices, keeping the per-freeze cost
-    dominated by the edge count rather than by tuple hashing.
-    Returns ``(set -> component index, members per component)`` with
-    component indices dense in ``0..k-1``.
-    """
-    index = {set_id: i for i, set_id in enumerate(sets_list)}
-    parent = list(range(len(sets_list)))
-    size = [1] * len(sets_list)
-    for a, b in edges:
-        ia, ib = index[a], index[b]
-        while parent[ia] != ia:
-            parent[ia] = parent[parent[ia]]
-            ia = parent[ia]
-        while parent[ib] != ib:
-            parent[ib] = parent[parent[ib]]
-            ib = parent[ib]
-        if ia == ib:
-            continue
-        if size[ia] < size[ib]:
-            ia, ib = ib, ia
-        parent[ib] = ia
-        size[ia] += size[ib]
-    roots: Dict[int, int] = {}
-    components: Dict[PartitionSetId, int] = {}
-    members: List[List[PartitionSetId]] = []
-    for i, set_id in enumerate(sets_list):
-        root = i
-        while parent[root] != root:
-            parent[root] = parent[parent[root]]
-            root = parent[root]
-        comp = roots.get(root)
-        if comp is None:
-            comp = len(members)
-            roots[root] = comp
-            members.append([])
-        components[set_id] = comp
-        members[comp].append(set_id)
-    return components, members
 
 
 class LayoutBuildStats:
@@ -97,7 +67,19 @@ class LayoutBuildStats:
     counts freezes of derived layouts, which skip re-validation and
     recompute components only as far as the re-wiring reaches;
     ``noop_freezes`` counts derived freezes with no re-wiring at all
-    (components adopted verbatim).
+    (the base layout's compiled arrays are adopted verbatim).
+
+    The compile/execute counters probe the flat-array backend:
+    ``compiles`` counts :class:`~repro.sim.compiled.CompiledLayout`
+    constructions (every full or incremental freeze lowers to arrays;
+    noop freezes reuse the base arrays and do not compile),
+    ``indexed_rounds`` counts rounds executed through the integer-id
+    fast path, and ``mapped_rounds`` counts rounds through the
+    id-keyed compatibility path.
+
+    The cache counters aggregate :class:`LayoutCache` traffic across
+    every cache in the process: ``cache_hits`` / ``cache_misses`` /
+    ``cache_evictions``.
     """
 
     def __init__(self) -> None:
@@ -108,16 +90,30 @@ class LayoutBuildStats:
         self.full_builds = 0
         self.incremental_builds = 0
         self.noop_freezes = 0
+        self.compiles = 0
+        self.indexed_rounds = 0
+        self.mapped_rounds = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
 
     def total_builds(self) -> int:
         """Component computations of either kind."""
         return self.full_builds + self.incremental_builds
 
+    def total_rounds(self) -> int:
+        """Beep rounds executed over the array backend (either path)."""
+        return self.indexed_rounds + self.mapped_rounds
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"LayoutBuildStats(full={self.full_builds}, "
             f"incremental={self.incremental_builds}, "
-            f"noop={self.noop_freezes})"
+            f"noop={self.noop_freezes}, compiles={self.compiles}, "
+            f"indexed_rounds={self.indexed_rounds}, "
+            f"mapped_rounds={self.mapped_rounds}, "
+            f"cache=h{self.cache_hits}/m{self.cache_misses}"
+            f"/e{self.cache_evictions})"
         )
 
 
@@ -138,6 +134,8 @@ class CircuitLayout:
 
     A frozen layout is immutable; to change the wiring, :meth:`derive` a
     new layout and :meth:`reassign` the partition sets that moved.
+    Freezing compiles the layout to flat arrays (:meth:`compiled`); the
+    engine executes rounds against those arrays.
     """
 
     def __init__(self, structure: AmoebotStructure, channels: int):
@@ -148,13 +146,17 @@ class CircuitLayout:
         self._pin_owner: Dict[Pin, PartitionSetId] = {}
         self._sets: Set[PartitionSetId] = set()
         self._set_pins: Dict[PartitionSetId, List[Pin]] = {}
+        # Copy-on-write support: only pin lists named here are private to
+        # this layout; derived layouts start with every list shared with
+        # their base and clone a list before its first in-place append.
+        self._owned_pin_lists: Set[PartitionSetId] = set()
         self._frozen = False
+        self._compiled: Optional[CompiledLayout] = None
+        # Lazy dict views over the compiled arrays (tests and tracing).
         self._components: Optional[Dict[PartitionSetId, int]] = None
-        self._component_members: Optional[List[List[PartitionSetId]]] = None
-        # Derivation bookkeeping: when non-None, freeze() recomputes the
-        # components incrementally from the base layout's result.
-        self._base_components: Optional[Dict[PartitionSetId, int]] = None
-        self._base_members: Optional[List[List[PartitionSetId]]] = None
+        # Derivation bookkeeping: when non-None, freeze() recompiles the
+        # arrays incrementally from the base layout's compiled form.
+        self._base_compiled: Optional[CompiledLayout] = None
         self._dirty: Set[PartitionSetId] = set()
 
     # ------------------------------------------------------------------
@@ -179,7 +181,7 @@ class CircuitLayout:
             raise PinConfigurationError(f"{node} is not part of the structure")
         set_id: PartitionSetId = (node, label)
         self._sets.add(set_id)
-        track = self._base_components is not None
+        track = self._base_compiled is not None
         if track:
             self._dirty.add(set_id)
         for direction, channel in pins:
@@ -193,12 +195,27 @@ class CircuitLayout:
                 )
             pin = Pin(node, direction, channel)
             existing = self._pin_owner.get(pin)
-            if existing is not None and existing != set_id:
-                raise PinConfigurationError(
-                    f"pin {pin} already assigned to partition set {existing}"
-                )
+            if existing is not None:
+                if existing != set_id:
+                    raise PinConfigurationError(
+                        f"pin {pin} already assigned to partition set {existing}"
+                    )
+                # Re-assigning a pin to its own set is an idempotent
+                # no-op: a duplicate pin-list entry would leave a stale
+                # record behind if the pin later moved to a sibling via
+                # exchange_pins (which removes exactly one entry).
+                continue
             self._pin_owner[pin] = set_id
-            self._set_pins.setdefault(set_id, []).append(pin)
+            pin_list = self._set_pins.get(set_id)
+            if pin_list is None:
+                pin_list = self._set_pins[set_id] = []
+                self._owned_pin_lists.add(set_id)
+            elif set_id not in self._owned_pin_lists:
+                # Clone before appending: the list is shared with the
+                # frozen base layout this one was derived from.
+                pin_list = self._set_pins[set_id] = list(pin_list)
+                self._owned_pin_lists.add(set_id)
+            pin_list.append(pin)
             if track:
                 mate_owner = self._pin_owner.get(pin.mate())
                 if mate_owner is not None:
@@ -215,10 +232,15 @@ class CircuitLayout:
         """Clone this (frozen) layout into a new, re-wirable layout.
 
         The clone starts with identical wiring and remembers this
-        layout's component computation.  After :meth:`reassign` calls,
-        freezing the clone re-runs union-find only over the circuits
-        touched by the re-wiring; everything else is adopted verbatim.
-        The original layout stays frozen and valid.
+        layout's compiled arrays.  After :meth:`reassign` calls,
+        freezing the clone re-runs the integer union-find only over the
+        circuits touched by the re-wiring; everything else — component
+        labels, adjacency rows, and the partition-set index itself — is
+        adopted verbatim, so integer set-ids stay stable across the
+        derive chain.  The clone operation itself shallow-copies the
+        pin-ownership tables (hash-free C-level copies; pin lists are
+        shared copy-on-write), so only the component work is bounded by
+        the touched region.  The original layout stays frozen and valid.
         """
         self.freeze()
         clone = CircuitLayout.__new__(CircuitLayout)
@@ -226,14 +248,15 @@ class CircuitLayout:
         clone._channels = self._channels
         clone._pin_owner = dict(self._pin_owner)
         clone._sets = set(self._sets)
-        # Per-set pin lists are copied: assign() appends in place, and a
-        # shared list would silently corrupt the frozen base layout.
-        clone._set_pins = {k: list(v) for k, v in self._set_pins.items()}
+        # Pin lists are shared copy-on-write: assign() clones a list
+        # before its first in-place append, so the frozen base layout is
+        # never corrupted and untouched sets are never copied.
+        clone._set_pins = dict(self._set_pins)
+        clone._owned_pin_lists = set()
         clone._frozen = False
+        clone._compiled = None
         clone._components = None
-        clone._component_members = None
-        clone._base_components = self._components
-        clone._base_members = self._component_members
+        clone._base_compiled = self._compiled
         clone._dirty = set()
         return clone
 
@@ -250,10 +273,11 @@ class CircuitLayout:
         if self._frozen:
             raise PinConfigurationError("layout is frozen; derive() a new one first")
         set_id: PartitionSetId = (node, label)
-        track = self._base_components is not None
+        track = self._base_compiled is not None
         if track:
             self._dirty.add(set_id)
         old_pins = self._set_pins.pop(set_id, None)
+        self._owned_pin_lists.discard(set_id)
         if old_pins:
             for pin in old_pins:
                 if self._pin_owner.get(pin) == set_id:
@@ -281,11 +305,76 @@ class CircuitLayout:
         self.release(node, label)
         self.assign(node, label, pins)
 
+    def exchange_pins(
+        self,
+        node: Node,
+        label_a: str,
+        label_b: str,
+        pins: Iterable[Tuple[Direction, int]],
+    ) -> None:
+        """Swap ownership of ``pins`` between two sibling partition sets.
+
+        Every listed pin must currently belong to ``(node, label_a)`` or
+        ``(node, label_b)``; its ownership flips to the other set.  This
+        is PASC's crossing flip — un-/re-crossing a link exchanges the
+        two channels of the same physical pins between a unit's primary
+        and secondary sets — as one cheap operation: the pins already
+        passed validation when first assigned, so no existence or budget
+        checks are repeated and no release-both-then-reassign dance is
+        needed.  On a derived layout both sets and the neighbor sets at
+        the far end of the swapped links are marked dirty, exactly as
+        :meth:`reassign` would.
+        """
+        if self._frozen:
+            raise PinConfigurationError("layout is frozen; derive() a new one first")
+        set_a: PartitionSetId = (node, label_a)
+        set_b: PartitionSetId = (node, label_b)
+        if set_a not in self._sets or set_b not in self._sets:
+            raise PinConfigurationError(
+                f"exchange_pins requires both {set_a} and {set_b} to be declared"
+            )
+        pin_owner = self._pin_owner
+        set_pins = self._set_pins
+        owned = self._owned_pin_lists
+        track = self._base_compiled is not None
+        if track:
+            self._dirty.add(set_a)
+            self._dirty.add(set_b)
+        for direction, channel in pins:
+            pin = Pin(node, direction, channel)
+            owner = pin_owner.get(pin)
+            if owner == set_a:
+                new_owner = set_b
+            elif owner == set_b:
+                new_owner = set_a
+            else:
+                raise PinConfigurationError(
+                    f"pin {pin} belongs to {owner}, not to {set_a} or {set_b}"
+                )
+            pin_owner[pin] = new_owner
+            old_list = set_pins[owner]
+            if owner not in owned:
+                old_list = set_pins[owner] = list(old_list)
+                owned.add(owner)
+            old_list.remove(pin)
+            new_list = set_pins.get(new_owner)
+            if new_list is None:
+                new_list = set_pins[new_owner] = []
+                owned.add(new_owner)
+            elif new_owner not in owned:
+                new_list = set_pins[new_owner] = list(new_list)
+                owned.add(new_owner)
+            new_list.append(pin)
+            if track:
+                mate_owner = pin_owner.get(pin.mate())
+                if mate_owner is not None:
+                    self._dirty.add(mate_owner)
+
     # ------------------------------------------------------------------
-    # freezing and component computation
+    # freezing, compilation, and component computation
     # ------------------------------------------------------------------
     def freeze(self) -> None:
-        """Validate the layout and compute its circuits.
+        """Validate the layout and compile its circuits to flat arrays.
 
         Idempotent: freezing a frozen layout is a no-op — reusing a
         layout over many rounds pays the component computation once.
@@ -293,122 +382,69 @@ class CircuitLayout:
         """
         if self._frozen:
             return
-        if self._base_components is not None:
+        if self._base_compiled is not None:
             self._freeze_incremental()
         else:
             self._freeze_full()
         self._frozen = True
 
-    def _link_edges(self) -> Iterable[Tuple[PartitionSetId, PartitionSetId]]:
-        """All (owner, mate owner) pairs of wired external links."""
-        pin_owner = self._pin_owner
-        get = pin_owner.get
-        for pin, owner in pin_owner.items():
-            mate_owner = get(pin.mate())
-            if mate_owner is not None:
-                yield owner, mate_owner
-
     def _freeze_full(self) -> None:
-        self._components, self._component_members = _group_components(
-            list(self._sets), self._link_edges()
-        )
+        self._compiled = compile_wiring(self._sets, self._pin_owner)
         LAYOUT_STATS.full_builds += 1
+        LAYOUT_STATS.compiles += 1
 
     def _freeze_incremental(self) -> None:
-        base_components = self._base_components
-        base_members = self._base_members
-        assert base_components is not None and base_members is not None
+        base = self._base_compiled
+        assert base is not None
         if not self._dirty:
-            # Wiring unchanged: adopt the base computation wholesale.
-            self._components = base_components
-            self._component_members = base_members
+            # Wiring unchanged: adopt the base compilation wholesale.
+            self._compiled = base
             LAYOUT_STATS.noop_freezes += 1
-            self._base_components = None
-            self._base_members = None
+            self._base_compiled = None
             return
 
-        # The touched region: every circuit containing a dirty set, plus
-        # sets declared only after the derivation.  Re-wiring can only
-        # merge or split circuits inside this region (both endpoints of
-        # every added or removed link are dirty, and base circuits are
-        # closed under unchanged links).
-        affected: Set[int] = set()
-        region: Set[PartitionSetId] = set()
-        for set_id in self._dirty:
-            index = base_components.get(set_id)
-            if index is None:
-                if set_id in self._sets:
-                    region.add(set_id)
-            else:
-                affected.add(index)
-        for index in affected:
-            region.update(base_members[index])
-
-        if 2 * len(region) > len(self._sets):
-            # The re-wiring touched most of the layout (PASC's early
-            # iterations do): recomputing everything is cheaper than
-            # copying the untouched part.  Assignment validation is
-            # still skipped — that is the derive() contract.
-            self._components, self._component_members = _group_components(
-                list(self._sets), self._link_edges()
-            )
+        index = base.index
+        if len(self._sets) != len(index) or any(
+            set_id not in index for set_id in self._dirty
+        ):
+            # The partition-set universe changed (sets released for good
+            # or newly declared): relower from scratch with a fresh
+            # index.  Assignment validation is still skipped — that is
+            # the derive() contract.
+            self._compiled = compile_wiring(self._sets, self._pin_owner)
         else:
-            components = dict(base_components)
-            members: List[List[PartitionSetId]] = [list(m) for m in base_members]
-            region_list: List[PartitionSetId] = []
-            for index in affected:
-                members[index] = []
-                for set_id in base_members[index]:
-                    if set_id in self._sets:
-                        region_list.append(set_id)
-                    else:
-                        del components[set_id]  # released, never re-assigned
-            for set_id in region:
-                if set_id not in base_components:
-                    region_list.append(set_id)
-
+            # Universe intact: rebuild only the dirty adjacency rows in
+            # integer space and recompute components over the touched
+            # region.  The base index object is reused, so integer
+            # set-ids held by callers stay valid.
             pin_owner = self._pin_owner
-            set_pins = self._set_pins
-
-            def region_edges():
-                get = pin_owner.get
-                for set_id in region_list:
-                    for pin in set_pins.get(set_id, ()):
-                        mate_owner = get(pin.mate())
-                        if mate_owner is not None:
-                            yield set_id, mate_owner
-
-            sub_members = _group_components(region_list, region_edges())[1]
-
-            holes = sorted(affected)
-            for group in sub_members:
-                if holes:
-                    index = holes.pop(0)
-                else:
-                    index = len(members)
-                    members.append([])
-                members[index] = group
-                for set_id in group:
-                    components[set_id] = index
-            # Compact leftover holes (circuits merged away) so circuit
-            # indices stay dense and circuits() never reports empties.
-            for hole in holes:
-                while members and not members[-1]:
-                    members.pop()
-                if hole >= len(members):
-                    break
-                tail = members.pop()
-                members[hole] = tail
-                for set_id in tail:
-                    components[set_id] = hole
-
-            self._components = components
-            self._component_members = members
-
+            get_owner = pin_owner.get
+            get_index = index.get
+            dirty_indices: List[int] = []
+            new_rows: Dict[int, List[int]] = {}
+            for set_id in self._dirty:
+                i = get_index(set_id)
+                assert i is not None
+                dirty_indices.append(i)
+                row: List[int] = []
+                for pin in self._set_pins.get(set_id, ()):
+                    mate_owner = get_owner(pin.mate())
+                    if mate_owner is not None:
+                        j = get_index(mate_owner)
+                        assert j is not None
+                        row.append(j)
+                new_rows[i] = row
+            self._compiled = recompile_derived(base, dirty_indices, new_rows)
         LAYOUT_STATS.incremental_builds += 1
-        self._base_components = None
-        self._base_members = None
+        LAYOUT_STATS.compiles += 1
+        self._base_compiled = None
         self._dirty.clear()
+
+    def compiled(self) -> CompiledLayout:
+        """The flat-array form of this layout (freezes if necessary)."""
+        self.freeze()
+        assert self._compiled is not None
+        return self._compiled
 
     @property
     def frozen(self) -> bool:
@@ -432,32 +468,38 @@ class CircuitLayout:
         Only meaningful to the simulator/tests — amoebots themselves never
         learn circuit identities, only beeps.
         """
-        self.freeze()
-        assert self._components is not None
-        try:
-            return self._components[(node, label)]
-        except KeyError:
+        compiled = self.compiled()
+        index = compiled.index.get((node, label))
+        if index is None:
             raise PinConfigurationError(
                 f"partition set ({node}, {label!r}) was never declared"
-            ) from None
+            )
+        return compiled.comp[index]
 
     def circuits(self) -> List[List[PartitionSetId]]:
         """All circuits as lists of partition sets (simulator/test view)."""
-        self.freeze()
-        assert self._component_members is not None
-        return [list(c) for c in self._component_members]
+        compiled = self.compiled()
+        starts, members = compiled.members_csr()
+        ids = compiled.index.ids
+        return [
+            [ids[members[j]] for j in range(starts[c], starts[c + 1])]
+            for c in range(compiled.n_components)
+        ]
 
     def component_map(self) -> Dict[PartitionSetId, int]:
         """Partition set -> circuit index (simulator/test view).
 
-        Returns the layout's internal mapping *without copying* — the
-        engine reads it on every round, and copying a structure-sized
-        dict per round dominated the simulator's hot path.  Treat the
-        result as read-only; mutate the wiring via :meth:`derive` /
-        :meth:`reassign` instead.
+        A lazily built dict view over the compiled arrays, cached on the
+        layout and returned *without copying*.  Treat the result as
+        read-only; mutate the wiring via :meth:`derive` /
+        :meth:`reassign` instead.  The engine itself no longer reads
+        this — rounds execute over the arrays directly.
         """
-        self.freeze()
-        assert self._components is not None
+        if self._components is None:
+            compiled = self.compiled()
+            ids = compiled.index.ids
+            comp = compiled.comp
+            self._components = {ids[i]: comp[i] for i in range(len(ids))}
         return self._components
 
     def wiring_fingerprint(self) -> int:
@@ -482,9 +524,14 @@ class LayoutCache:
     Keys are caller-chosen hashables that *determine* the wiring (e.g.
     ``("global", label, channel)``, a tuple of tour edges plus marked
     edges, or a PASC run's units/links/activity snapshot).  Entries are
-    frozen on insertion, so a hit skips assignment validation and the
-    union-find entirely.  Every :class:`CircuitEngine` owns one (bound to
-    its structure, so keys never need to include the structure).
+    frozen on insertion, so a hit skips assignment validation, the
+    union-find, and the array compilation entirely.  Every
+    :class:`CircuitEngine` owns one (bound to its structure, so keys
+    never need to include the structure); campaign workers additionally
+    share one process-wide cache across trials via :meth:`scoped`.
+
+    Hit/miss/eviction counts are kept per instance and mirrored into
+    the process-wide :data:`LAYOUT_STATS` probe.
     """
 
     def __init__(self, maxsize: int = 256):
@@ -493,6 +540,7 @@ class LayoutCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries: "OrderedDict[Hashable, CircuitLayout]" = OrderedDict()
 
     def __len__(self) -> int:
@@ -503,9 +551,11 @@ class LayoutCache:
         layout = self._entries.get(key)
         if layout is None:
             self.misses += 1
+            LAYOUT_STATS.cache_misses += 1
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        LAYOUT_STATS.cache_hits += 1
         return layout
 
     def put(self, key: Hashable, layout: CircuitLayout) -> CircuitLayout:
@@ -515,6 +565,8 @@ class LayoutCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            LAYOUT_STATS.cache_evictions += 1
         return layout
 
     def get_or_build(
@@ -526,6 +578,52 @@ class LayoutCache:
             return layout
         return self.put(key, builder())
 
+    def scoped(self, prefix: Hashable) -> "ScopedLayoutCache":
+        """A view of this cache with every key tucked under ``prefix``.
+
+        Lets several engines (e.g. one per campaign trial) share one
+        process-wide cache without key collisions: the prefix carries
+        whatever determines the wiring context beyond the key itself —
+        typically the structure's node set.
+        """
+        return ScopedLayoutCache(self, prefix)
+
     def clear(self) -> None:
         """Drop every cached layout (hit/miss counters are kept)."""
         self._entries.clear()
+
+
+class ScopedLayoutCache:
+    """A key-prefixing view over a shared :class:`LayoutCache`.
+
+    Implements the same ``get`` / ``put`` / ``get_or_build`` surface the
+    engine uses, delegating to the backing cache with ``(prefix, key)``
+    keys.  Campaign workers hand each trial engine a scope keyed by the
+    trial structure's node set, so trials over the same shape reuse one
+    compiled layout per wiring fingerprint.
+    """
+
+    def __init__(self, backing: LayoutCache, prefix: Hashable):
+        self.backing = backing
+        self.prefix = prefix
+
+    def __len__(self) -> int:
+        return len(self.backing)
+
+    def get(self, key: Hashable) -> Optional[CircuitLayout]:
+        """The cached frozen layout for the scoped ``key``, or ``None``."""
+        return self.backing.get((self.prefix, key))
+
+    def put(self, key: Hashable, layout: CircuitLayout) -> CircuitLayout:
+        """Freeze ``layout`` and cache it under the scoped ``key``."""
+        return self.backing.put((self.prefix, key), layout)
+
+    def get_or_build(
+        self, key: Hashable, builder: Callable[[], CircuitLayout]
+    ) -> CircuitLayout:
+        """The scoped cached layout, building (and caching) on miss."""
+        return self.backing.get_or_build((self.prefix, key), builder)
+
+    def clear(self) -> None:
+        """Drop every entry of the *backing* cache (all scopes)."""
+        self.backing.clear()

@@ -1,4 +1,4 @@
-"""Synchronous beep-round execution.
+"""Synchronous beep-round execution over compiled layouts.
 
 The :class:`CircuitEngine` executes the model's round structure: on each
 round every amoebot may (have) reconfigure(d) its pin configuration —
@@ -7,25 +7,61 @@ and activate any of its partition sets; beeps propagate on the (updated)
 configuration and are received at the beginning of the next round
 (Section 1.2).  One :meth:`run_round` call is one synchronous round.
 
-Layouts are built *outside* round loops and passed in repeatedly: an
-already-frozen layout is accepted as-is (no re-validation, no component
-recomputation), and the engine's :attr:`layouts` cache memoizes the
-standard layouts (:meth:`global_layout`, :meth:`edge_subset_layout`) by
-wiring fingerprint so that repeated constructions are free.
+Execution pipeline: **build -> freeze -> compile -> run**.  Layouts are
+built *outside* round loops and passed in repeatedly; freezing compiles
+a layout into flat integer arrays
+(:class:`~repro.sim.compiled.CompiledLayout`), and a round is then a
+couple of array passes.  Two entry points exist:
+
+* :meth:`run_round` — the id-keyed compatibility surface: beeps and
+  listens are :data:`~repro.sim.pins.PartitionSetId` tuples and the
+  result is a dict.  Translation costs one hash per id passed.
+* :meth:`run_round_indexed` / :meth:`run_rounds` — the fast path:
+  beeps and listens are stable integer set-ids resolved once through
+  :meth:`CircuitLayout.compiled`'s
+  :class:`~repro.sim.compiled.PartitionSetIndex`, and the result is a
+  flat list of bits with zero per-round dict construction.
+
+The engine's :attr:`layouts` cache memoizes standard layouts
+(:meth:`global_layout`, :meth:`edge_subset_layout`) by wiring
+fingerprint so repeated constructions are free; campaign workers may
+inject a shared, structure-scoped cache so identical wirings are
+compiled once per worker process rather than once per trial.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple, TypeVar
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.grid.coords import Node
 from repro.grid.structure import AmoebotStructure
 from repro.metrics.rounds import RoundCounter
-from repro.sim.circuits import CircuitLayout, LayoutCache
+from repro.sim.circuits import (
+    LAYOUT_STATS,
+    CircuitLayout,
+    LayoutCache,
+    ScopedLayoutCache,
+)
+from repro.sim.compiled import CompiledLayout
 from repro.sim.errors import PinConfigurationError
 from repro.sim.pins import PartitionSetId
 
 _V = TypeVar("_V")
+
+#: Either layout cache flavor the engine can own.
+AnyLayoutCache = Union[LayoutCache, ScopedLayoutCache]
 
 
 def listen_subset(
@@ -34,10 +70,11 @@ def listen_subset(
 ) -> Dict[PartitionSetId, _V]:
     """Restrict a per-partition-set mapping to the ``listen``-ed sets.
 
-    The single source of the ``listen`` contract: every listened set must
-    be declared in ``mapping``, otherwise :class:`PinConfigurationError`
-    is raised.  Used by :meth:`CircuitEngine.run_round` (on the component
-    map) and by the trace wrapper (on a full beep result).
+    The single source of the ``listen`` contract on *dict* results:
+    every listened set must be declared in ``mapping``, otherwise
+    :class:`PinConfigurationError` is raised.  Kept for callers holding
+    a fully materialized round result; the engine itself restricts over
+    the compiled arrays instead.
     """
     subset: Dict[PartitionSetId, _V] = {}
     for set_id in listen:
@@ -48,6 +85,28 @@ def listen_subset(
                 f"cannot listen on undeclared partition set {set_id}"
             ) from None
     return subset
+
+
+def materialize_result(
+    compiled: CompiledLayout,
+    hears: bytearray,
+    listen: Optional[Iterable[PartitionSetId]],
+) -> Dict[PartitionSetId, bool]:
+    """Build the id-keyed dict view of a round result.
+
+    ``listen=None`` materializes every declared set (the historical
+    :meth:`CircuitEngine.run_round` contract); otherwise only the
+    listened sets, raising on undeclared ones.
+    """
+    comp = compiled.comp
+    if listen is None:
+        ids = compiled.index.ids
+        return {ids[i]: hears[comp[i]] != 0 for i in range(len(ids))}
+    index = compiled.index
+    return {
+        set_id: hears[comp[index.index_of(set_id, "listen on")]] != 0
+        for set_id in listen
+    }
 
 
 class CircuitEngine:
@@ -67,6 +126,12 @@ class CircuitEngine:
         Round counter to tick; a fresh one is created if omitted.
     layout_cache_size:
         Capacity of the engine's :class:`~repro.sim.circuits.LayoutCache`.
+    layouts:
+        Optional externally owned layout cache (plain or scoped).  When
+        provided, ``layout_cache_size`` is ignored and the engine shares
+        the given cache — the campaign runner uses this to reuse one
+        compiled layout per wiring fingerprint across all trials a
+        worker process executes.
     """
 
     def __init__(
@@ -75,13 +140,17 @@ class CircuitEngine:
         channels: int = 8,
         counter: Optional[RoundCounter] = None,
         layout_cache_size: int = 256,
+        layouts: Optional[AnyLayoutCache] = None,
     ):
         self.structure = structure
         self.channels = channels
         self.rounds = counter if counter is not None else RoundCounter()
         #: Frozen-layout cache, keyed by wiring fingerprints.  Bound to
-        #: this engine's structure, so keys never include the structure.
-        self.layouts = LayoutCache(maxsize=layout_cache_size)
+        #: this engine's structure (directly, or via a structure-scoped
+        #: view of a shared cache), so keys never include the structure.
+        self.layouts: AnyLayoutCache = (
+            layouts if layouts is not None else LayoutCache(maxsize=layout_cache_size)
+        )
 
     # ------------------------------------------------------------------
     # layout construction helpers
@@ -165,48 +234,83 @@ class CircuitEngine:
     # ------------------------------------------------------------------
     # round execution
     # ------------------------------------------------------------------
+    def _activate(
+        self, layout: CircuitLayout, beeps: Iterable[PartitionSetId]
+    ) -> Tuple[CompiledLayout, bytearray]:
+        """Compile (cached) and propagate id-keyed ``beeps`` into a mask."""
+        compiled = layout.compiled()
+        comp = compiled.comp
+        index = compiled.index
+        hears = bytearray(compiled.n_components)
+        for set_id in beeps:
+            hears[comp[index.index_of(set_id, "beep on")]] = 1
+        return compiled, hears
+
     def run_round(
         self,
         layout: CircuitLayout,
         beeps: Iterable[PartitionSetId],
         listen: Optional[Iterable[PartitionSetId]] = None,
     ) -> Dict[PartitionSetId, bool]:
-        """Execute one synchronous round.
+        """Execute one synchronous round (id-keyed compatibility surface).
 
         ``beeps`` lists the partition sets whose owners activate them.
         Returns, for every declared partition set, whether a beep is heard
         there at the beginning of the next round.  Ticks the round
         counter by one.
 
-        An already-frozen layout is used as-is — freezing is idempotent,
-        so passing the same layout for many rounds pays the component
-        computation once.  ``listen`` (opt-in) names the partition sets
-        the caller will actually read: only those entries are
-        materialized, which keeps rounds on large layouts from building
-        structure-sized dicts nobody looks at.  ``listen=()`` is valid
-        for rounds whose result the caller ignores entirely.
+        An already-frozen layout is used as-is — freezing (and the array
+        compilation it performs) is idempotent, so passing the same
+        layout for many rounds pays the component computation once.
+        ``listen`` (opt-in) names the partition sets the caller will
+        actually read: only those entries are materialized, which keeps
+        rounds on large layouts from building structure-sized dicts
+        nobody looks at.  ``listen=()`` is valid for rounds whose result
+        the caller ignores entirely.  Hot loops that already hold stable
+        integer set-ids should call :meth:`run_round_indexed` instead.
         """
-        if not layout.frozen:
-            layout.freeze()
-        component_of = layout.component_map()
-        beeping_components: Set[int] = set()
-        for set_id in beeps:
-            try:
-                beeping_components.add(component_of[set_id])
-            except KeyError:
-                raise PinConfigurationError(
-                    f"cannot beep on undeclared partition set {set_id}"
-                ) from None
+        compiled, hears = self._activate(layout, beeps)
         self.rounds.tick()
-        if listen is None:
-            return {
-                set_id: (component in beeping_components)
-                for set_id, component in component_of.items()
-            }
-        return {
-            set_id: (component in beeping_components)
-            for set_id, component in listen_subset(component_of, listen).items()
-        }
+        LAYOUT_STATS.mapped_rounds += 1
+        return materialize_result(compiled, hears, listen)
+
+    def run_round_indexed(
+        self,
+        layout: CircuitLayout,
+        beeps: Iterable[int],
+        listen: Optional[Sequence[int]] = None,
+    ) -> List[bool]:
+        """Execute one synchronous round entirely in integer space.
+
+        ``beeps`` and ``listen`` are integer set-ids from the layout's
+        :class:`~repro.sim.compiled.PartitionSetIndex` (resolve them once
+        per wiring, outside the round loop).  Returns one bit per
+        ``listen`` entry, in order — or one bit per declared set (index
+        order) when ``listen`` is ``None``.  No dicts are built and no
+        tuples are hashed.
+        """
+        compiled = layout.compiled()
+        self.rounds.tick()
+        LAYOUT_STATS.indexed_rounds += 1
+        return compiled.execute(beeps, listen)
+
+    def run_rounds(
+        self,
+        layout: CircuitLayout,
+        activations: Iterable[Tuple[Iterable[int], Optional[Sequence[int]]]],
+    ) -> Iterator[List[bool]]:
+        """Execute consecutive rounds on one layout (batched fast path).
+
+        ``activations`` yields ``(beep_indices, listen_indices)`` pairs;
+        the result bits of round *i* are yielded before activation
+        *i + 1* is pulled, so callers may compute later activations from
+        earlier results (the PASC runner derives each iteration's
+        termination beeps this way).  The layout is compiled once for
+        the whole batch; per-round work is two array passes.
+        """
+        layout.freeze()
+        for beeps, listen in activations:
+            yield self.run_round_indexed(layout, beeps, listen)
 
     def charge_local_round(self, rounds: int = 1) -> None:
         """Charge rounds for steps with no beeps (pure local recomputation).

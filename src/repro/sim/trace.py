@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.sim.circuits import CircuitLayout
-from repro.sim.engine import CircuitEngine, listen_subset
+from repro.sim.circuits import LAYOUT_STATS, CircuitLayout
+from repro.sim.compiled import CompiledLayout
+from repro.sim.engine import CircuitEngine, materialize_result
 
 
 @dataclass
@@ -46,6 +47,24 @@ class RoundTrace:
                 partition_sets=len(layout.partition_sets()),
                 beeping_sets=beeps,
                 hearing_sets=heard,
+            )
+        )
+
+    def record_round_arrays(
+        self, compiled: CompiledLayout, beeps: int, hears: bytearray
+    ) -> None:
+        """Record one beep round from its compiled-array execution.
+
+        Counts hearing sets straight off the component mask — no dict is
+        materialized to observe the round.
+        """
+        self.records.append(
+            RoundRecord(
+                index=len(self.records),
+                circuits=compiled.n_components,
+                partition_sets=len(compiled.index),
+                beeping_sets=beeps,
+                hearing_sets=compiled.hearing_count(hears),
             )
         )
 
@@ -106,30 +125,38 @@ class RoundTrace:
 def attach_trace(engine: CircuitEngine) -> RoundTrace:
     """Instrument an engine: every subsequent round is recorded.
 
-    Returns the trace.  Instrumentation wraps ``run_round`` and
-    ``charge_local_round``; detach by constructing a fresh engine.
+    Returns the trace.  Instrumentation wraps ``run_round``,
+    ``run_round_indexed`` (the compiled fast path, which ``run_rounds``
+    delegates to), and ``charge_local_round``; detach by constructing a
+    fresh engine.  Observation happens on the compiled arrays: the
+    hearing count is read off the component mask, so tracing adds no
+    per-round dict construction of its own.
     """
     trace = RoundTrace()
-    original_run = engine.run_round
     original_charge = engine.charge_local_round
 
     def run_round(layout, beeps, listen=None):
         beep_list = list(beeps)
-        # Always materialize the full result so the trace records how
-        # many sets heard the beep, then hand the caller only the subset
-        # it asked to listen on (same contract as the engine's).
-        received = original_run(layout, beep_list)
-        trace.record_round(
-            layout, len(beep_list), sum(1 for v in received.values() if v)
-        )
-        if listen is None:
-            return received
-        return listen_subset(received, listen)
+        compiled, hears = engine._activate(layout, beep_list)
+        engine.rounds.tick()
+        LAYOUT_STATS.mapped_rounds += 1
+        trace.record_round_arrays(compiled, len(beep_list), hears)
+        return materialize_result(compiled, hears, listen)
+
+    def run_round_indexed(layout, beeps, listen=None):
+        beep_list = list(beeps)
+        compiled = layout.compiled()
+        hears = compiled.propagate(beep_list)
+        engine.rounds.tick()
+        LAYOUT_STATS.indexed_rounds += 1
+        trace.record_round_arrays(compiled, len(beep_list), hears)
+        return compiled.read(hears, listen)
 
     def charge_local_round(rounds: int = 1):
         original_charge(rounds)
         trace.record_local(rounds)
 
     engine.run_round = run_round  # type: ignore[method-assign]
+    engine.run_round_indexed = run_round_indexed  # type: ignore[method-assign]
     engine.charge_local_round = charge_local_round  # type: ignore[method-assign]
     return trace

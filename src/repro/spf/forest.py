@@ -78,7 +78,13 @@ def shortest_path_forest(
         layout = scope.portal_circuit_layout(engine, label="portal:src")
         # The round is charged for its cost; the simulator reads Q from
         # the portal map directly, so nothing is materialized.
-        engine.run_round(layout, [(s, "portal:src") for s in source_set], listen=())
+        engine.run_round_indexed(
+            layout,
+            layout.compiled().index.indices(
+                ((s, "portal:src") for s in source_set), "beep on"
+            ),
+            (),
+        )
         q_portals = {system.portal_of[s] for s in source_set}
 
         rp = portal_root_and_prune(

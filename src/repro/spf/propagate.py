@@ -103,7 +103,11 @@ def propagate_forest(
         layout = engine.edge_subset_layout(circuit_edges, label="vis", channel=4)
         # Charged for its cost; the projection bookkeeping below mirrors
         # what each amoebot reads locally, so nothing is materialized.
-        engine.run_round(layout, [(p, "vis") for p in portal], listen=())
+        engine.run_round_indexed(
+            layout,
+            layout.compiled().index.indices(((p, "vis") for p in portal), "beep on"),
+            (),
+        )
 
         visible: Dict[Node, Dict[Axis, Node]] = {}
         for u in sorted(b_nodes):

@@ -61,8 +61,10 @@ def _mark_destination_portals(
 ) -> Set[Portal]:
     """One beep round: every destination beeps on its portal circuit."""
     layout = scope.portal_circuit_layout(engine, label="portal:dst")
-    beeps = [(d, "portal:dst") for d in destinations]
-    engine.run_round(layout, beeps, listen=())
+    beeps = layout.compiled().index.indices(
+        ((d, "portal:dst") for d in destinations), "beep on"
+    )
+    engine.run_round_indexed(layout, beeps, ())
     return {system.portal_of[d] for d in destinations}
 
 

@@ -53,7 +53,7 @@ class SvgCanvas:
         self._elements.append(
             f'<line x1="{x1:.3f}" y1="{-y1:.3f}" x2="{mx:.3f}" y2="{-my:.3f}" '
             f'stroke="{color}" stroke-width="{3.2 / SCALE:.4f}" '
-            f'marker-end="url(#arrowhead)" />'
+            'marker-end="url(#arrowhead)" />'
         )
 
     def node(
@@ -91,7 +91,7 @@ class SvgCanvas:
         )
         body = "\n".join(self._elements)
         return (
-            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            '<svg xmlns="http://www.w3.org/2000/svg" '
             f'viewBox="{min_x:.3f} {min_y:.3f} {width:.3f} {height:.3f}" '
             f'width="{width * SCALE:.0f}" height="{height * SCALE:.0f}">\n'
             f"{defs}\n{body}\n</svg>"

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.grid.coords import Node
-from repro.grid.oracle import bfs_distances, eccentricity
+from repro.grid.oracle import bfs_distances
 from repro.sim.engine import CircuitEngine
 from repro.baselines import bfs_wave_forest, sequential_merge_forest
 from repro.spf import solve_spf

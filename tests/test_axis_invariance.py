@@ -68,7 +68,6 @@ class TestPropagationAxisChoice:
         engine = CircuitEngine(s)
         base_chain = nodes
         forest = line_forest(engine, base_chain, [base_chain[0]])
-        from repro.spf.types import Forest
 
         # Extend the line forest over the whole A side first via
         # propagation restricted to A (members == portal for that call).

@@ -1,6 +1,5 @@
 """Tests for layout statistics (and the Remark 16 channel budget)."""
 
-from repro.grid.coords import Node
 from repro.metrics.circuit_stats import layout_stats
 from repro.pasc.chain import PascChainRun, chain_links_for_nodes
 from repro.sim.engine import CircuitEngine

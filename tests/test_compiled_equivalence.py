@@ -1,0 +1,241 @@
+"""Property test: compiled-array rounds match a dict-based reference.
+
+The compiled backend (:mod:`repro.sim.compiled`) must be observationally
+identical to the specification it replaced: beeps propagate exactly
+within the connected components of the partition-set graph induced by
+the wired external links.  This file keeps an *independent* reference
+implementation — plain dict/set BFS over (node, label) tuples, no shared
+code with the array backend — and checks, over random hole-free
+structures and random pin assignments:
+
+* the full ``run_round`` result dict,
+* ``listen`` subsets (including the empty subset),
+* the integer fast path ``run_round_indexed`` bit lists,
+* error paths (beeping or listening on undeclared sets), and
+* incremental recompilation after ``derive``/``reassign``/
+  ``exchange_pins`` re-wiring versus a from-scratch build of the same
+  wiring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.coords import Node
+from repro.grid.directions import opposite
+from repro.sim.circuits import CircuitLayout
+from repro.sim.engine import CircuitEngine
+from repro.sim.errors import PinConfigurationError
+from repro.workloads.random_structures import random_hole_free
+
+CHANNELS = 3
+LABELS = ("a", "b", "c")
+
+PinSpec = Tuple[Node, object, int]  # (node, direction, channel)
+SetId = Tuple[Node, str]
+
+
+# ----------------------------------------------------------------------
+# reference implementation (dicts and BFS only)
+# ----------------------------------------------------------------------
+
+
+def reference_components(
+    declared: Set[SetId], pins_of: Dict[SetId, List[PinSpec]]
+) -> Dict[SetId, int]:
+    """Connected components of the partition-set graph, by plain BFS."""
+    owner: Dict[PinSpec, SetId] = {}
+    for set_id, pins in pins_of.items():
+        for pin in pins:
+            owner[pin] = set_id
+    neighbors: Dict[SetId, List[SetId]] = {s: [] for s in declared}
+    for (node, direction, channel), set_id in owner.items():
+        mate = (node.neighbor(direction), opposite(direction), channel)
+        mate_owner = owner.get(mate)
+        if mate_owner is not None:
+            neighbors[set_id].append(mate_owner)
+    component: Dict[SetId, int] = {}
+    label = 0
+    for start in declared:
+        if start in component:
+            continue
+        queue = [start]
+        component[start] = label
+        while queue:
+            current = queue.pop()
+            for nxt in neighbors[current]:
+                if nxt not in component:
+                    component[nxt] = label
+                    queue.append(nxt)
+        label += 1
+    return component
+
+
+def reference_round(
+    declared: Set[SetId],
+    pins_of: Dict[SetId, List[PinSpec]],
+    beeps: List[SetId],
+) -> Dict[SetId, bool]:
+    """The expected full round result: hears iff sharing a circuit."""
+    component = reference_components(declared, pins_of)
+    beeping = {component[s] for s in beeps}
+    return {s: component[s] in beeping for s in declared}
+
+
+# ----------------------------------------------------------------------
+# random wirings
+# ----------------------------------------------------------------------
+
+
+def build_assignment(draw, structure) -> Dict[SetId, List[PinSpec]]:
+    """Draw a random, valid pin assignment over ``structure``."""
+    pins_of: Dict[SetId, List[PinSpec]] = {}
+    for node in sorted(structure.nodes):
+        # Randomly declare up to all three labels, some possibly empty.
+        declared = draw(
+            st.lists(st.sampled_from(LABELS), unique=True, max_size=len(LABELS))
+        )
+        for label in declared:
+            pins_of[(node, label)] = []
+        if not declared:
+            continue
+        for direction in structure.occupied_directions(node):
+            for channel in range(CHANNELS):
+                choice = draw(
+                    st.one_of(st.none(), st.sampled_from(declared))
+                )
+                if choice is not None:
+                    pins_of[(node, choice)].append((node, direction, channel))
+    return pins_of
+
+
+def apply_assignment(
+    engine: CircuitEngine, pins_of: Dict[SetId, List[PinSpec]]
+) -> CircuitLayout:
+    layout = engine.new_layout()
+    for (node, label), pins in pins_of.items():
+        layout.assign(node, label, [(d, c) for (_n, d, c) in pins])
+    return layout
+
+
+@st.composite
+def round_cases(draw):
+    """A structure, a wiring, and the beep/listen choices of one round."""
+    n = draw(st.integers(min_value=2, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    compactness = draw(st.sampled_from([0.1, 0.5, 0.9]))
+    structure = random_hole_free(n, seed=seed, compactness=compactness)
+    pins_of = build_assignment(draw, structure)
+    declared = sorted(pins_of)
+    beeps = draw(st.lists(st.sampled_from(declared), max_size=6)) if declared else []
+    listen = (
+        draw(st.lists(st.sampled_from(declared), max_size=8)) if declared else []
+    )
+    return structure, pins_of, beeps, listen
+
+
+# ----------------------------------------------------------------------
+# equivalence properties
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=round_cases())
+def test_round_matches_reference(case):
+    structure, pins_of, beeps, listen = case
+    engine = CircuitEngine(structure, channels=CHANNELS)
+    layout = apply_assignment(engine, pins_of)
+    expected = reference_round(set(pins_of), pins_of, beeps)
+
+    # Full materialization.
+    assert engine.run_round(layout, beeps) == expected
+
+    # Listen subsets (duplicates allowed; empty subset stays empty).
+    subset = engine.run_round(layout, beeps, listen=listen)
+    assert subset == {s: expected[s] for s in listen}
+    assert engine.run_round(layout, beeps, listen=()) == {}
+
+    # Integer fast path: same bits, in listen order and in index order.
+    index = layout.compiled().index
+    beep_idx = index.indices(beeps, "beep on")
+    bits = engine.run_round_indexed(layout, beep_idx, index.indices(listen))
+    assert bits == [expected[s] for s in listen]
+    all_bits = engine.run_round_indexed(layout, beep_idx)
+    assert all_bits == [expected[s] for s in index.ids]
+
+    # The layout's component view agrees with the reference grouping.
+    reference = reference_components(set(pins_of), pins_of)
+    component_map = layout.component_map()
+    assert len(set(component_map.values())) == len(set(reference.values()))
+    for a in pins_of:
+        for b in pins_of:
+            assert (component_map[a] == component_map[b]) == (
+                reference[a] == reference[b]
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(case=round_cases(), data=st.data())
+def test_derived_rewiring_matches_fresh_build(case, data):
+    structure, pins_of, beeps, listen = case
+    engine = CircuitEngine(structure, channels=CHANNELS)
+    base = apply_assignment(engine, pins_of)
+    base.freeze()
+
+    # Randomly re-wire a few sets on a derived layout...
+    derived = base.derive()
+    rewired = {k: list(v) for k, v in pins_of.items()}
+    declared = sorted(pins_of)
+    if declared:
+        for set_id in data.draw(
+            st.lists(st.sampled_from(declared), unique=True, max_size=3)
+        ):
+            node, label = set_id
+            keep = [
+                p
+                for p in rewired[set_id]
+                if data.draw(st.booleans())
+            ]
+            rewired[set_id] = keep
+            derived.reassign(node, label, [(d, c) for (_n, d, c) in keep])
+    derived.freeze()
+
+    # ...and the incremental recompilation must match both the reference
+    # and a from-scratch build of the identical wiring.
+    expected = reference_round(set(rewired), rewired, beeps)
+    assert engine.run_round(derived, beeps) == expected
+
+    fresh = apply_assignment(engine, rewired)
+    assert engine.run_round(fresh, beeps) == expected
+
+    def grouping(layout):
+        return {frozenset(circuit) for circuit in layout.circuits()}
+
+    assert grouping(derived) == grouping(fresh)
+
+
+def test_error_paths_match_reference_contract():
+    structure = random_hole_free(5, seed=3)
+    engine = CircuitEngine(structure, channels=CHANNELS)
+    layout = engine.global_layout(label="g")
+    probe = (next(iter(structure)), "g")
+    ghost = (next(iter(structure)), "ghost")
+
+    with pytest.raises(PinConfigurationError, match="cannot beep on undeclared"):
+        engine.run_round(layout, [ghost])
+    with pytest.raises(PinConfigurationError, match="cannot listen on undeclared"):
+        engine.run_round(layout, [probe], listen=[ghost])
+    index = layout.compiled().index
+    with pytest.raises(PinConfigurationError, match="cannot beep on undeclared"):
+        index.indices([ghost], "beep on")
+    with pytest.raises(PinConfigurationError, match="cannot listen on undeclared"):
+        index.index_of(ghost, "listen on")
+    # The round counter must not tick when validation rejects the beeps.
+    before = engine.rounds.total
+    with pytest.raises(PinConfigurationError):
+        engine.run_round(layout, [ghost])
+    assert engine.rounds.total == before

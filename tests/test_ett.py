@@ -1,18 +1,15 @@
 """Tests for the Euler tour technique (Section 3.1, Lemmas 14-17)."""
 
-import math
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.ett.election import ElectionRequest, elect_first_marked, elect_first_marked_many
 from repro.ett.technique import ETTOp, mark_one_outgoing_edge, run_ett, run_etts_parallel
 from repro.ett.tour import adjacency_from_edges, build_euler_tour
 from repro.grid.coords import Node
 from repro.sim.engine import CircuitEngine
-from repro.workloads import hexagon, line_structure, random_hole_free
+from repro.workloads import random_hole_free
 from tests.conftest import bfs_tree_adjacency
 
 

@@ -140,6 +140,20 @@ class TestTrialKeys:
 
 
 class TestRunner:
+    def test_worker_layout_cache_shared_across_trials(self):
+        # Trials over the same shape hit the worker-wide layout cache:
+        # the second execution reuses frozen-and-compiled layouts built
+        # by the first instead of recompiling them per trial.
+        from repro.experiments.runner import _WORKER_LAYOUTS
+
+        first = TrialSpec(scenario="s", shape="hexagon:2", k=1, l=1, seed=0)
+        second = TrialSpec(scenario="s", shape="hexagon:2", k=1, l=1, seed=1)
+        execute_trial(first)
+        hits_before = _WORKER_LAYOUTS.hits
+        result = execute_trial(second)
+        assert result.rounds > 0
+        assert _WORKER_LAYOUTS.hits > hits_before
+
     def test_execute_trial_measures(self):
         trial = TrialSpec(
             scenario="s", shape="hexagon:2", k=2, l=2, seed=0,

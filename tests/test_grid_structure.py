@@ -3,7 +3,7 @@
 import pytest
 
 from repro.grid.coords import Node
-from repro.grid.directions import Axis, Direction
+from repro.grid.directions import Axis
 from repro.grid.structure import AmoebotStructure, StructureError
 from repro.workloads import hexagon, line_structure, parallelogram
 

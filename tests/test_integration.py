@@ -5,18 +5,16 @@ special cases, agreement between the two algorithms, between strict
 executions and oracles, and failure injection at the simulator level.
 """
 
-import random
 
 import pytest
 
-from repro.grid.coords import Node
 from repro.grid.oracle import bfs_distances, structure_diameter
 from repro.sim.engine import CircuitEngine
 from repro.baselines import bfs_wave_forest, sequential_merge_forest
 from repro.spf import solve_spf
 from repro.spf.forest import shortest_path_forest
 from repro.spf.spt import shortest_path_tree
-from repro.verify import assert_valid_forest, check_forest
+from repro.verify import check_forest
 from repro.workloads import (
     hexagon,
     random_hole_free,

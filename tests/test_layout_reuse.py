@@ -135,6 +135,31 @@ class TestDerive:
         derived.freeze()
         assert _partition(base) == snapshot  # untouched by the derivation
 
+    def test_duplicate_assign_is_idempotent_under_exchange(self):
+        # Re-assigning a pin to its own set must not leave a duplicate
+        # pin-list entry behind: exchange_pins removes exactly one entry,
+        # and a stale leftover would feed a phantom edge to the derived
+        # freeze's adjacency rebuild (merging circuits never wired).
+        engine = CircuitEngine(line_structure(3))
+        a, b = Node(0, 0), Node(1, 0)
+        d = a.direction_to(b)
+        layout = engine.new_layout()
+        layout.assign(a, "a", [(d, 0)])
+        layout.assign(a, "a", [(d, 0)])  # idempotent no-op
+        layout.declare(a, "b")
+        layout.assign(b, "x", [(b.direction_to(a), 0)])
+        layout.freeze()
+        derived = layout.derive()
+        derived.exchange_pins(a, "a", "b", [(d, 0)])
+        derived.freeze()
+
+        fresh = engine.new_layout()
+        fresh.declare(a, "a")
+        fresh.assign(a, "b", [(d, 0)])
+        fresh.assign(b, "x", [(b.direction_to(a), 0)])
+        fresh.freeze()
+        assert _partition(derived) == _partition(fresh)
+
     def test_released_set_disappears(self):
         engine = CircuitEngine(line_structure(3))
         layout = engine.new_layout()
@@ -169,6 +194,35 @@ class TestPascLayoutReuse:
         # *incremental* computation — never a rebuild per iteration.
         assert LAYOUT_STATS.full_builds == 1
         assert LAYOUT_STATS.total_builds() == result.iterations
+        # The compile contract rides along: every component build lowers
+        # to flat arrays exactly once, and every round of the PASC loop
+        # executes on the integer fast path (no id-keyed dict rounds).
+        assert LAYOUT_STATS.compiles == LAYOUT_STATS.total_builds()
+        assert LAYOUT_STATS.indexed_rounds == 2 * result.iterations
+        assert LAYOUT_STATS.mapped_rounds == 0
+
+    def test_derived_layouts_keep_integer_ids_stable(self):
+        structure = line_structure(16)
+        nodes = line_nodes(16)
+        engine = CircuitEngine(structure)
+        run = PascChainRun([(u, "") for u in nodes], chain_links_for_nodes(nodes))
+        base = engine.new_layout()
+        run.contribute_layout(base)
+        base.freeze()
+        index = base.compiled().index
+        run._active[3] = False
+        run._flipped = [3]
+        derived = base.derive()
+        run.rewire_layout(derived)
+        derived.freeze()
+        # Same universe -> the very same index object: integer set-ids
+        # resolved against the base stay valid for the whole chain.
+        assert derived.compiled().index is index
+        # ...but dropping a set forces a fresh index.
+        shrunk = derived.derive()
+        shrunk.release(nodes[0], "pasc:p")
+        shrunk.freeze()
+        assert shrunk.compiled().index is not index
 
     def test_repeated_execution_hits_the_layout_cache(self):
         structure = line_structure(32)
@@ -253,6 +307,35 @@ class TestEngineLayoutCache:
             cache.put(i, engine.global_layout(label=f"l{i}"))
         assert len(cache) == 2
         assert cache.get(0) is None and cache.get(3) is not None
+
+    def test_cache_stats_are_surfaced(self):
+        LAYOUT_STATS.reset()
+        cache = LayoutCache(maxsize=2)
+        engine = CircuitEngine(line_structure(3))
+        layouts = [engine.global_layout(label=f"s{i}") for i in range(3)]
+        hits0, misses0 = LAYOUT_STATS.cache_hits, LAYOUT_STATS.cache_misses
+        for i, layout in enumerate(layouts):
+            cache.put(i, layout)
+        assert cache.evictions == 1  # layout 0 fell out of the LRU
+        assert LAYOUT_STATS.cache_evictions == 1
+        assert cache.get(2) is not None
+        assert cache.get(0) is None
+        assert (cache.hits, cache.misses) == (1, 1)
+        # The process-wide probe mirrors the per-instance counters
+        # (every cache in the process ticks it, hence the deltas).
+        assert LAYOUT_STATS.cache_hits - hits0 == 1
+        assert LAYOUT_STATS.cache_misses - misses0 == 1
+
+    def test_scoped_cache_separates_structures(self):
+        backing = LayoutCache(maxsize=8)
+        engine = CircuitEngine(line_structure(3))
+        scope_a = backing.scoped("a")
+        scope_b = backing.scoped("b")
+        layout = engine.global_layout(label="shared")
+        scope_a.put("k", layout)
+        assert scope_a.get("k") is layout
+        assert scope_b.get("k") is None
+        assert len(backing) == 1
 
 
 # ----------------------------------------------------------------------

@@ -13,7 +13,7 @@ from repro.spf.merge import forest_distances, merge_forests
 from repro.spf.spt import shortest_path_tree
 from repro.spf.types import Forest
 from repro.verify import assert_valid_forest
-from repro.workloads import hexagon, line_structure, random_hole_free
+from repro.workloads import line_structure, random_hole_free
 
 
 def line_nodes(n):

@@ -7,7 +7,7 @@ from repro.motion import RoutingPlan, route_tokens
 from repro.reference import ref_shortest_path_forest
 from repro.sim.engine import CircuitEngine
 from repro.spf.types import Forest
-from repro.workloads import hexagon, line_structure, random_hole_free, spread_nodes
+from repro.workloads import hexagon, random_hole_free, spread_nodes
 
 
 def chain_forest(n):

@@ -16,7 +16,7 @@ from repro.pasc.chain import ChainLink, PascChainRun, chain_links_for_nodes
 from repro.pasc.runner import run_pasc
 from repro.pasc.tree import PascTreeRun
 from repro.sim.engine import CircuitEngine
-from repro.workloads import hexagon, line_structure, random_hole_free
+from repro.workloads import line_structure
 from tests.conftest import bfs_tree_adjacency
 
 

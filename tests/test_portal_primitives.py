@@ -16,7 +16,7 @@ from repro.portals.primitives import (
     portal_root_and_prune,
 )
 from repro.sim.engine import CircuitEngine
-from repro.workloads import comb, hexagon, random_hole_free
+from repro.workloads import comb, random_hole_free
 
 
 def make_system(seed=9, n=150):

@@ -3,13 +3,11 @@
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.grid.coords import Node
 from repro.grid.directions import Axis
 from repro.grid.oracle import bfs_distances
-from repro.portals.portals import Portal, PortalSystem, portal_distance_identity
+from repro.portals.portals import PortalSystem, portal_distance_identity
 from repro.workloads import (
     comb,
     hexagon,

@@ -1,6 +1,5 @@
 """Tests for the leader election preprocessing (Theorem 2)."""
 
-import pytest
 
 from repro.preprocessing import elect_leader
 from repro.sim.engine import CircuitEngine

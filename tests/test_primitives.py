@@ -2,11 +2,8 @@
 centroids, centroid decomposition)."""
 
 import math
-import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.ett.tour import build_euler_tour
 from repro.grid.coords import Node
@@ -19,7 +16,7 @@ from repro.primitives import (
 )
 from repro.primitives.root_prune import RootPruneOp
 from repro.sim.engine import CircuitEngine
-from repro.workloads import hexagon, line_structure, random_hole_free
+from repro.workloads import line_structure, random_hole_free
 from tests.conftest import bfs_tree_adjacency, random_subset
 
 

@@ -1,6 +1,5 @@
 """Tests for the propagation algorithm (§5.3, Lemma 50)."""
 
-import random
 
 import pytest
 

@@ -12,7 +12,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.grid.coords import Node
 from repro.reference import (
     ref_augmentation,
     ref_centroid_decomposition_depths,

@@ -10,7 +10,7 @@ from repro.portals.portals import PortalSystem
 from repro.portals.primitives import portal_root_and_prune
 from repro.sim.engine import CircuitEngine
 from repro.spf.regions import RegionDecomposition
-from repro.workloads import hexagon, parallelogram, random_hole_free
+from repro.workloads import parallelogram, random_hole_free
 
 
 def build_decomposition(structure, k, seed):

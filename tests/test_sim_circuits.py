@@ -3,7 +3,7 @@
 import pytest
 
 from repro.grid.coords import Node
-from repro.grid.directions import Direction, opposite
+from repro.grid.directions import Direction
 from repro.sim.circuits import CircuitLayout
 from repro.sim.errors import PinConfigurationError
 from repro.sim.pins import Pin

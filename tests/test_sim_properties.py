@@ -5,7 +5,6 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.grid.coords import Node
 from repro.sim.engine import CircuitEngine
 from repro.workloads import random_hole_free
 

@@ -9,7 +9,7 @@ in the portal machinery.
 import random
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.grid.coords import Node, grid_distance
