@@ -18,6 +18,12 @@ per-round dict rebuilds this repository keeps engineering away from —
 not scheduler noise.  The fresh measurements are written to ``--output``
 and uploaded as a workflow artifact so regressions can be diagnosed
 from the run page.
+
+``--update-baseline`` flips the tool from gatekeeper to scribe: instead
+of comparing, it rewrites the committed baseline's ``after_s`` medians
+(and derived speedups) in place from the fresh run, preserving every
+other field — the supported way to refresh ``BENCH_*.json`` after an
+intentional perf change.
 """
 
 from __future__ import annotations
@@ -118,6 +124,36 @@ def compare(
     return problems
 
 
+def update_baseline(path: str, fresh: Dict[str, Dict[str, object]]) -> int:
+    """Rewrite the committed baseline's medians from fresh measurements.
+
+    Replaces hand-editing ``BENCH_*.json``: every measured workload's
+    ``after_s`` becomes its fresh median (new workloads get a stub
+    entry), all other fields — ``before_s``, ``speedup``, ``detail``,
+    the file's description — are preserved.  ``speedup`` is refreshed
+    when a ``before_s`` exists.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except OSError:
+        print(f"note: baseline {path!r} missing; starting a fresh one")
+        baseline = {"workloads": {}}
+    workloads = baseline.setdefault("workloads", {})
+    for name, result in fresh.items():
+        entry = workloads.setdefault(name, {})
+        entry["after_s"] = float(result["median_s"])
+        before = entry.get("before_s")
+        if before:
+            entry["speedup"] = round(float(before) / max(entry["after_s"], 1e-9), 2)
+        print(f"updated {name}: after_s = {entry['after_s']:.3f}s")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"rewrote {path}")
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -134,9 +170,17 @@ def main(argv: List[str] | None = None) -> int:
         help="regression threshold as a multiple of the baseline median",
     )
     parser.add_argument("--repeats", type=int, default=3, help="timed runs per workload")
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the committed baseline's after_s entries from the "
+        "fresh medians instead of comparing against them",
+    )
     args = parser.parse_args(argv)
 
     fresh = measure(args.repeats)
+    if args.update_baseline:
+        return update_baseline(args.baseline, fresh)
     if args.output:
         payload = {
             "python": platform.python_version(),

@@ -28,6 +28,13 @@ result store::
     print(report.summary())  # re-running serves every trial from cache
 """
 
+from repro.dynamics import (
+    DynamicSPF,
+    EditBatch,
+    EditScript,
+    FaultInjector,
+    generate_churn,
+)
 from repro.experiments import (
     CampaignRunner,
     CampaignSpec,
@@ -96,6 +103,11 @@ __all__ = [
     "solve_spf",
     "assert_valid_forest",
     "check_forest",
+    "DynamicSPF",
+    "EditBatch",
+    "EditScript",
+    "FaultInjector",
+    "generate_churn",
     "CampaignRunner",
     "CampaignSpec",
     "ResultStore",

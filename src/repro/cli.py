@@ -5,6 +5,14 @@ Commands
 ``solve``
     Solve a (k, l)-SPF instance on a generated structure and print the
     result (rounds, assignments, optional ASCII rendering).
+``route``
+    Solve, then route tokens along the forest and report the
+    :class:`~repro.motion.routing.RoutingStats` (steps, total moves,
+    congestion overhead).
+``churn``
+    Dynamic SPF: apply a generated edit stream to the structure and
+    repair the forest incrementally, reporting per-batch repair cost
+    (optionally under injected faults).
 ``sweep``
     Quick round-complexity sweeps (spsp / sssp / forest) — thin
     wrappers over the built-in ``*-small`` campaigns.
@@ -51,14 +59,7 @@ def make_structure(spec: str) -> AmoebotStructure:
 def cmd_solve(args: argparse.Namespace) -> int:
     """Handle ``repro solve``."""
     structure = make_structure(args.shape)
-    if args.spread:
-        sources = spread_nodes(structure, args.k)
-        rest = [u for u in sorted(structure.nodes) if u not in set(sources)]
-        destinations = rest[: args.l]
-    else:
-        sources, destinations = sample_sources_destinations(
-            structure, args.k, args.l, seed=args.seed
-        )
+    sources, destinations = _endpoints(structure, args)
     solution = solve_spf(structure, sources, destinations)
     print(f"n = {len(structure)}, k = {args.k}, l = {args.l}")
     print(f"algorithm: {solution.algorithm}")
@@ -75,6 +76,123 @@ def cmd_solve(args: argparse.Namespace) -> int:
                 structure, sources, destinations, solution.forest.members
             )
         )
+    return 0
+
+
+def _endpoints(structure, args):
+    """Shared source/destination selection for solve-style commands."""
+    if args.k < 1 or args.l < 1:
+        raise SystemExit("k and l must be at least 1")
+    if getattr(args, "spread", False):
+        sources = spread_nodes(structure, args.k)
+        rest = [u for u in sorted(structure.nodes) if u not in set(sources)]
+        destinations = rest[: args.l]
+    else:
+        sources, destinations = sample_sources_destinations(
+            structure, args.k, args.l, seed=args.seed
+        )
+    return sources, destinations
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    """Handle ``repro route`` — token routing along a solved forest."""
+    from repro.motion import RoutingPlan, route_tokens
+
+    structure = make_structure(args.shape)
+    sources, destinations = _endpoints(structure, args)
+    solution = solve_spf(structure, sources, destinations)
+    if args.tokens:
+        members = sorted(solution.forest.members - set(sources))
+        if not members:
+            raise SystemExit("forest has no non-source members to seed tokens on")
+        import random as _random
+
+        rng = _random.Random(args.seed)
+        origins = [members[i] for i in sorted(
+            rng.sample(range(len(members)), min(args.tokens, len(members)))
+        )]
+    else:
+        origins = list(destinations)
+    stats = route_tokens(RoutingPlan(solution.forest, origins))
+    print(f"n = {len(structure)}, k = {args.k}, l = {args.l}")
+    print(f"algorithm: {solution.algorithm} ({solution.rounds} solve rounds)")
+    print(f"tokens routed: {len(origins)}")
+    print(f"steps (makespan): {stats.steps}")
+    print(f"total moves: {stats.total_moves}")
+    print(f"lower bound: {stats.lower_bound}")
+    print(f"congestion overhead: {stats.congestion_overhead:.3f}")
+    return 0
+
+
+def cmd_churn(args: argparse.Namespace) -> int:
+    """Handle ``repro churn`` — dynamic SPF repair under an edit stream."""
+    from repro.dynamics import CHURN_KINDS, DynamicSPF, FaultInjector, generate_churn
+    from repro.spf.api import solve_spf as _solve
+
+    if args.kind not in CHURN_KINDS:
+        raise SystemExit(
+            f"unknown churn kind {args.kind!r} (choose from {', '.join(CHURN_KINDS)})"
+        )
+    structure = make_structure(args.shape)
+    sources, destinations = _endpoints(structure, args)
+    faults = None
+    if args.crash or args.drop:
+        import random as _random
+
+        rng = _random.Random(args.seed + 1)
+        pool = [u for u in sorted(structure.nodes) if u not in set(sources)]
+        crashed = rng.sample(pool, min(args.crash, len(pool))) if args.crash else []
+        faults = FaultInjector(crashed=crashed, drop_prob=args.drop, seed=args.seed)
+    dyn = DynamicSPF(
+        structure,
+        sources,
+        destinations,
+        threshold=args.threshold,
+        faults=faults,
+    )
+    init_rounds = dyn.engine.rounds.total
+    print(f"n = {len(structure)}, k = {args.k}, l = {args.l}")
+    print(f"initial solve: {init_rounds} rounds, {len(dyn.forest.members)} members")
+    script = generate_churn(
+        structure,
+        args.kind,
+        steps=args.steps,
+        batch_size=args.batch,
+        seed=args.seed,
+        protected=dyn.protected,
+    )
+    print(f"edit stream: {len(script)} batches, {script.total_ops} ops ({args.kind})")
+    print(f"{'batch':>5} {'ops':>4} {'n':>5} {'region':>6} {'dirty':>6} "
+          f"{'mode':>6} {'rounds':>6} {'wave':>5} {'healed':>6}")
+    for i, batch in enumerate(script):
+        st = dyn.apply(batch)
+        print(f"{i:>5} {st.batch_ops:>4} {st.structure_size:>5} {st.region:>6} "
+              f"{st.dirty:>6} {st.mode:>6} {st.rounds:>6} {st.wave_rounds:>5} "
+              f"{st.corrected:>6}")
+    repair_rounds = dyn.engine.rounds.total - init_rounds
+    reference = _solve(
+        dyn.structure,
+        sources,
+        destinations if destinations else list(dyn.structure.nodes),
+    )
+    print(f"repair total: {repair_rounds} rounds over {len(script)} batches "
+          f"(one fresh solve on the final structure: {reference.rounds} rounds)")
+    if faults is not None:
+        fs = faults.stats
+        print(f"faults: {fs.lost} beeps lost ({fs.suppressed} crashed, "
+              f"{fs.dropped} dropped), {fs.missed_hears} missed hears detected")
+    if args.ascii:
+        from repro.viz.ascii_art import render_churn_ascii
+
+        last = script.batches[-1]
+        print()
+        print(render_churn_ascii(
+            dyn.structure,
+            sources=sources,
+            destinations=destinations,
+            members=dyn.forest.members,
+            added=[u for u in last.add if u in dyn.structure],
+        ))
     return 0
 
 
@@ -149,6 +267,10 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     if args.action == "resume" and not path.exists():
         raise SystemExit(f"no result store to resume at {path}")
     store = ResultStore(path)
+    if args.action == "resume":
+        reclaimed = store.compact()
+        if reclaimed:
+            print(f"compacted store: dropped {reclaimed} superseded line(s)")
     trials = campaign.trial_count()
     print(
         f"campaign {campaign.name!r}: {trials} trials, "
@@ -202,6 +324,9 @@ def cmd_campaign_summarize(args: argparse.Namespace) -> int:
     if not path.exists():
         raise SystemExit(f"no result store at {path}")
     store = ResultStore(path)
+    reclaimed = store.compact()
+    if reclaimed:
+        print(f"compacted store: dropped {reclaimed} superseded line(s)")
     records = store.records(scenario=args.scenario)
     if not records:
         raise SystemExit(f"store {path} has no matching records")
@@ -250,6 +375,53 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--spread", action="store_true", help="spread sources far apart")
     solve.add_argument("--ascii", action="store_true", help="render the forest")
     solve.set_defaults(func=cmd_solve)
+
+    route = sub.add_parser(
+        "route", help="route tokens along a solved shortest path forest"
+    )
+    route.add_argument("--shape", default="hexagon:4", help="e.g. hexagon:4, random:200:7")
+    route.add_argument("-k", type=int, default=1, help="number of sources")
+    route.add_argument("-l", type=int, default=5, help="number of destinations")
+    route.add_argument("--seed", type=int, default=0)
+    route.add_argument("--spread", action="store_true", help="spread sources far apart")
+    route.add_argument(
+        "--tokens",
+        type=int,
+        default=0,
+        help="route this many tokens from random forest members "
+        "(default: one token per destination)",
+    )
+    route.set_defaults(func=cmd_route)
+
+    churn = sub.add_parser(
+        "churn", help="dynamic SPF: edit stream + incremental repair"
+    )
+    churn.add_argument("--shape", default="random:200:1")
+    churn.add_argument("-k", type=int, default=1, help="number of sources")
+    churn.add_argument("-l", type=int, default=5, help="number of destinations")
+    churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument("--spread", action="store_true", help="spread sources far apart")
+    churn.add_argument(
+        "--kind",
+        default="mixed",
+        help="edit flavor: growth, erosion, tunnel, block_move, mixed",
+    )
+    churn.add_argument("--steps", type=int, default=8, help="edit batches to apply")
+    churn.add_argument("--batch", type=int, default=3, help="operations per batch")
+    churn.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="dirty fraction that triggers a full re-solve",
+    )
+    churn.add_argument(
+        "--crash", type=int, default=0, help="crash this many random amoebots"
+    )
+    churn.add_argument(
+        "--drop", type=float, default=0.0, help="per-beep drop probability"
+    )
+    churn.add_argument("--ascii", action="store_true", help="render the final frame")
+    churn.set_defaults(func=cmd_churn)
 
     sweep = sub.add_parser("sweep", help="round-complexity sweeps")
     sweep.add_argument("experiment", choices=["spsp", "sssp", "forest"])

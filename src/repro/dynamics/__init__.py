@@ -1,0 +1,46 @@
+"""Dynamic structures: validated edits, fault injection, self-healing SPF.
+
+The dynamics subsystem turns the static (k, l)-SPF solver into a
+maintained system: structures evolve through validated
+:class:`EditScript` batches (churn), the shortest path forest is
+repaired incrementally instead of re-solved
+(:class:`DynamicSPF`), and faults can be injected into the repair's
+beep rounds (:class:`FaultInjector`) with detection-and-heal
+verification.  See ``README.md`` ("Dynamics: build → edit → repair")
+for the pipeline walk-through.
+"""
+
+from repro.dynamics.edits import (
+    CHURN_KINDS,
+    EditBatch,
+    EditError,
+    EditScript,
+    StructureEditor,
+    generate_churn,
+)
+from repro.dynamics.faults import FaultInjector, FaultStats
+from repro.dynamics.maintain import (
+    DynamicSPF,
+    RepairStats,
+    canonical_forest,
+    canonical_parent,
+    route_under_churn,
+    update_distances,
+)
+
+__all__ = [
+    "CHURN_KINDS",
+    "DynamicSPF",
+    "EditBatch",
+    "EditError",
+    "EditScript",
+    "FaultInjector",
+    "FaultStats",
+    "RepairStats",
+    "StructureEditor",
+    "canonical_forest",
+    "canonical_parent",
+    "generate_churn",
+    "route_under_churn",
+    "update_distances",
+]

@@ -1,0 +1,131 @@
+"""Fault injection for synchronous beep rounds.
+
+A :class:`FaultInjector` plugs into
+:attr:`CircuitEngine.fault_injector <repro.sim.engine.CircuitEngine>`:
+every round's beep list passes through it before propagation.  Two
+fault classes are modeled:
+
+* **crash faults** — crashed amoebots are fail-silent: every beep they
+  would emit is suppressed (their pins still conduct; the wiring is
+  passive).  Crashes persist until :meth:`recover`.
+* **message faults** — each surviving beep is independently dropped
+  with probability ``drop_prob`` (a lossy-beep model in the spirit of
+  fault-tolerant beeping/pod layers).
+
+The injector keeps *detection counters*: on the indexed fast path
+(:meth:`CircuitEngine.run_round_indexed`, which all repair waves use),
+whenever a fault actually changed a round's outcome the round is
+re-propagated fault-free and the listened partition sets that should
+have heard a beep but did not are counted in
+:attr:`FaultStats.missed_hears`.  The id-keyed ``run_round`` path only
+counts the injected faults themselves (``suppressed`` / ``dropped`` /
+``faulty_rounds``) — it has no listen list to diff.  The dynamics layer
+arms an injector only around its repair waves and heals every damaged
+label (see :class:`repro.dynamics.maintain.DynamicSPF`), so the counters
+double as a ground-truth "faults detected" metric.
+
+Randomness is owned by the injector (seeded), so a faulty run is
+reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.grid.coords import Node
+from repro.sim.compiled import CompiledLayout
+from repro.sim.pins import PartitionSetId
+
+
+@dataclass
+class FaultStats:
+    """Counters of injected and detected faults."""
+
+    suppressed: int = 0     #: beeps silenced by crashed amoebots
+    dropped: int = 0        #: beeps lost to the drop probability
+    faulty_rounds: int = 0  #: rounds in which at least one beep was lost
+    missed_hears: int = 0   #: listened sets that missed a beep (detected)
+
+    @property
+    def lost(self) -> int:
+        """Total beeps that never made it onto their circuit."""
+        return self.suppressed + self.dropped
+
+
+class FaultInjector:
+    """Suppresses beeps of crashed amoebots and randomly drops others."""
+
+    def __init__(
+        self,
+        crashed: Iterable[Node] = (),
+        drop_prob: float = 0.0,
+        seed: int = 0,
+    ):
+        if not 0.0 <= drop_prob <= 1.0:
+            raise ValueError(f"drop probability must be in [0, 1], got {drop_prob}")
+        self.crashed: Set[Node] = set(crashed)
+        self.drop_prob = drop_prob
+        self._rng = random.Random(seed)
+        self.stats = FaultStats()
+
+    def crash(self, node: Node) -> None:
+        """Crash one amoebot (fail-silent from the next round on)."""
+        self.crashed.add(node)
+
+    def recover(self, node: Node) -> None:
+        """Recover a crashed amoebot."""
+        self.crashed.discard(node)
+
+    # ------------------------------------------------------------------
+    # engine hooks
+    # ------------------------------------------------------------------
+    def _keep(self, node: Node) -> bool:
+        if node in self.crashed:
+            self.stats.suppressed += 1
+            return False
+        if self.drop_prob and self._rng.random() < self.drop_prob:
+            self.stats.dropped += 1
+            return False
+        return True
+
+    def filter_ids(
+        self, beeps: Iterable[PartitionSetId]
+    ) -> List[PartitionSetId]:
+        """Filter id-keyed beeps (the :meth:`run_round` path)."""
+        kept: List[PartitionSetId] = []
+        lost = False
+        for set_id in beeps:
+            if self._keep(set_id[0]):
+                kept.append(set_id)
+            else:
+                lost = True
+        if lost:
+            self.stats.faulty_rounds += 1
+        return kept
+
+    def execute(
+        self,
+        compiled: CompiledLayout,
+        beeps: Iterable[int],
+        listen: Optional[Sequence[int]],
+    ) -> List[bool]:
+        """Execute one indexed round under faults, tracking detection.
+
+        When a beep was lost, the fault-free round is propagated too
+        (pure array work, no extra synchronous round) and every
+        listened set that hears in the clean run but not in the faulty
+        one increments :attr:`FaultStats.missed_hears`.
+        """
+        all_beeps = list(beeps)
+        ids = compiled.index.ids
+        kept = [i for i in all_beeps if self._keep(ids[i][0])]
+        result = compiled.execute(kept, listen)
+        if len(kept) != len(all_beeps):
+            self.stats.faulty_rounds += 1
+            clean = compiled.execute(all_beeps, listen)
+            self.stats.missed_hears += sum(
+                1 for should, did in zip(clean, result) if should and not did
+            )
+        return result

@@ -203,6 +203,99 @@ def _ablations() -> CampaignSpec:
     )
 
 
+@_builtin("churn-small")
+def _churn_small() -> CampaignSpec:
+    return CampaignSpec(
+        name="churn-small",
+        description=(
+            "dynamic SPF under light churn: incremental repair rounds "
+            "vs structure size (growth / erosion)"
+        ),
+        scenarios=(
+            ScenarioSpec(
+                name="churn-growth",
+                shape="random:{n}:1",
+                sizes=(50, 100),
+                ks=(1,),
+                ls=(3,),
+                seeds=(1,),
+                churn="growth",
+                churn_steps=4,
+                churn_batch=2,
+            ),
+            ScenarioSpec(
+                name="churn-erosion",
+                shape="random:{n}:1",
+                sizes=(50, 100),
+                ks=(1,),
+                ls=(3,),
+                seeds=(1,),
+                churn="erosion",
+                churn_steps=4,
+                churn_batch=2,
+            ),
+        ),
+    )
+
+
+@_builtin("churn")
+def _churn() -> CampaignSpec:
+    return CampaignSpec(
+        name="churn",
+        description=(
+            "T5: self-healing SPF under churn — all four edit flavors, "
+            "repair cost vs n and k"
+        ),
+        scenarios=(
+            ScenarioSpec(
+                name="churn-growth",
+                shape="random:{n}:1",
+                sizes=(100, 200, 400),
+                ks=(1,),
+                ls=(5,),
+                seeds=(1, 2),
+                churn="growth",
+                churn_steps=8,
+                churn_batch=4,
+            ),
+            ScenarioSpec(
+                name="churn-erosion",
+                shape="random:{n}:1",
+                sizes=(100, 200, 400),
+                ks=(1,),
+                ls=(5,),
+                seeds=(1, 2),
+                churn="erosion",
+                churn_steps=8,
+                churn_batch=4,
+            ),
+            ScenarioSpec(
+                name="churn-tunnel",
+                shape="random:{n}:1",
+                sizes=(100, 200),
+                ks=(1,),
+                ls=(5,),
+                seeds=(1, 2),
+                churn="tunnel",
+                churn_steps=6,
+                churn_batch=3,
+            ),
+            ScenarioSpec(
+                name="churn-block-move",
+                shape="random:{n}:1",
+                sizes=(100, 200),
+                ks=(2,),
+                ls=(0,),
+                seeds=(1, 2),
+                placement="spread",
+                churn="block_move",
+                churn_steps=6,
+                churn_batch=4,
+            ),
+        ),
+    )
+
+
 @_builtin("shapes")
 def _shapes() -> CampaignSpec:
     return CampaignSpec(

@@ -147,14 +147,81 @@ def _pick_endpoints(
     return sources, destinations
 
 
+def _execute_churn_trial(
+    trial: TrialSpec,
+    structure: AmoebotStructure,
+    sources: List[Node],
+    destinations: List[Node],
+) -> Tuple[int, int, Dict[str, int]]:
+    """Initial solve + churn/repair loop; returns (members, rounds, extras).
+
+    The dynamics engine owns its layout cache (the structure mutates
+    every batch, so the worker-wide shape-keyed cache does not apply).
+    Churn is seeded from the trial's content hash, so records are
+    reproducible across runs and worker counts.
+    """
+    from repro.dynamics import DynamicSPF, generate_churn
+
+    dyn = DynamicSPF(
+        structure,
+        sources,
+        destinations if trial.l != ALL_NODES else None,
+    )
+    script = generate_churn(
+        structure,
+        trial.churn,
+        steps=trial.churn_steps,
+        batch_size=trial.churn_batch,
+        seed=trial.sampling_seed(),
+        protected=dyn.protected,
+    )
+    stats = dyn.apply_script(script)
+    extras = {
+        "edit_batches": len(stats),
+        "edit_ops": sum(s.batch_ops for s in stats),
+        "repairs_patch": sum(1 for s in stats if s.mode == "patch"),
+        "repairs_full": sum(1 for s in stats if s.mode == "full"),
+        "repair_rounds": sum(s.rounds for s in stats),
+        "wave_rounds": sum(s.wave_rounds for s in stats),
+        "dirty_nodes": sum(s.dirty for s in stats),
+    }
+    return len(dyn.forest.members), dyn.engine.rounds.total, extras
+
+
 def execute_trial(trial: TrialSpec) -> TrialResult:
     """Run one trial and measure rounds, forest size and wall time."""
     structure = build_structure(trial.shape)
     sources, destinations = _pick_endpoints(structure, trial)
-    engine = _trial_engine(structure)
     resolved = trial.algorithm
     start = time.perf_counter()
 
+    if trial.churn:
+        members, total_rounds, extras = _execute_churn_trial(
+            trial, structure, sources, destinations
+        )
+        elapsed = time.perf_counter() - start
+        sections: Dict[str, int] = dict(extras)
+        return TrialResult(
+            key=trial.key(),
+            scenario=trial.scenario,
+            shape=trial.shape,
+            n=len(structure),
+            k=trial.k,
+            l=trial.l,
+            seed=trial.seed,
+            algorithm=trial.algorithm,
+            resolved="dynamic",
+            placement=trial.placement,
+            rounds=total_rounds,
+            forest_members=members,
+            elapsed_s=round(elapsed, 6),
+            diameter=(
+                structure_diameter(structure) if trial.measure_diameter else None
+            ),
+            sections=sections,
+        )
+
+    engine = _trial_engine(structure)
     if trial.algorithm == "auto":
         from repro.spf.api import solve_spf
 

@@ -23,6 +23,11 @@ from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 ALGORITHMS = ("auto", "spt", "forest", "sequential", "wave")
 PLACEMENTS = ("random", "spread", "extremes")
 
+#: Churn flavors a scenario may request (mirrors
+#: :data:`repro.dynamics.edits.CHURN_KINDS`; duplicated as a literal so
+#: spec validation never imports the simulator).
+CHURNS = ("", "growth", "erosion", "tunnel", "block_move", "mixed")
+
 #: ``l`` value meaning "every node is a destination" (the paper's SSSP
 #: setting, and the forest algorithm's default of no final pruning).
 ALL_NODES = 0
@@ -50,6 +55,9 @@ class TrialSpec:
     algorithm: str = "auto"
     placement: str = "random"
     measure_diameter: bool = False
+    churn: str = ""
+    churn_steps: int = 0
+    churn_batch: int = 1
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -70,6 +78,23 @@ class TrialSpec:
             # sequential_merge_forest spans the whole structure; a
             # trial claiming l destinations would be mislabeled.
             raise SpecError("algorithm 'sequential' requires l = 0 (all nodes)")
+        if self.churn not in CHURNS:
+            raise SpecError(
+                f"unknown churn kind {self.churn!r}; expected one of {CHURNS}"
+            )
+        if self.churn:
+            if self.algorithm != "auto":
+                raise SpecError("churn trials require algorithm 'auto'")
+            if self.churn_steps < 1:
+                raise SpecError(
+                    f"churn trials need churn_steps >= 1, got {self.churn_steps}"
+                )
+            if self.churn_batch < 1:
+                raise SpecError(
+                    f"churn_batch must be positive, got {self.churn_batch}"
+                )
+        elif self.churn_steps != 0:
+            raise SpecError("churn_steps given without a churn kind")
 
     def config(self) -> Dict[str, object]:
         """The identity-bearing configuration (scenario name excluded).
@@ -77,8 +102,11 @@ class TrialSpec:
         Two trials with equal configs are the same experiment even if
         they appear under different scenario or campaign names — this is
         what lets the store share cached results across campaigns.
+        Churn parameters enter the config only when churn is enabled, so
+        every pre-dynamics trial keeps its historical content hash (and
+        its cached store records).
         """
-        return {
+        out: Dict[str, object] = {
             "shape": self.shape,
             "k": self.k,
             "l": self.l,
@@ -87,6 +115,11 @@ class TrialSpec:
             "placement": self.placement,
             "measure_diameter": self.measure_diameter,
         }
+        if self.churn:
+            out["churn"] = self.churn
+            out["churn_steps"] = self.churn_steps
+            out["churn_batch"] = self.churn_batch
+        return out
 
     def key(self) -> str:
         """Stable content hash of the configuration."""
@@ -158,6 +191,9 @@ class ScenarioSpec:
     algorithm: str = "auto"
     placement: str = "random"
     measure_diameter: bool = False
+    churn: str = ""
+    churn_steps: int = 0
+    churn_batch: int = 1
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -196,6 +232,23 @@ class ScenarioSpec:
                 f"scenario {self.name!r}: algorithm 'sequential' requires "
                 "l = 0 (all nodes)"
             )
+        if self.churn not in CHURNS:
+            raise SpecError(
+                f"scenario {self.name!r}: unknown churn kind {self.churn!r}; "
+                f"expected one of {CHURNS}"
+            )
+        if self.churn and self.algorithm != "auto":
+            raise SpecError(
+                f"scenario {self.name!r}: churn scenarios require algorithm 'auto'"
+            )
+        if self.churn and self.churn_steps < 1:
+            raise SpecError(
+                f"scenario {self.name!r}: churn scenarios need churn_steps >= 1"
+            )
+        if not self.churn and self.churn_steps != 0:
+            raise SpecError(
+                f"scenario {self.name!r}: churn_steps given without a churn kind"
+            )
 
     def trials(self) -> List[TrialSpec]:
         """Expand the grid into concrete trials (deduplicated, ordered)."""
@@ -219,6 +272,9 @@ class ScenarioSpec:
                             algorithm=self.algorithm,
                             placement=self.placement,
                             measure_diameter=self.measure_diameter,
+                            churn=self.churn,
+                            churn_steps=self.churn_steps,
+                            churn_batch=self.churn_batch,
                         )
                         if trial.key() not in seen:
                             seen.add(trial.key())
@@ -227,7 +283,7 @@ class ScenarioSpec:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready mapping (inverse of :meth:`from_dict`)."""
-        return {
+        out: Dict[str, object] = {
             "name": self.name,
             "shape": self.shape,
             "sizes": list(self.sizes),
@@ -238,6 +294,11 @@ class ScenarioSpec:
             "placement": self.placement,
             "measure_diameter": self.measure_diameter,
         }
+        if self.churn:
+            out["churn"] = self.churn
+            out["churn_steps"] = self.churn_steps
+            out["churn_batch"] = self.churn_batch
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ScenarioSpec":
@@ -257,7 +318,14 @@ class ScenarioSpec:
         for axis in ("sizes", "ks", "ls", "seeds"):
             if axis in data:
                 kwargs[axis] = _int_tuple(axis, data[axis])
-        for scalar in ("algorithm", "placement", "measure_diameter"):
+        for scalar in (
+            "algorithm",
+            "placement",
+            "measure_diameter",
+            "churn",
+            "churn_steps",
+            "churn_batch",
+        ):
             if scalar in data:
                 kwargs[scalar] = data[scalar]
         return cls(**kwargs)  # type: ignore[arg-type]

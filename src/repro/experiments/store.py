@@ -28,16 +28,23 @@ class ResultStore:
     def __init__(self, path: Optional[os.PathLike] = None):
         self.path = Path(path) if path is not None else None
         self._records: Dict[str, dict] = {}
+        #: Superseded/unreadable lines seen at load time (duplicate keys
+        #: from re-runs, torn writes): the difference between the file's
+        #: line count and the live record count.  :meth:`compact` can
+        #: reclaim them.
+        self.superseded_lines = 0
         if self.path is not None and self.path.exists():
             self._load()
 
     def _load(self) -> None:
         assert self.path is not None
+        lines = 0
         with self.path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
                     continue
+                lines += 1
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
@@ -48,6 +55,7 @@ class ResultStore:
                     # restart, or resume silently re-runs finished trials.
                     record["key"] = str(record["key"])
                     self._records[record["key"]] = record
+        self.superseded_lines = lines - len(self._records)
 
     # ------------------------------------------------------------------
     # queries
@@ -103,6 +111,9 @@ class ResultStore:
             raise ValueError("trial record must carry a 'key'")
         record = dict(record)
         record["key"] = str(record["key"])
+        if self.path is not None and record["key"] in self._records:
+            # The old record's line is now superseded on disk.
+            self.superseded_lines += 1
         self._records[record["key"]] = record
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -117,3 +128,25 @@ class ResultStore:
             self.add(record)
             count += 1
         return count
+
+    def compact(self) -> int:
+        """Rewrite the JSONL file with one line per trial key.
+
+        Long-lived stores grow a superseded line for every ``--fresh``
+        re-run and every resumed duplicate; compaction drops them
+        (last record per key wins — exactly the in-memory view).  The
+        rewrite goes through a temporary file in the same directory and
+        an atomic replace, so a crash mid-compaction never loses the
+        store.  Returns the number of lines reclaimed (0 when the file
+        is already minimal, in which case nothing is rewritten).
+        """
+        if self.path is None or self.superseded_lines <= 0:
+            return 0
+        reclaimed = self.superseded_lines
+        tmp = self.path.with_name(self.path.name + ".compact")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for record in self._records.values():
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        os.replace(tmp, self.path)
+        self.superseded_lines = 0
+        return reclaimed

@@ -46,6 +46,46 @@ class AmoebotStructure:
             if has_holes(node_set):
                 raise StructureError("amoebot structure must be hole-free")
 
+    @classmethod
+    def from_validated(
+        cls,
+        nodes: Iterable[Node],
+        basis: Optional["AmoebotStructure"] = None,
+        dirty: Iterable[Node] = (),
+    ) -> "AmoebotStructure":
+        """Trusted constructor: skip the connectivity and hole re-scan.
+
+        The dynamics subsystem validates edits *incrementally* (one O(1)
+        neighborhood check per operation, see
+        :class:`repro.dynamics.edits.StructureEditor`), so rebuilding a
+        structure after a validated edit batch must not pay the O(n)
+        flood fills of ``__init__`` again.  Callers assert that
+        ``nodes`` is non-empty, connected, and hole-free.
+
+        ``basis``/``dirty`` optionally seed the adjacency caches from a
+        previous structure: cache entries of nodes not adjacent to any
+        ``dirty`` (edited) node are carried over verbatim, so repeated
+        small edits keep amortized cache warmth.
+        """
+        self = cls.__new__(cls)
+        node_set = frozenset(nodes)
+        if not node_set:
+            raise StructureError("amoebot structure must be non-empty")
+        self._nodes = node_set
+        self._neighbor_cache = {}
+        self._direction_cache = {}
+        if basis is not None:
+            stale: Set[Node] = set(dirty)
+            for u in tuple(stale):
+                stale.update(u.neighbors())
+            for u, cached in basis._neighbor_cache.items():
+                if u in node_set and u not in stale:
+                    self._neighbor_cache[u] = cached
+            for u, cached_d in basis._direction_cache.items():
+                if u in node_set and u not in stale:
+                    self._direction_cache[u] = cached_d
+        return self
+
     # ------------------------------------------------------------------
     # basic container protocol
     # ------------------------------------------------------------------

@@ -14,9 +14,9 @@ bound ``max_d dist(S, d)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
-from repro.grid.coords import Node
+from repro.grid.coords import Node, grid_distance
 from repro.spf.types import Forest
 
 
@@ -28,6 +28,9 @@ class RoutingStats:
     total_moves: int
     lower_bound: int
     token_paths: Dict[int, List[Node]]
+    #: Tokens re-seated onto the nearest forest member after a
+    #: mid-flight forest swap stranded them (see ``on_step``).
+    rescued: int = 0
 
     @property
     def congestion_overhead(self) -> float:
@@ -51,12 +54,22 @@ class RoutingPlan:
 def route_tokens(
     plan: RoutingPlan,
     max_steps: Optional[int] = None,
+    on_step: Optional[Callable[[int], Optional[Forest]]] = None,
 ) -> RoutingStats:
     """Simulate the synchronous routing until every token reaches a source.
 
     A token parks (and disappears from the occupancy map) when it
     reaches its tree's source — sources absorb arbitrarily many tokens,
     modelling the "entry point" semantics of reconfiguration.
+
+    ``on_step`` (optional) is called after each synchronous step with
+    the step number; returning a :class:`Forest` swaps the routing
+    forest *mid-flight* — this is how the dynamics layer routes over a
+    forest being repaired under churn.  Tokens whose position left the
+    new forest are re-seated on the nearest free member (deterministic:
+    closest by grid distance, ties by node order), counted in
+    :attr:`RoutingStats.rescued`; the step budget is re-derived from
+    the new forest so a legitimate swap never trips the deadlock guard.
     """
     forest = plan.forest
     positions: Dict[int, Node] = dict(enumerate(plan.token_origins))
@@ -70,11 +83,13 @@ def route_tokens(
     lower_bound = max(
         (forest.depth_of(p) for p in plan.token_origins), default=0
     )
+    auto_budget = max_steps is None
     if max_steps is None:
         max_steps = 4 * lower_bound + 4 * len(plan.token_origins) + 8
 
     steps = 0
     total_moves = 0
+    rescued = 0
     while len(arrived) < len(positions):
         if steps > max_steps:
             raise RuntimeError("routing did not converge; congestion deadlock?")
@@ -115,9 +130,73 @@ def route_tokens(
                 arrived.add(t)
             else:
                 occupied[target] = t
+        if on_step is not None:
+            swapped = on_step(steps)
+            if swapped is not None:
+                forest = swapped
+                rescued += _reseat_tokens(
+                    forest, positions, paths, occupied, arrived
+                )
+                if auto_budget:
+                    active = [t for t in positions if t not in arrived]
+                    remaining = max(
+                        (forest.depth_of(positions[t]) for t in active),
+                        default=0,
+                    )
+                    max_steps = steps + 4 * remaining + 4 * len(active) + 8
     return RoutingStats(
         steps=steps,
         total_moves=total_moves,
         lower_bound=lower_bound,
         token_paths=paths,
+        rescued=rescued,
     )
+
+
+def _reseat_tokens(
+    forest: Forest,
+    positions: Dict[int, Node],
+    paths: Dict[int, List[Node]],
+    occupied: Dict[Node, int],
+    arrived: Set[int],
+) -> int:
+    """Re-seat stranded tokens after a mid-flight forest swap.
+
+    A token is stranded when its position is no longer a forest member
+    (the node was removed, or pruned out of the forest).  It hops to
+    the nearest still-free member — deterministically by (grid
+    distance, node order) — and arrival is re-evaluated against the new
+    forest's sources.  Returns the number of rescues.
+    """
+    rescued = 0
+    occupied.clear()
+    members = sorted(forest.members)
+    active = [t for t in sorted(positions) if t not in arrived]
+    stranded = []
+    # Settle surviving tokens first so rescues never land on them.
+    for t in active:
+        p = positions[t]
+        if p not in forest.members:
+            stranded.append(t)
+        elif p in forest.sources:
+            arrived.add(t)
+        else:
+            occupied[p] = t
+    for t in stranded:
+        p = positions[t]
+        target = min(
+            (
+                m
+                for m in members
+                if m not in occupied or m in forest.sources
+            ),
+            key=lambda m: (grid_distance(p, m), m),
+        )
+        positions[t] = target
+        paths[t].append(target)
+        rescued += 1
+        if target in forest.sources:
+            arrived.add(t)
+        else:
+            occupied[target] = t
+    return rescued

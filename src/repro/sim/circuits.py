@@ -260,6 +260,23 @@ class CircuitLayout:
         clone._dirty = set()
         return clone
 
+    def derive_for(self, structure: AmoebotStructure) -> "CircuitLayout":
+        """:meth:`derive`, re-bound to an *edited* structure.
+
+        The dynamics layer patches wave/coordination layouts across
+        structure edits instead of rebuilding them: the clone starts
+        with the old wiring but validates subsequent
+        :meth:`assign`/:meth:`release` calls against the **new**
+        structure.  The caller must release every partition set owned
+        by a departed amoebot (and every surviving set's pin toward a
+        departed cell) before freezing — pins into vacated cells would
+        otherwise dangle.  Freezing then recompiles incrementally under
+        the derive contract (validation of untouched sets is skipped).
+        """
+        clone = self.derive()
+        clone._structure = structure
+        return clone
+
     def release(self, node: Node, label: str) -> None:
         """Un-declare partition set ``(node, label)`` and free its pins.
 
@@ -321,9 +338,34 @@ class CircuitLayout:
         and secondary sets — as one cheap operation: the pins already
         passed validation when first assigned, so no existence or budget
         checks are repeated and no release-both-then-reassign dance is
-        needed.  On a derived layout both sets and the neighbor sets at
-        the far end of the swapped links are marked dirty, exactly as
-        :meth:`reassign` would.
+        needed.
+
+        **Ownership-swap contract.**  The operation is exactly a
+        transfer of ownership records, with these guarantees and
+        obligations:
+
+        * *Both sets must be declared* on this layout; an undeclared
+          side raises :class:`PinConfigurationError` before anything is
+          touched.
+        * *Every listed pin must belong to one of the two sets* at call
+          time.  A pin owned by a third set (or unassigned) raises —
+          but pins listed **before** the offending one have already
+          swapped: the operation is not atomic, so callers treating it
+          as transactional must validate the pin list up front (PASC
+          passes a unit's own link pins, which it owns by
+          construction).
+        * *No pin is created or destroyed*: the physical pin universe
+          and the partition-set universe are unchanged, which is why a
+          following incremental :meth:`freeze` never falls back to the
+          full relower — only the two sets and the mates at the far end
+          of the swapped links are marked dirty.
+        * *Copy-on-write is preserved*: pin lists shared with the base
+          layout are cloned before their first mutation, so the frozen
+          base layout the clone was :meth:`derive`-d from is never
+          corrupted.
+        * *An empty swap list is a no-op* that still marks the two sets
+          dirty on a derived layout (harmless, one extra row in the
+          incremental recompilation).
         """
         if self._frozen:
             raise PinConfigurationError("layout is frozen; derive() a new one first")

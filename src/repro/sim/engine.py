@@ -151,6 +151,30 @@ class CircuitEngine:
         self.layouts: AnyLayoutCache = (
             layouts if layouts is not None else LayoutCache(maxsize=layout_cache_size)
         )
+        #: Optional fault model (see :mod:`repro.dynamics.faults`).  When
+        #: set, every round's beep list passes through the injector
+        #: before propagation: crashed amoebots go silent and individual
+        #: beeps may be dropped.  ``None`` (the default) costs nothing.
+        self.fault_injector = None
+
+    def rebind(
+        self,
+        structure: AmoebotStructure,
+        layouts: Optional[AnyLayoutCache] = None,
+    ) -> None:
+        """Re-point this engine at an edited structure.
+
+        The round counter keeps running — dynamics charge repairs to the
+        same clock as the initial solve.  The layout cache **must** be
+        replaced (or scoped per structure version) alongside, because
+        cached wiring keys assume a fixed structure; passing ``layouts``
+        is therefore mandatory unless the caller cleared the old cache.
+        """
+        self.structure = structure
+        if layouts is not None:
+            self.layouts = layouts
+        else:
+            self.layouts.clear()
 
     # ------------------------------------------------------------------
     # layout construction helpers
@@ -241,6 +265,8 @@ class CircuitEngine:
         compiled = layout.compiled()
         comp = compiled.comp
         index = compiled.index
+        if self.fault_injector is not None:
+            beeps = self.fault_injector.filter_ids(beeps)
         hears = bytearray(compiled.n_components)
         for set_id in beeps:
             hears[comp[index.index_of(set_id, "beep on")]] = 1
@@ -292,6 +318,8 @@ class CircuitEngine:
         compiled = layout.compiled()
         self.rounds.tick()
         LAYOUT_STATS.indexed_rounds += 1
+        if self.fault_injector is not None:
+            return self.fault_injector.execute(compiled, beeps, listen)
         return compiled.execute(beeps, listen)
 
     def run_rounds(

@@ -58,3 +58,32 @@ def render_forest_ascii(
     for s in sources:
         glyphs[s] = "S"
     return render_ascii(structure, glyphs, default=".")
+
+
+def render_churn_ascii(
+    structure: AmoebotStructure,
+    sources: Iterable[Node] = (),
+    destinations: Iterable[Node] = (),
+    members: Iterable[Node] = (),
+    added: Iterable[Node] = (),
+    dirty: Iterable[Node] = (),
+) -> str:
+    """One churn frame: the forest view plus the last batch's edits.
+
+    On top of the forest glyphs (``S``/``D``/``*``), freshly ``added``
+    amoebots render as ``+`` and the repair's ``dirty`` region as ``~``
+    (forest/endpoint glyphs win where they overlap).  Removed amoebots
+    are simply gone — the lattice gap is the mark.
+    """
+    glyphs: Dict[Node, str] = {}
+    for u in dirty:
+        glyphs[u] = "~"
+    for u in added:
+        glyphs[u] = "+"
+    for u in members:
+        glyphs[u] = "*"
+    for d in destinations:
+        glyphs[d] = "D"
+    for s in sources:
+        glyphs[s] = "S"
+    return render_ascii(structure, glyphs, default=".")

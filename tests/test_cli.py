@@ -159,3 +159,68 @@ class TestCampaignCommand:
         bad.write_text("{broken")
         with pytest.raises(SystemExit, match="bad campaign spec"):
             main(["campaign", "run", "--spec", str(bad)])
+
+
+class TestRouteCommand:
+    def test_route_reports_stats(self, capsys):
+        assert main(["route", "--shape", "hexagon:3", "-k", "1", "-l", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "steps (makespan):" in out
+        assert "congestion overhead:" in out
+        assert "total moves:" in out
+
+    def test_route_with_sampled_tokens(self, capsys):
+        assert main(
+            ["route", "--shape", "random:80:2", "-k", "2", "-l", "4",
+             "--tokens", "5", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tokens routed: 5" in out
+
+
+class TestChurnCommand:
+    def test_churn_reports_repairs(self, capsys):
+        assert main(
+            ["churn", "--shape", "random:80:1", "-k", "1", "-l", "3",
+             "--kind", "growth", "--steps", "3", "--batch", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "initial solve:" in out
+        assert "repair total:" in out
+        assert out.count("patch") + out.count("full") >= 3
+
+    def test_churn_with_faults_and_ascii(self, capsys):
+        assert main(
+            ["churn", "--shape", "random:60:1", "-k", "1", "-l", "2",
+             "--kind", "mixed", "--steps", "2", "--batch", "2",
+             "--drop", "0.3", "--ascii"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "faults:" in out
+        assert "S" in out  # the rendered frame marks the source
+
+    def test_churn_unknown_kind(self):
+        with pytest.raises(SystemExit):
+            main(["churn", "--shape", "hexagon:2", "--kind", "melt"])
+
+
+class TestStoreCompactionCLI:
+    def test_resume_compacts_superseded_lines(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        assert main(
+            ["campaign", "run", "--name", "spsp-small", "--store", str(store),
+             "--quiet"]
+        ) == 0
+        # Force duplicate lines, then resume: the CLI compacts first.
+        assert main(
+            ["campaign", "run", "--name", "spsp-small", "--store", str(store),
+             "--quiet", "--fresh"]
+        ) == 0
+        assert main(
+            ["campaign", "resume", "--name", "spsp-small", "--store", str(store),
+             "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "compacted store: dropped 4 superseded line(s)" in out
+        lines = [l for l in store.read_text().splitlines() if l.strip()]
+        assert len(lines) == 4

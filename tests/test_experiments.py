@@ -356,3 +356,131 @@ class TestRegistry:
             trials = get_campaign(name).trials()
             assert trials, name
             assert len({t.key() for t in trials}) == len(trials)
+
+
+class TestStoreCompaction:
+    def test_compact_drops_superseded_lines(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        for i in range(3):
+            store.add({"key": "a", "rounds": i, "scenario": "s"})
+        store.add({"key": "b", "rounds": 9, "scenario": "s"})
+        with path.open("a") as handle:
+            handle.write("{torn\n")
+
+        reloaded = ResultStore(path)
+        assert reloaded.superseded_lines == 3  # two dupes + one torn line
+        reclaimed = reloaded.compact()
+        assert reclaimed == 3
+        lines = [l for l in path.read_text().splitlines() if l.strip()]
+        assert len(lines) == 2
+
+        again = ResultStore(path)
+        assert len(again) == 2
+        assert again.get("a")["rounds"] == 2  # last record survived
+        assert again.superseded_lines == 0
+        assert again.compact() == 0  # already minimal: no rewrite
+
+    def test_compact_sees_duplicates_written_through_live_store(self, tmp_path):
+        """Overwrites through the same instance count as superseded."""
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.add({"key": "a", "rounds": 1, "scenario": "s"})
+        store.add({"key": "a", "rounds": 2, "scenario": "s"})
+        assert store.superseded_lines == 1
+        assert store.compact() == 1
+        lines = [l for l in path.read_text().splitlines() if l.strip()]
+        assert len(lines) == 1
+        assert ResultStore(path).get("a")["rounds"] == 2
+
+    def test_compact_noop_on_clean_store(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.add({"key": "a", "rounds": 1, "scenario": "s"})
+        before = path.read_text()
+        reloaded = ResultStore(path)
+        assert reloaded.compact() == 0
+        assert path.read_text() == before
+
+    def test_compact_in_memory_store_is_noop(self):
+        store = ResultStore()
+        store.add({"key": "a", "rounds": 1})
+        assert store.compact() == 0
+
+
+class TestChurnSpecs:
+    def test_churn_scenario_round_trip(self):
+        scenario = ScenarioSpec(
+            name="churny",
+            shape="random:{n}:1",
+            sizes=(50,),
+            ks=(1,),
+            ls=(3,),
+            seeds=(1,),
+            churn="growth",
+            churn_steps=4,
+            churn_batch=2,
+        )
+        again = ScenarioSpec.from_dict(scenario.to_dict())
+        assert again == scenario
+        trial = scenario.trials()[0]
+        assert trial.churn == "growth" and trial.churn_steps == 4
+
+    def test_churn_requires_steps_and_auto(self):
+        with pytest.raises(SpecError, match="churn_steps"):
+            TrialSpec(scenario="s", shape="hexagon:2", k=1, l=1, seed=0,
+                      churn="growth")
+        with pytest.raises(SpecError, match="auto"):
+            TrialSpec(scenario="s", shape="hexagon:2", k=1, l=1, seed=0,
+                      algorithm="spt", churn="growth", churn_steps=2)
+        with pytest.raises(SpecError, match="without a churn kind"):
+            TrialSpec(scenario="s", shape="hexagon:2", k=1, l=1, seed=0,
+                      churn_steps=2)
+        with pytest.raises(SpecError, match="churn"):
+            ScenarioSpec(name="s", shape="hexagon:2", churn="melt",
+                         churn_steps=1)
+
+    def test_non_churn_keys_unchanged_by_dynamics_fields(self):
+        """Churn fields must not enter pre-dynamics content hashes."""
+        trial = TrialSpec(scenario="s", shape="hexagon:2", k=1, l=2, seed=0)
+        assert "churn" not in trial.config()
+        churny = TrialSpec(scenario="s", shape="hexagon:2", k=1, l=2, seed=0,
+                           churn="growth", churn_steps=2)
+        assert churny.key() != trial.key()
+        assert churny.config()["churn_steps"] == 2
+
+    def test_churn_trial_executes(self):
+        trial = TrialSpec(
+            scenario="churn-test",
+            shape="random:60:1",
+            k=1,
+            l=2,
+            seed=1,
+            churn="growth",
+            churn_steps=2,
+            churn_batch=2,
+        )
+        result = execute_trial(trial)
+        assert result.resolved == "dynamic"
+        assert result.rounds > 0
+        assert result.sections["edit_batches"] == 2
+        assert result.sections["repairs_patch"] + result.sections["repairs_full"] == 2
+        assert result.sections["repair_rounds"] < result.rounds
+
+    def test_churn_trial_is_deterministic(self):
+        trial = TrialSpec(
+            scenario="churn-test", shape="random:50:1", k=1, l=2, seed=3,
+            churn="mixed", churn_steps=2, churn_batch=2,
+        )
+        a, b = execute_trial(trial), execute_trial(trial)
+        assert a.rounds == b.rounds
+        assert a.forest_members == b.forest_members
+        assert a.sections == b.sections
+
+    def test_builtin_churn_campaigns_registered(self):
+        assert "churn-small" in campaign_names()
+        assert "churn" in campaign_names()
+        campaign = get_campaign("churn-small")
+        trials = campaign.trials()
+        assert all(t.churn for t in trials)
+        assert campaign.trial_count() == len(expand_trials(trials))

@@ -390,3 +390,113 @@ class TestRoundTotalsMatchSeed:
         winner = elect_first_marked(engine, tour, marked)
         assert engine.rounds.total == SEED_ROUNDS[spec]["election"]
         assert winner == SEED_WINNERS[spec]
+
+
+class TestLayoutStatsChainConsistency:
+    """LAYOUT_STATS invariants across long derive()/release() chains.
+
+    The counters are the probe CI uses to catch per-round rebuilds, so
+    their algebra must stay consistent no matter how long a derive
+    chain runs or how the universe changes along it:
+
+    * every freeze is counted exactly once, as full, incremental, or
+      no-op;
+    * ``compiles`` equals the non-noop freezes (noop freezes adopt the
+      base arrays without compiling);
+    * derive chains never count as from-scratch builds, even when
+      ``release`` shrinks the partition-set universe (the fallback
+      relower is still an incremental build).
+    """
+
+    def _snapshot(self):
+        return (
+            LAYOUT_STATS.full_builds,
+            LAYOUT_STATS.incremental_builds,
+            LAYOUT_STATS.noop_freezes,
+            LAYOUT_STATS.compiles,
+        )
+
+    def test_long_rewire_chain_counts_one_incremental_per_freeze(self):
+        structure = hexagon(3)
+        engine = CircuitEngine(structure)
+        nodes = sorted(structure.nodes)
+        layout = engine.global_layout("chain")
+        LAYOUT_STATS.reset()
+        current = layout
+        hops = 12
+        for i in range(hops):
+            clone = current.derive()
+            node = nodes[i % len(nodes)]
+            pins = [(d, 1) for d in structure.occupied_directions(node)]
+            clone.reassign(node, "chain", pins if i % 2 == 0 else [])
+            clone.freeze()
+            current = clone
+        assert LAYOUT_STATS.full_builds == 0
+        assert LAYOUT_STATS.incremental_builds == hops
+        assert LAYOUT_STATS.noop_freezes == 0
+        assert LAYOUT_STATS.compiles == hops
+
+    def test_noop_freezes_adopt_without_compiling(self):
+        structure = hexagon(2)
+        engine = CircuitEngine(structure)
+        layout = engine.global_layout("noop")
+        LAYOUT_STATS.reset()
+        current = layout
+        for _ in range(5):
+            clone = current.derive()
+            clone.freeze()  # no re-wiring at all
+            current = clone
+        assert LAYOUT_STATS.noop_freezes == 5
+        assert LAYOUT_STATS.compiles == 0
+        assert LAYOUT_STATS.total_builds() == 0
+
+    def test_release_chain_shrinking_universe_stays_incremental(self):
+        structure = hexagon(2)
+        engine = CircuitEngine(structure)
+        nodes = sorted(structure.nodes)
+        layout = engine.new_layout()
+        for u in structure:
+            pins = [(d, 0) for d in structure.occupied_directions(u)]
+            layout.assign(u, "net", pins)
+        layout.freeze()
+        LAYOUT_STATS.reset()
+        current = layout
+        released = 0
+        for u in nodes[: len(nodes) // 2]:
+            clone = current.derive()
+            clone.release(u, "net")
+            clone.freeze()
+            released += 1
+            current = clone
+        # Universe changes force the relower fallback, but a derive is
+        # never miscounted as a from-scratch build.
+        assert LAYOUT_STATS.full_builds == 0
+        assert LAYOUT_STATS.incremental_builds == released
+        assert LAYOUT_STATS.compiles == released
+        assert len(current.partition_sets()) == len(nodes) - released
+
+    def test_mixed_chain_totals_add_up(self):
+        structure = hexagon(2)
+        engine = CircuitEngine(structure)
+        nodes = sorted(structure.nodes)
+        layout = engine.global_layout("mix")
+        LAYOUT_STATS.reset()
+        current = layout
+        freezes = 0
+        for i, u in enumerate(nodes[:9]):
+            clone = current.derive()
+            if i % 3 == 0:
+                pass  # noop freeze
+            elif i % 3 == 1:
+                clone.reassign(u, "mix", [(structure.occupied_directions(u)[0], 2)])
+            else:
+                clone.release(u, "mix")
+                clone.declare(u, "mix")  # re-declared empty: same universe
+            clone.freeze()
+            freezes += 1
+            current = clone
+        assert (
+            LAYOUT_STATS.total_builds() + LAYOUT_STATS.noop_freezes == freezes
+        )
+        assert LAYOUT_STATS.compiles == LAYOUT_STATS.total_builds()
+        assert LAYOUT_STATS.full_builds == 0
