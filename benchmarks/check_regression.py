@@ -3,12 +3,16 @@
 CI runs this after the benchmark smoke step::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
-        --baseline BENCH_compiled_rounds.json --output perf-fresh.json
+        --baseline BENCH_grid_index.json --output perf-fresh.json
 
 Each workload is executed several times and the *median* wall-clock is
 compared against the committed baseline's ``after_s`` entry for the same
 workload name.  A workload regresses when its fresh median exceeds
 ``baseline * tolerance``; any regression fails the gate (exit code 1).
+Every workload additionally reports its ``build_s`` (structure/index/
+layout construction) and ``rounds_s`` (round execution) phases, and the
+comparison names the phase that blew its share of the budget, so a
+regression localizes to the layer that caused it.
 
 The tolerance (default 3.0, override with ``--tolerance`` or the
 ``PERF_TOLERANCE`` environment variable) is deliberately generous:
@@ -44,58 +48,97 @@ if _ROOT not in sys.path:
     sys.path.insert(0, _ROOT)
 
 
-def _pasc_chain(length: int) -> None:
+def _pasc_chain(length: int) -> Dict[str, float]:
     from repro.grid.coords import Node
     from repro.pasc.chain import PascChainRun, chain_links_for_nodes
     from repro.pasc.runner import run_pasc
     from repro.sim.engine import CircuitEngine
     from repro.workloads import line_structure
 
+    start = time.perf_counter()
     structure = line_structure(length)
+    structure.grid_index()
     nodes = [Node(i, 0) for i in range(length)]
     engine = CircuitEngine(structure)
     run = PascChainRun([(u, "") for u in nodes], chain_links_for_nodes(nodes))
+    build_s = time.perf_counter() - start
+    start = time.perf_counter()
     run_pasc(engine, [run])
+    rounds_s = time.perf_counter() - start
     assert run.node_values() == {u: i for i, u in enumerate(nodes)}
+    return {"build_s": build_s, "rounds_s": rounds_s}
 
 
-def _primitive_rounds(q: int) -> None:
-    from benchmarks.bench_primitives import primitive_rounds
+def _primitive_rounds(q: int) -> Dict[str, float]:
+    from benchmarks.bench_primitives import _fixed_structure, primitive_rounds
 
+    start = time.perf_counter()
+    _fixed_structure().grid_index()  # cached after the warm-up run
+    build_s = time.perf_counter() - start
+    start = time.perf_counter()
     primitive_rounds(q)
+    rounds_s = time.perf_counter() - start
+    return {"build_s": build_s, "rounds_s": rounds_s}
 
 
-def _sssp(n: int, seed: int) -> None:
+def _spf(n: int, seed: int, k: int) -> Dict[str, float]:
     from repro.spf.api import solve_spf
     from repro.workloads import random_hole_free
 
+    start = time.perf_counter()
     structure = random_hole_free(n, seed=seed)
+    structure.grid_index()
     nodes = sorted(structure.nodes)
-    solve_spf(structure, [nodes[0]], list(structure.nodes))
+    build_s = time.perf_counter() - start
+    start = time.perf_counter()
+    solve_spf(structure, nodes[:k], list(structure.nodes))
+    rounds_s = time.perf_counter() - start
+    return {"build_s": build_s, "rounds_s": rounds_s}
 
 
-#: Workload name -> zero-argument callable.  Names must match the
+#: Workload name -> zero-argument callable returning the per-phase wall
+#: clock: ``build_s`` (workload/structure/index construction) and
+#: ``rounds_s`` (algorithm execution).  Names must match the
 #: ``workloads`` keys of the committed baseline JSON.
-WORKLOADS: Dict[str, Callable[[], None]] = {
+WORKLOADS: Dict[str, Callable[[], Dict[str, float]]] = {
     "pasc_chain_m256": lambda: _pasc_chain(256),
     "pasc_chain_m1024": lambda: _pasc_chain(1024),
     "primitives_n400_q16": lambda: _primitive_rounds(16),
-    "sssp_random200": lambda: _sssp(200, seed=7),
+    "sssp_random200": lambda: _spf(200, seed=7, k=1),
+    "forest_random200_k4": lambda: _spf(200, seed=7, k=4),
 }
+
+#: The phase keys every workload reports, in report order.
+PHASES = ("build_s", "rounds_s")
 
 
 def measure(repeats: int) -> Dict[str, Dict[str, object]]:
-    """Run every workload ``repeats`` times; report per-workload medians."""
+    """Run every workload ``repeats`` times; report per-workload medians.
+
+    Besides the gated total (``median_s``), each workload's build and
+    round-execution phases are recorded separately so a regression
+    localizes to the layer that caused it (structure/index/layout
+    construction versus round execution).
+    """
     results: Dict[str, Dict[str, object]] = {}
     for name, workload in WORKLOADS.items():
         workload()  # warm-up: imports, caches, pyc compilation
         runs: List[float] = []
+        phase_runs: Dict[str, List[float]] = {phase: [] for phase in PHASES}
         for _ in range(repeats):
             start = time.perf_counter()
-            workload()
+            phases = workload()
             runs.append(round(time.perf_counter() - start, 6))
+            for phase in PHASES:
+                phase_runs[phase].append(round(phases[phase], 6))
         results[name] = {"median_s": statistics.median(runs), "runs_s": runs}
-        print(f"measured {name}: median {results[name]['median_s']:.3f}s {runs}")
+        for phase in PHASES:
+            results[name][phase] = statistics.median(phase_runs[phase])
+        print(
+            f"measured {name}: median {results[name]['median_s']:.3f}s "
+            f"(build {results[name]['build_s']:.3f}s, "
+            f"rounds {results[name]['rounds_s']:.3f}s) {runs}"
+        )
     return results
 
 
@@ -114,13 +157,35 @@ def compare(
             continue
         budget = float(entry["after_s"]) * tolerance
         median = float(result["median_s"])
+        # Localize a drift to the layer that moved: compare each phase
+        # against its baseline share when the baseline records phases.
+        attribution = ""
+        blamed: List[str] = []
+        for phase in PHASES:
+            if phase in entry and phase in result:
+                # Phases below the noise floor cannot be attributed
+                # meaningfully (a 0.000s baseline has no budget).
+                if float(entry[phase]) < 0.005:
+                    continue
+                phase_budget = float(entry[phase]) * tolerance
+                if float(result[phase]) > phase_budget:
+                    blamed.append(
+                        f"{phase} {float(result[phase]):.3f}s > "
+                        f"{phase_budget:.3f}s budget"
+                    )
+        if blamed:
+            attribution = f" [layer: {', '.join(blamed)}]"
         if median > budget:
             problems.append(
                 f"{name}: median {median:.3f}s exceeds budget {budget:.3f}s "
-                f"(baseline {float(entry['after_s']):.3f}s x tolerance {tolerance})"
+                f"(baseline {float(entry['after_s']):.3f}s x tolerance "
+                f"{tolerance}){attribution}"
             )
         else:
-            print(f"ok: {name} median {median:.3f}s within budget {budget:.3f}s")
+            print(
+                f"ok: {name} median {median:.3f}s within budget "
+                f"{budget:.3f}s{attribution}"
+            )
     return problems
 
 
@@ -143,6 +208,9 @@ def update_baseline(path: str, fresh: Dict[str, Dict[str, object]]) -> int:
     for name, result in fresh.items():
         entry = workloads.setdefault(name, {})
         entry["after_s"] = float(result["median_s"])
+        for phase in PHASES:
+            if phase in result:
+                entry[phase] = float(result[phase])
         before = entry.get("before_s")
         if before:
             entry["speedup"] = round(float(before) / max(entry["after_s"], 1e-9), 2)
@@ -159,7 +227,7 @@ def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--baseline",
-        default="BENCH_compiled_rounds.json",
+        default="BENCH_grid_index.json",
         help="committed baseline JSON with workloads.<name>.after_s medians",
     )
     parser.add_argument("--output", default=None, help="write fresh measurements to this JSON file")

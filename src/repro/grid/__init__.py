@@ -13,6 +13,9 @@ Public surface:
 * :class:`~repro.grid.directions.Axis` — the three edge axes.
 * :class:`~repro.grid.structure.AmoebotStructure` — a finite connected
   hole-free set of occupied nodes with adjacency queries.
+* :class:`~repro.grid.compiled.GridIndex` — dense integer node ids plus
+  flat neighbor/degree/boundary arrays (the integer substrate layout
+  and portal construction run on).
 * :func:`~repro.grid.holes.has_holes` — hole detection.
 * :func:`~repro.grid.oracle.bfs_distances` — centralized shortest-path
   oracle used only for verification.
@@ -29,6 +32,7 @@ from repro.grid.directions import (
     clockwise,
 )
 from repro.grid.structure import AmoebotStructure
+from repro.grid.compiled import GRID_STATS, GridIndex
 from repro.grid.holes import has_holes, find_holes
 from repro.grid.oracle import bfs_distances, bfs_tree, eccentricity, structure_diameter
 
@@ -43,6 +47,8 @@ __all__ = [
     "counterclockwise",
     "clockwise",
     "AmoebotStructure",
+    "GridIndex",
+    "GRID_STATS",
     "has_holes",
     "find_holes",
     "bfs_distances",

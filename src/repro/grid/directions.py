@@ -96,6 +96,11 @@ _OFFSET_DIRECTION: Dict[Tuple[int, int], Direction] = {
 #: expensive and these helpers sit on the simulator's hottest paths.
 _ROTATED: List[Direction] = [Direction(i % 6) for i in range(12)]
 
+#: ``OPPOSITE_VALUES[d]`` is the *value* of the direction opposite to
+#: value ``d`` — the int-space twin of :func:`opposite` for the flat
+#: grid-index/layout loops that avoid enum construction entirely.
+OPPOSITE_VALUES: Tuple[int, ...] = (3, 4, 5, 0, 1, 2)
+
 
 def opposite(direction: Direction) -> Direction:
     """Return the direction pointing the opposite way."""

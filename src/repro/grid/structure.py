@@ -7,10 +7,23 @@ paper's standing assumptions (connectivity; optionally hole-freeness).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.grid.coords import Node
 from repro.grid.directions import Axis, Direction, all_directions_ccw
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.grid.compiled import GridIndex
 
 
 class StructureError(ValueError):
@@ -38,6 +51,7 @@ class AmoebotStructure:
         self._nodes: FrozenSet[Node] = node_set
         self._neighbor_cache: Dict[Node, Tuple[Node, ...]] = {}
         self._direction_cache: Dict[Node, Tuple[Direction, ...]] = {}
+        self._grid_index: Optional["GridIndex"] = None
         if not self._is_connected():
             raise StructureError("amoebot structure must be connected")
         if require_hole_free:
@@ -65,7 +79,10 @@ class AmoebotStructure:
         ``basis``/``dirty`` optionally seed the adjacency caches from a
         previous structure: cache entries of nodes not adjacent to any
         ``dirty`` (edited) node are carried over verbatim, so repeated
-        small edits keep amortized cache warmth.
+        small edits keep amortized cache warmth.  If the basis already
+        built its :meth:`grid_index`, the index is *derived* — patched
+        only around the edited cells, with every surviving node's
+        integer id kept stable — instead of rebuilt.
         """
         self = cls.__new__(cls)
         node_set = frozenset(nodes)
@@ -74,8 +91,10 @@ class AmoebotStructure:
         self._nodes = node_set
         self._neighbor_cache = {}
         self._direction_cache = {}
+        self._grid_index = None
         if basis is not None:
-            stale: Set[Node] = set(dirty)
+            dirty_nodes = tuple(dirty)
+            stale: Set[Node] = set(dirty_nodes)
             for u in tuple(stale):
                 stale.update(u.neighbors())
             for u, cached in basis._neighbor_cache.items():
@@ -84,7 +103,39 @@ class AmoebotStructure:
             for u, cached_d in basis._direction_cache.items():
                 if u in node_set and u not in stale:
                     self._direction_cache[u] = cached_d
+            basis_index = basis._grid_index
+            if basis_index is not None:
+                basis_nodes = basis._nodes
+                added = [
+                    u for u in dirty_nodes if u in node_set and u not in basis_nodes
+                ]
+                removed = [
+                    u for u in dirty_nodes if u in basis_nodes and u not in node_set
+                ]
+                derived = basis_index.derive(added, removed)
+                if len(derived) == len(node_set):
+                    self._grid_index = derived
         return self
+
+    # ------------------------------------------------------------------
+    # flat integer index
+    # ------------------------------------------------------------------
+    def grid_index(self) -> "GridIndex":
+        """The structure's :class:`~repro.grid.compiled.GridIndex`.
+
+        Built lazily on first use (hashing every node exactly once into
+        a dense id) and cached for the structure's lifetime; structures
+        produced by :meth:`from_validated` with a ``basis`` inherit a
+        derived index with stable ids instead of rebuilding.  Layout
+        construction, portal building, and region splitting all run
+        over its flat arrays.
+        """
+        index = self._grid_index
+        if index is None:
+            from repro.grid.compiled import GridIndex  # local: avoid cycle
+
+            index = self._grid_index = GridIndex(self._nodes)
+        return index
 
     # ------------------------------------------------------------------
     # basic container protocol

@@ -43,7 +43,7 @@ def layout_stats(layout: CircuitLayout) -> LayoutStats:
     sizes = [len(c) for c in circuits]
 
     channel_use: Counter = Counter()
-    for pin in layout._pin_owner:  # simulator-side observability
+    for pin in layout.pin_assignments():  # simulator-side observability
         a, b = pin.node, pin.node.neighbor(pin.direction)
         edge: Tuple[Node, Node] = (a, b) if (a, b) <= (b, a) else (b, a)
         channel_use[(edge, pin.channel)] += 1

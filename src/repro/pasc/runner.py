@@ -12,13 +12,20 @@ of Padalkin et al. [26]):
 
 The pin configuration barely changes between iterations — only units
 whose activity flipped re-cross their outgoing links — so the runner
-honors the layout-reuse contract of :mod:`repro.sim.circuits`: the full
-layout (including the never-changing global termination circuit) is
-built and frozen **once**, and every subsequent iteration *derives* it,
-re-wiring only the flipped units (one ``exchange_pins`` crossing flip
-per unit) and recomputing only the touched circuits.  When every run
-exposes a wiring key, the *initial* layout is additionally memoized in
-the engine's layout cache, so deterministic algorithms that re-execute
+honors the layout-reuse contract of :mod:`repro.sim.circuits`: the
+runs' layout is built and frozen **once**, and every subsequent
+iteration *derives* it, re-wiring only the flipped units (one
+``exchange_pins`` crossing flip per unit) and recomputing only the
+touched circuits.  The never-changing global termination circuit lives
+on its own reserved channel, so the runner executes the termination
+round against the engine's cached global layout
+(:meth:`~repro.sim.engine.CircuitEngine.global_layout`) instead of
+splicing a structure-sized circuit into every runs' layout: the two
+wirings coexist on disjoint channels of the same pin configuration,
+round counts are unchanged (still one beep round each), and the runs'
+layouts stay proportional to the runs.  When every run exposes a
+wiring key, the *initial* runs' layout is additionally memoized in the
+engine's layout cache, so deterministic algorithms that re-execute
 identical PASC runs (e.g. the recomputed decomposition tree of the
 forest algorithm) skip the one full build as well.  Only iteration 0 is
 cached on purpose: per-iteration activity snapshots would insert a
@@ -39,10 +46,11 @@ the id-keyed dict path with identical round counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Protocol, Sequence, Tuple
+from typing import List, Optional, Protocol, Sequence, Tuple
 
 from repro.sim.circuits import CircuitLayout
 from repro.sim.engine import CircuitEngine
+from repro.sim.errors import PinConfigurationError
 from repro.sim.pins import PartitionSetId
 
 
@@ -124,8 +132,11 @@ def run_pasc(
 
     # The termination circuit is global (one component spanning every
     # amoebot), so listening on a single probe set is equivalent to
-    # scanning all of them.
+    # scanning all of them.  It lives on its own reserved channel and
+    # never changes, so the engine's cached global layout carries it —
+    # one build per engine, shared by every PASC execution.
     term_probe: PartitionSetId = (next(iter(engine.structure)), TERMINATION_LABEL)
+    term_layout = engine.global_layout(label=TERMINATION_LABEL, channel=term_channel)
 
     listenable = all(hasattr(run, "listen_sets") for run in runs)
     indexed = listenable and all(hasattr(run, "absorb_bits") for run in runs)
@@ -152,10 +163,13 @@ def run_pasc(
     # Integer set-ids, resolved once per partition-set index.  Derived
     # layouts keep the index object of their base, so one resolution
     # covers the whole derive chain; a fresh index (full rebuild, cache
-    # hit on a different layout object) triggers re-resolution.
+    # hit on a different layout object) triggers re-resolution.  The
+    # termination layout is cached on the engine, so its ids hold for
+    # the whole execution.
     cached_index = None
     listen_idx: List[int] = []
-    term_probe_idx = 0
+    term_index = term_layout.compiled().index
+    term_probe_idx = term_index.index_of(term_probe, "listen on")
     with engine.rounds.section(section):
         while True:
             if iterations >= max_iterations:
@@ -167,9 +181,18 @@ def run_pasc(
                 )
             first_iteration = layout is None
             layout = _iteration_layout(
-                engine, runs, term_channel, layout, rewirable,
+                engine, runs, layout, rewirable,
                 wiring_key() if keyable and first_iteration else None,
             )
+            if layout.uses_channel(term_channel):
+                # The termination circuit executes on its own layout,
+                # so a run wiring the reserved channel would no longer
+                # collide pin-for-pin — both circuits would silently
+                # drive the same physical pins.  Fail fast instead.
+                raise PinConfigurationError(
+                    f"PASC runs must not wire pins on the reserved "
+                    f"termination channel {term_channel}"
+                )
 
             if indexed:
                 assert listen is not None
@@ -177,38 +200,28 @@ def run_pasc(
                 if index is not cached_index:
                     cached_index = index
                     listen_idx = index.indices(listen, "listen on")
-                    term_probe_idx = index.index_of(term_probe, "listen on")
                 beep_idx = index.indices(
                     (set_id for run in runs for set_id in run.beeps()), "beep on"
                 )
 
-                def term_beeps() -> List[int]:
-                    return index.indices(
-                        (
-                            (unit[0] if isinstance(unit, tuple) else unit,
-                             TERMINATION_LABEL)
-                            for run in runs
-                            for unit in run.active_units()
-                        ),
-                        "beep on",
-                    )
-
-                def activations() -> Iterator[Tuple[List[int], Sequence[int]]]:
-                    yield beep_idx, listen_idx
-                    # Evaluated only when pulled — after the consumer
-                    # absorbed round 1 — so the termination beeps read
-                    # this iteration's activity.  (If a refactor ever
-                    # pulls it early, stale activity keeps the circuit
-                    # beeping and the iteration cap trips loudly.)
-                    yield term_beeps(), (term_probe_idx,)
-
-                rounds_iter = engine.run_rounds(layout, activations())
-                bits = next(rounds_iter)
+                bits = engine.run_round_indexed(layout, beep_idx, listen_idx)
                 for run, (lo, hi) in zip(runs, slices):
                     run.absorb_bits(bits[lo:hi])
                 iterations += 1
-                term_bits = next(rounds_iter)
-                rounds_iter.close()
+                # Resolved after the absorb, so the termination beeps
+                # read this iteration's activity.
+                term_beep_idx = term_index.indices(
+                    (
+                        (unit[0] if isinstance(unit, tuple) else unit,
+                         TERMINATION_LABEL)
+                        for run in runs
+                        for unit in run.active_units()
+                    ),
+                    "beep on",
+                )
+                term_bits = engine.run_round_indexed(
+                    term_layout, term_beep_idx, (term_probe_idx,)
+                )
                 if not term_bits[0]:
                     break
             else:
@@ -226,7 +239,7 @@ def run_pasc(
                         node = unit[0] if isinstance(unit, tuple) else unit
                         term_beeps.append((node, TERMINATION_LABEL))
                 term_received = engine.run_round(
-                    layout, term_beeps, listen=(term_probe,)
+                    term_layout, term_beeps, listen=(term_probe,)
                 )
                 if not term_received[term_probe]:
                     break
@@ -236,14 +249,15 @@ def run_pasc(
 def _iteration_layout(
     engine: CircuitEngine,
     runs: Sequence[PascRun],
-    term_channel: int,
     previous: Optional[CircuitLayout],
     rewirable: bool,
     key: Optional[Tuple],
 ) -> CircuitLayout:
     """The frozen layout for the coming iteration, built as cheaply as
     possible: cache hit (iteration 0 only) > derivation from the previous
-    iteration > full build (runs without incremental support)."""
+    iteration > full build (runs without incremental support).  The
+    layout carries only the runs' circuits; the global termination
+    circuit lives on the engine's cached global layout."""
     if key is not None:
         cached = engine.layouts.get(key)
         if cached is not None:
@@ -256,22 +270,7 @@ def _iteration_layout(
         layout = engine.new_layout()
         for run in runs:
             run.contribute_layout(layout)
-        _contribute_global(engine, layout, term_channel)
     layout.freeze()
     if key is not None:
         engine.layouts.put(key, layout)
     return layout
-
-
-def _contribute_global(
-    engine: CircuitEngine, layout: CircuitLayout, channel: int
-) -> None:
-    """Add the global termination circuit to ``layout``.
-
-    Contributed exactly once per :func:`run_pasc` call — derived
-    iteration layouts inherit it untouched, so the union-find never
-    revisits the structure-sized termination circuit.
-    """
-    for node in engine.structure:
-        pins = [(d, channel) for d in engine.structure.occupied_directions(node)]
-        layout.assign(node, TERMINATION_LABEL, pins)

@@ -25,9 +25,9 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.grid.coords import Node
+from repro.grid.directions import OPPOSITE_VALUES as _OPP
 from repro.grid.directions import Axis, Direction, counterclockwise
 from repro.grid.structure import AmoebotStructure
-from repro.ett.tour import adjacency_from_edges
 
 
 @dataclass(frozen=True, order=True)
@@ -60,19 +60,42 @@ class Portal:
             object.__setattr__(self, "_cached_set", cached)
         return cached
 
+    def __hash__(self) -> int:
+        # The generated dataclass hash re-hashes the whole node tuple on
+        # every dict probe, and portals key several bookkeeping tables
+        # (connectors, adjacency); cache it per instance instead.
+        cached = getattr(self, "_cached_hash", None)
+        if cached is None:
+            cached = hash((self.axis, self.nodes))
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"Portal({self.axis.name}, {self.nodes[0]}..{self.nodes[-1]})"
 
 
 class PortalSystem:
-    """All portal-level structure of one axis for one amoebot structure."""
+    """All portal-level structure of one axis for one amoebot structure.
+
+    Construction runs over the structure's
+    :class:`~repro.grid.compiled.GridIndex`: portal runs, the local
+    tree rule, the implicit spanning tree, and the portal adjacency are
+    all computed from the flat neighbor array in integer space, and the
+    ``Node``/:class:`Portal` views the algorithms consume are
+    materialized once at the end (one dict insert per node).
+    """
 
     def __init__(self, structure: AmoebotStructure, axis: Axis):
         self.structure = structure
         self.axis = axis
         self._rotation = int(axis)  # X: 0, Y: 1, Z: 2 sixth-turns ccw
+        self._gi = structure.grid_index()
         self.portal_of: Dict[Node, Portal] = {}
         self.portals: List[Portal] = []
+        #: node id -> index into :attr:`portals` (the integer view).
+        self.portal_index_of_id: List[int] = []
+        #: node id -> position of the node within its portal's run.
+        self.portal_offset_of_id: List[int] = []
         self._build_portals()
         self.portal_adjacency: Dict[Portal, List[Portal]] = {}
         self.connector: Dict[Tuple[Portal, Portal], Tuple[Node, Node]] = {}
@@ -90,72 +113,152 @@ class PortalSystem:
     # construction
     # ------------------------------------------------------------------
     def _build_portals(self) -> None:
-        seen: Set[Node] = set()
-        for node in sorted(self.structure.nodes):
-            if node in seen:
+        gi = self._gi
+        nbr = gi.nbr
+        nodes = gi.nodes
+        pos_dir, neg_dir = self.axis.directions
+        pos_d, neg_d = int(pos_dir), int(neg_dir)
+        n_slots = gi.n_slots
+        portal_index = [-1] * n_slots
+        portal_offset = [-1] * n_slots
+        runs: List[Tuple[Portal, List[int]]] = []
+        # Ids ascend in sorted node order for from-scratch indexes, so
+        # first-seen run order matches the historical sorted scan; the
+        # final sort makes the order canonical for derived indexes too.
+        for start in range(n_slots):
+            if portal_index[start] != -1 or nodes[start] is None:
                 continue
-            line = self.structure.line_through(node, self.axis)
-            portal = Portal(self.axis, tuple(line))
-            for u in line:
-                seen.add(u)
-                self.portal_of[u] = portal
-            self.portals.append(portal)
-        self.portals.sort()
+            head = start
+            j = nbr[head * 6 + neg_d]
+            while j >= 0:
+                head = j
+                j = nbr[head * 6 + neg_d]
+            line_ids = [head]
+            j = nbr[head * 6 + pos_d]
+            while j >= 0:
+                line_ids.append(j)
+                j = nbr[j * 6 + pos_d]
+            portal = Portal(self.axis, tuple(nodes[i] for i in line_ids))
+            marker = len(runs)
+            for offset, i in enumerate(line_ids):
+                portal_index[i] = marker
+                portal_offset[i] = offset
+            runs.append((portal, line_ids))
+        order = sorted(range(len(runs)), key=lambda k: runs[k][0])
+        rank = [0] * len(runs)
+        for new_index, old_index in enumerate(order):
+            rank[old_index] = new_index
+        self.portals = [runs[k][0] for k in order]
+        self.portal_index_of_id = [
+            rank[m] if m >= 0 else -1 for m in portal_index
+        ]
+        self.portal_offset_of_id = portal_offset
+        portal_of = self.portal_of
+        for portal, line_ids in runs:
+            for i in line_ids:
+                portal_of[nodes[i]] = portal
 
     def tree_directions(self, node: Node) -> List[Direction]:
         """Incident implicit-tree edges of ``node``, by the local rule."""
-        has = lambda d: self.structure.has_neighbor(node, d)  # noqa: E731
-        r = self.rotate
-        result: List[Direction] = []
-        for d in (Direction.E, Direction.W):
-            if has(r(d)):
-                result.append(r(d))
-        if not has(r(Direction.W)):
-            for d in (Direction.NW, Direction.SW):
-                if has(r(d)):
-                    result.append(r(d))
-        if not has(r(Direction.NW)) and has(r(Direction.NE)):
-            result.append(r(Direction.NE))
-        if not has(r(Direction.SW)) and has(r(Direction.SE)):
-            result.append(r(Direction.SE))
+        nid = self._gi.id_of(node)
+        if nid is None:
+            raise KeyError(f"{node} is not part of the structure")
+        return [Direction(d) for d in self._tree_direction_values(nid)]
+
+    def _tree_direction_values(self, nid: int) -> List[int]:
+        """The local rule over the grid index (direction *values*)."""
+        nbr = self._gi.nbr
+        base = nid * 6
+        r = self._rotation
+        east = (0 + r) % 6
+        ne = (1 + r) % 6
+        nw = (2 + r) % 6
+        west = (3 + r) % 6
+        sw = (4 + r) % 6
+        se = (5 + r) % 6
+        result: List[int] = []
+        if nbr[base + east] >= 0:
+            result.append(east)
+        if nbr[base + west] >= 0:
+            result.append(west)
+        else:
+            if nbr[base + nw] >= 0:
+                result.append(nw)
+            if nbr[base + sw] >= 0:
+                result.append(sw)
+        if nbr[base + nw] < 0 and nbr[base + ne] >= 0:
+            result.append(ne)
+        if nbr[base + sw] < 0 and nbr[base + se] >= 0:
+            result.append(se)
         return result
 
     def _build_implicit_tree(self) -> None:
-        edges: Set[Tuple[Node, Node]] = set()
-        for u in self.structure:
-            for d in self.tree_directions(u):
-                v = u.neighbor(d)
-                edge = (u, v) if (u, v) <= (v, u) else (v, u)
-                edges.add(edge)
-        # The rule is asymmetric (selected by one endpoint); make sure the
-        # other endpoint also recognizes the edge, which the local rule
-        # guarantees on hole-free structures.
-        self.implicit_adjacency = adjacency_from_edges(edges)
-        for u in self.structure:
-            self.implicit_adjacency.setdefault(u, [])
+        gi = self._gi
+        nbr = gi.nbr
+        nodes = gi.nodes
+        n_slots = gi.n_slots
+        selected = bytearray(6 * n_slots)
+        live = 0
+        for nid in range(n_slots):
+            if nodes[nid] is None:
+                continue
+            live += 1
+            base = nid * 6
+            for d in self._tree_direction_values(nid):
+                selected[base + d] = 1
 
-        expected = len(self.structure) - 1
-        actual = len(edges)
-        if actual != expected:
+        # The rule is asymmetric (selected by one endpoint); an edge
+        # belongs to the tree when either endpoint selects it, which the
+        # local rule makes consistent on hole-free structures.  Neighbor
+        # lists are emitted in ascending direction order — exactly the
+        # counterclockwise rotation order
+        # :func:`~repro.ett.tour.adjacency_from_edges` sorts into.
+        portal_index = self.portal_index_of_id
+        implicit: Dict[Node, List[Node]] = {}
+        connector = self.connector
+        adjacency_ids: Dict[int, Set[int]] = {}
+        edge_count = 0
+        portals = self.portals
+        for nid in range(n_slots):
+            u = nodes[nid]
+            if u is None:
+                continue
+            base = nid * 6
+            row: List[Node] = []
+            for d in range(6):
+                j = nbr[base + d]
+                if j < 0:
+                    continue
+                if not (selected[base + d] or selected[j * 6 + _OPP[d]]):
+                    continue
+                row.append(nodes[j])
+                if nid < j:
+                    edge_count += 1
+                    pu = portal_index[nid]
+                    pv = portal_index[j]
+                    if pu != pv:
+                        adjacency_ids.setdefault(pu, set()).add(pv)
+                        adjacency_ids.setdefault(pv, set()).add(pu)
+                        v = nodes[j]
+                        connector[(portals[pu], portals[pv])] = (u, v)
+                        connector[(portals[pv], portals[pu])] = (v, u)
+            implicit[u] = row
+        self.implicit_adjacency = implicit
+
+        expected = live - 1
+        if edge_count != expected:
             raise AssertionError(
-                f"implicit portal tree of axis {self.axis.name} has {actual} "
-                f"edges, expected {expected}; structure may have holes"
+                f"implicit portal tree of axis {self.axis.name} has "
+                f"{edge_count} edges, expected {expected}; structure may "
+                "have holes"
             )
 
-        # Portal adjacency + connector amoebots from the inter-portal
-        # tree edges.
-        adjacency: Dict[Portal, Set[Portal]] = {p: set() for p in self.portals}
-        for u, v in edges:
-            pu, pv = self.portal_of[u], self.portal_of[v]
-            if pu == pv:
-                continue
-            adjacency[pu].add(pv)
-            adjacency[pv].add(pu)
-            self.connector[(pu, pv)] = (u, v)
-            self.connector[(pv, pu)] = (v, u)
         self.portal_adjacency = {
-            p: sorted(neighbors) for p, neighbors in adjacency.items()
+            portals[k]: [portals[m] for m in sorted(members)]
+            for k, members in adjacency_ids.items()
         }
+        for p in portals:
+            self.portal_adjacency.setdefault(p, [])
 
     # ------------------------------------------------------------------
     # queries

@@ -60,24 +60,33 @@ class PortalScope:
 
     def __init__(self, system: PortalSystem, portals: Optional[Iterable[Portal]] = None):
         self.system = system
-        self.portals: Set[Portal] = (
-            set(system.portals) if portals is None else set(portals)
-        )
-        unknown = self.portals.difference(system.portals)
-        if unknown:
-            raise ValueError("scope contains portals of a different system")
-        self.nodes: Set[Node] = set()
-        for p in self.portals:
-            self.nodes.update(p.nodes)
-        self.adjacency: Dict[Node, List[Node]] = {
-            u: [v for v in system.implicit_adjacency[u] if v in self.nodes]
-            for u in self.nodes
-        }
-        self.portal_adjacency: Dict[Portal, List[Portal]] = {
-            p: [q for q in system.portal_adjacency[p] if q in self.portals]
-            for p in self.portals
-        }
+        if portals is None:
+            # Whole-system scope: no filtering needed — adopt the
+            # system's adjacency structures verbatim (read-only).
+            self.portals = set(system.portals)
+            self.nodes: Set[Node] = set(system.structure.nodes)
+            self.adjacency: Dict[Node, List[Node]] = system.implicit_adjacency
+            self.portal_adjacency: Dict[Portal, List[Portal]] = (
+                system.portal_adjacency
+            )
+        else:
+            self.portals = set(portals)
+            unknown = self.portals.difference(system.portals)
+            if unknown:
+                raise ValueError("scope contains portals of a different system")
+            self.nodes = set()
+            for p in self.portals:
+                self.nodes.update(p.nodes)
+            self.adjacency = {
+                u: [v for v in system.implicit_adjacency[u] if v in self.nodes]
+                for u in self.nodes
+            }
+            self.portal_adjacency = {
+                p: [q for q in system.portal_adjacency[p] if q in self.portals]
+                for p in self.portals
+            }
         self._circuit_edges: Optional[List[Tuple[Node, Node]]] = None
+        self._circuit_key: Optional[Tuple] = None
 
     def tour(self, root_portal: Portal) -> EulerTour:
         """Euler tour of the scope's implicit tree, rooted at the portal's representative."""
@@ -92,9 +101,11 @@ class PortalScope:
     def portal_circuit_layout(self, engine: CircuitEngine, label: str = "portal"):
         """One circuit per portal: its internal (axis-parallel) edges.
 
-        The edge list is computed once per scope and the layout itself is
-        memoized by the engine's cache, so the many per-label broadcasts
-        of the primitives reuse one frozen layout each.
+        The edge list is computed once per scope and the layout itself
+        is memoized by the engine's cache under a run-shaped key — one
+        ``(representative id, length)`` pair per portal instead of one
+        coordinate pair per edge, so repeated per-label broadcasts cost
+        one small frozenset lookup each.
         """
         if self._circuit_edges is None:
             edges: List[Tuple[Node, Node]] = []
@@ -102,9 +113,46 @@ class PortalScope:
                 for u, v in zip(p.nodes, p.nodes[1:]):
                     edges.append((u, v))
             self._circuit_edges = edges
+        key = self._circuit_key
+        if key is None:
+            key = self._circuit_key = portal_runs_key(
+                engine, ((self.system.axis, p) for p in self.portals)
+            )
         return engine.edge_subset_layout(
-            self._circuit_edges, label=label, channel=PORTAL_CIRCUIT_CHANNEL
+            self._circuit_edges,
+            label=label,
+            channel=PORTAL_CIRCUIT_CHANNEL,
+            key=key,
         )
+
+
+def portal_runs_key(
+    engine: CircuitEngine, runs: Iterable[Tuple[object, Portal]]
+) -> Tuple:
+    """A cheap canonical cache key for a set of portal runs.
+
+    A portal is a maximal contiguous run of grid cells, so ``(axis,
+    representative id, length)`` triples — ids taken from the *engine
+    structure's* grid index — uniquely name its edge set without
+    hashing per-edge coordinate pairs.  From-scratch indexes assign
+    ids canonically (sorted node order), so these keys may be shared
+    across equal structures (the campaign workers' node-set-scoped
+    layout cache relies on that); *derived* indexes (churn) are not
+    canonical, so their keys carry the index's root identity and never
+    collide across derive chains.  Used to key
+    :meth:`CircuitEngine.edge_subset_layout` for portal circuits (here
+    and in the propagation algorithm).
+    """
+    index = engine.structure.grid_index()
+    id_of = index.id_of
+    return (
+        "pruns",
+        None if index.canonical else id(index.root),
+        frozenset(
+            (int(axis), id_of(p.representative), len(p.nodes))
+            for axis, p in runs
+        ),
+    )
 
 
 def _portal_diffs(
@@ -122,7 +170,13 @@ def _portal_diffs(
 class PortalRootPruneOp:
     """Portal root and prune, exposable to the parallel runner."""
 
-    def __init__(self, scope: PortalScope, root_portal: Portal, q_portals: Iterable[Portal], tag: str = "prp"):
+    def __init__(
+        self,
+        scope: PortalScope,
+        root_portal: Portal,
+        q_portals: Iterable[Portal],
+        tag: str = "prp",
+    ):
         self.scope = scope
         self.root = root_portal
         self.q_portals = set(q_portals)
@@ -257,7 +311,10 @@ def _count_degrees(
     if runs:
         run_pasc(engine, runs, section=f"{section}:degrees")
         for (p, want), run_n, run_s in zip(expected, runs[0::2], runs[1::2]):
-            got = run_n.inclusive_values()[run_n.units[-1]] + run_s.inclusive_values()[run_s.units[-1]]
+            got = (
+                run_n.inclusive_values()[run_n.units[-1]]
+                + run_s.inclusive_values()[run_s.units[-1]]
+            )
             if got != want:
                 raise AssertionError(f"portal degree recount mismatch for {p}")
     # One more round: portals with degree >= 3 announce membership in A_Q

@@ -48,11 +48,11 @@ from collections import OrderedDict
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.grid.coords import Node
-from repro.grid.directions import Direction
+from repro.grid.directions import OPPOSITE_VALUES as _OPPOSITE, Direction
 from repro.grid.structure import AmoebotStructure
 from repro.sim.compiled import (
     CompiledLayout,
-    compile_wiring,
+    compile_wiring_ids,
     recompile_derived,
 )
 from repro.sim.errors import PinConfigurationError
@@ -136,20 +136,44 @@ class CircuitLayout:
     new layout and :meth:`reassign` the partition sets that moved.
     Freezing compiles the layout to flat arrays (:meth:`compiled`); the
     engine executes rounds against those arrays.
+
+    **Integer internals.**  The layout stores its whole state in the
+    integer space of the structure's
+    :class:`~repro.grid.compiled.GridIndex`: a pin is the int
+    ``(node_id * 6 + direction) * c + channel``, a partition set is a
+    dense *slot* (which becomes its compiled integer id verbatim), and
+    the pin-ownership table maps int to int.  Validation (does the pin
+    exist? is the channel in budget?) reads the index's flat neighbor
+    array, and pin mates resolve through its mirror-edge table — after
+    the one ``node -> id`` lookup per :meth:`assign` call, nothing
+    hashes coordinates.  The :class:`Pin`/:data:`PartitionSetId` object
+    views remain available for tests and observability
+    (:meth:`pin_assignments`, :meth:`partition_sets`).
     """
 
     def __init__(self, structure: AmoebotStructure, channels: int):
         if channels < 1:
             raise PinConfigurationError("pin budget c must be at least 1")
         self._structure = structure
+        self._gi = structure.grid_index()
         self._channels = channels
-        self._pin_owner: Dict[Pin, PartitionSetId] = {}
-        self._sets: Set[PartitionSetId] = set()
-        self._set_pins: Dict[PartitionSetId, List[Pin]] = {}
+        #: (node_id, label) -> slot.  Slots are stable for the lifetime
+        #: of a layout (a released set keeps its slot, marked dead) and
+        #: are compacted away only by a full relower.
+        self._key_slot: Dict[Tuple[int, str], int] = {}
+        self._ids: List[PartitionSetId] = []
+        self._alive = bytearray()
+        self._n_alive = 0
+        self._pin_slot: Dict[int, int] = {}
+        self._slot_pins: List[Optional[List[int]]] = []
+        # Bitmask of channels that ever carried a pin (conservative: a
+        # released channel stays flagged).  O(1) probe for callers that
+        # reserve a channel, e.g. the PASC termination circuit.
+        self._channel_mask = 0
         # Copy-on-write support: only pin lists named here are private to
         # this layout; derived layouts start with every list shared with
         # their base and clone a list before its first in-place append.
-        self._owned_pin_lists: Set[PartitionSetId] = set()
+        self._owned_pin_lists: Set[int] = set()
         self._frozen = False
         self._compiled: Optional[CompiledLayout] = None
         # Lazy dict views over the compiled arrays (tests and tracing).
@@ -157,7 +181,8 @@ class CircuitLayout:
         # Derivation bookkeeping: when non-None, freeze() recompiles the
         # arrays incrementally from the base layout's compiled form.
         self._base_compiled: Optional[CompiledLayout] = None
-        self._dirty: Set[PartitionSetId] = set()
+        self._dirty: Set[int] = set()
+        self._force_relower = False
 
     # ------------------------------------------------------------------
     # construction
@@ -177,53 +202,149 @@ class CircuitLayout:
         """
         if self._frozen:
             raise PinConfigurationError("layout is frozen")
-        if node not in self._structure:
+        gi = self._gi
+        nid = gi.id_of(node)
+        if nid is None:
             raise PinConfigurationError(f"{node} is not part of the structure")
-        set_id: PartitionSetId = (node, label)
-        self._sets.add(set_id)
+        slot = self._slot_for(nid, node, label)
         track = self._base_compiled is not None
         if track:
-            self._dirty.add(set_id)
+            self._dirty.add(slot)
+        channels = self._channels
+        nbr = gi.nbr
+        pin_slot = self._pin_slot
+        slot_pins = self._slot_pins
+        owned = self._owned_pin_lists
+        base = nid * 6
+        channel_mask = self._channel_mask
         for direction, channel in pins:
-            if not 0 <= channel < self._channels:
+            if not 0 <= channel < channels:
                 raise PinConfigurationError(
-                    f"channel {channel} out of range (c={self._channels})"
+                    f"channel {channel} out of range (c={channels})"
                 )
-            if not self._structure.has_neighbor(node, direction):
+            channel_mask |= 1 << channel
+            edge = base + direction
+            mate_nid = nbr[edge]
+            if mate_nid < 0:
                 raise PinConfigurationError(
                     f"{node} has no neighbor toward {direction.name}; pin does not exist"
                 )
-            pin = Pin(node, direction, channel)
-            existing = self._pin_owner.get(pin)
+            pin = edge * channels + channel
+            existing = pin_slot.get(pin)
             if existing is not None:
-                if existing != set_id:
+                if existing != slot:
                     raise PinConfigurationError(
-                        f"pin {pin} already assigned to partition set {existing}"
+                        f"pin {self._pin_of(pin)} already assigned to "
+                        f"partition set {self._ids[existing]}"
                     )
                 # Re-assigning a pin to its own set is an idempotent
                 # no-op: a duplicate pin-list entry would leave a stale
                 # record behind if the pin later moved to a sibling via
                 # exchange_pins (which removes exactly one entry).
                 continue
-            self._pin_owner[pin] = set_id
-            pin_list = self._set_pins.get(set_id)
+            pin_slot[pin] = slot
+            pin_list = slot_pins[slot]
             if pin_list is None:
-                pin_list = self._set_pins[set_id] = []
-                self._owned_pin_lists.add(set_id)
-            elif set_id not in self._owned_pin_lists:
+                pin_list = slot_pins[slot] = []
+                owned.add(slot)
+            elif slot not in owned:
                 # Clone before appending: the list is shared with the
                 # frozen base layout this one was derived from.
-                pin_list = self._set_pins[set_id] = list(pin_list)
-                self._owned_pin_lists.add(set_id)
+                pin_list = slot_pins[slot] = list(pin_list)
+                owned.add(slot)
             pin_list.append(pin)
             if track:
-                mate_owner = self._pin_owner.get(pin.mate())
+                mate_owner = pin_slot.get(
+                    (mate_nid * 6 + _OPPOSITE[direction]) * channels + channel
+                )
                 if mate_owner is not None:
                     self._dirty.add(mate_owner)
+        self._channel_mask = channel_mask
+
+    def _slot_for(self, nid: int, node: Node, label: str) -> int:
+        """The (live) slot of partition set ``(node, label)``, declaring it."""
+        key = (nid, label)
+        slot = self._key_slot.get(key)
+        if slot is None:
+            slot = len(self._ids)
+            self._key_slot[key] = slot
+            self._ids.append((node, label))
+            self._alive.append(1)
+            self._slot_pins.append(None)
+            self._owned_pin_lists.add(slot)
+            self._n_alive += 1
+        elif not self._alive[slot]:
+            self._alive[slot] = 1
+            self._n_alive += 1
+        return slot
+
+    def _pin_of(self, pin: int) -> Pin:
+        """Decode an integer pin into its :class:`Pin` view (cold paths)."""
+        edge, channel = divmod(pin, self._channels)
+        nid, d = divmod(edge, 6)
+        return Pin(self._gi.nodes[nid], Direction(d), channel)
 
     def declare(self, node: Node, label: str) -> None:
         """Declare a pin-less partition set (a private flag circuit)."""
         self.assign(node, label, ())
+
+    def assign_global(self, label: str, channel: int) -> None:
+        """Wire every amoebot's channel-``channel`` pins into one set each.
+
+        The standard global-circuit wiring (termination circuits, leader
+        coordination), built in one pass over the grid index's flat
+        neighbor array — no per-node direction lists, no coordinate
+        hashing.  Equivalent to calling :meth:`assign` for every node
+        with all of its occupied directions on ``channel``.
+        """
+        if self._frozen:
+            raise PinConfigurationError("layout is frozen")
+        if not 0 <= channel < self._channels:
+            raise PinConfigurationError(
+                f"channel {channel} out of range (c={self._channels})"
+            )
+        if self._base_compiled is not None:
+            # Derived layouts need per-set dirty tracking: take the
+            # general path, which maintains it.
+            for node in self._structure:
+                pins = [
+                    (d, channel)
+                    for d in self._structure.occupied_directions(node)
+                ]
+                self.assign(node, label, pins)
+            return
+        gi = self._gi
+        nbr = gi.nbr
+        channels = self._channels
+        pin_slot = self._pin_slot
+        slot_pins = self._slot_pins
+        ids = self._ids
+        nodes = gi.nodes
+        self._channel_mask |= 1 << channel
+        for nid in range(gi.n_slots):
+            node = nodes[nid]
+            if node is None:
+                continue
+            slot = self._slot_for(nid, node, label)
+            pin_list = slot_pins[slot]
+            if pin_list is None:
+                pin_list = slot_pins[slot] = []
+                self._owned_pin_lists.add(slot)
+            base = nid * 6
+            for d in range(6):
+                if nbr[base + d] < 0:
+                    continue
+                pin = (base + d) * channels + channel
+                existing = pin_slot.get(pin)
+                if existing is not None:
+                    if existing != slot:
+                        raise PinConfigurationError(
+                            f"pin {self._pin_of(pin)} already assigned to "
+                            f"partition set {ids[existing]}"
+                        )
+                    continue
+                pin_slot[pin] = slot
+                pin_list.append(pin)
 
     # ------------------------------------------------------------------
     # derivation: cheap re-wiring of an already-computed layout
@@ -245,19 +366,25 @@ class CircuitLayout:
         self.freeze()
         clone = CircuitLayout.__new__(CircuitLayout)
         clone._structure = self._structure
+        clone._gi = self._gi
         clone._channels = self._channels
-        clone._pin_owner = dict(self._pin_owner)
-        clone._sets = set(self._sets)
+        clone._key_slot = dict(self._key_slot)
+        clone._ids = list(self._ids)
+        clone._alive = bytearray(self._alive)
+        clone._n_alive = self._n_alive
+        clone._pin_slot = dict(self._pin_slot)
+        clone._channel_mask = self._channel_mask
         # Pin lists are shared copy-on-write: assign() clones a list
         # before its first in-place append, so the frozen base layout is
         # never corrupted and untouched sets are never copied.
-        clone._set_pins = dict(self._set_pins)
+        clone._slot_pins = list(self._slot_pins)
         clone._owned_pin_lists = set()
         clone._frozen = False
         clone._compiled = None
         clone._components = None
         clone._base_compiled = self._compiled
         clone._dirty = set()
+        clone._force_relower = False
         return clone
 
     def derive_for(self, structure: AmoebotStructure) -> "CircuitLayout":
@@ -272,9 +399,27 @@ class CircuitLayout:
         departed cell) before freezing — pins into vacated cells would
         otherwise dangle.  Freezing then recompiles incrementally under
         the derive contract (validation of untouched sets is skipped).
+
+        ``structure`` must share this layout's node-id space: build it
+        with :meth:`AmoebotStructure.from_validated
+        <repro.grid.structure.AmoebotStructure.from_validated>` passing
+        the current structure as ``basis`` (the dynamics editor does),
+        so its grid index is *derived* and every surviving node keeps
+        its id.  The layout's integer pin tables then carry over
+        verbatim; an unrelated structure has incompatible ids and is
+        rejected.
         """
+        new_index = structure.grid_index()
+        if new_index.root is not self._gi.root:
+            raise PinConfigurationError(
+                "derive_for requires a structure derived from this "
+                "layout's structure (AmoebotStructure.from_validated "
+                "with basis=...); an independently built structure has "
+                "incompatible node ids"
+            )
         clone = self.derive()
         clone._structure = structure
+        clone._gi = new_index
         return clone
 
     def release(self, node: Node, label: str) -> None:
@@ -289,22 +434,47 @@ class CircuitLayout:
         """
         if self._frozen:
             raise PinConfigurationError("layout is frozen; derive() a new one first")
-        set_id: PartitionSetId = (node, label)
         track = self._base_compiled is not None
-        if track:
-            self._dirty.add(set_id)
-        old_pins = self._set_pins.pop(set_id, None)
-        self._owned_pin_lists.discard(set_id)
-        if old_pins:
-            for pin in old_pins:
-                if self._pin_owner.get(pin) == set_id:
-                    del self._pin_owner[pin]
+        nid = self._gi.slot_of(node)
+        slot = None if nid is None else self._key_slot.get((nid, label))
+        if slot is None or not self._alive[slot]:
+            # Releasing a set this layout never declared: historically
+            # this marked an unknown id dirty, forcing the conservative
+            # relower on a derived freeze; preserve that.
             if track:
+                self._force_relower = True
+            return
+        if track:
+            self._dirty.add(slot)
+        old_pins = self._slot_pins[slot]
+        self._slot_pins[slot] = None
+        self._owned_pin_lists.discard(slot)
+        if old_pins:
+            pin_slot = self._pin_slot
+            for pin in old_pins:
+                if pin_slot.get(pin) == slot:
+                    del pin_slot[pin]
+            if track:
+                # Mates are computed geometrically (not via the mirror
+                # table): when releasing the sets of a *departed*
+                # amoebot after derive_for, the new index's rows for
+                # the vacated cell are already cleared, but the
+                # surviving neighbors' facing sets still must be
+                # marked dirty.
+                channels = self._channels
                 for pin in old_pins:
-                    mate_owner = self._pin_owner.get(pin.mate())
+                    edge, channel = divmod(pin, channels)
+                    d = edge % 6
+                    mate_id = self._gi.slot_of(node.neighbor(Direction(d)))
+                    if mate_id is None:
+                        continue
+                    mate_owner = pin_slot.get(
+                        (mate_id * 6 + _OPPOSITE[d]) * channels + channel
+                    )
                     if mate_owner is not None:
                         self._dirty.add(mate_owner)
-        self._sets.discard(set_id)
+        self._alive[slot] = 0
+        self._n_alive -= 1
 
     def reassign(
         self,
@@ -369,48 +539,69 @@ class CircuitLayout:
         """
         if self._frozen:
             raise PinConfigurationError("layout is frozen; derive() a new one first")
-        set_a: PartitionSetId = (node, label_a)
-        set_b: PartitionSetId = (node, label_b)
-        if set_a not in self._sets or set_b not in self._sets:
+        nid = self._gi.id_of(node)
+        if nid is None:
+            raise PinConfigurationError(f"{node} is not part of the structure")
+        key_slot = self._key_slot
+        alive = self._alive
+        slot_a = key_slot.get((nid, label_a))
+        slot_b = key_slot.get((nid, label_b))
+        if (
+            slot_a is None
+            or slot_b is None
+            or not alive[slot_a]
+            or not alive[slot_b]
+        ):
             raise PinConfigurationError(
-                f"exchange_pins requires both {set_a} and {set_b} to be declared"
+                f"exchange_pins requires both {(node, label_a)} and "
+                f"{(node, label_b)} to be declared"
             )
-        pin_owner = self._pin_owner
-        set_pins = self._set_pins
+        pin_slot = self._pin_slot
+        slot_pins = self._slot_pins
         owned = self._owned_pin_lists
         track = self._base_compiled is not None
         if track:
-            self._dirty.add(set_a)
-            self._dirty.add(set_b)
+            self._dirty.add(slot_a)
+            self._dirty.add(slot_b)
+        channels = self._channels
+        nbr = self._gi.nbr
+        base = nid * 6
         for direction, channel in pins:
-            pin = Pin(node, direction, channel)
-            owner = pin_owner.get(pin)
-            if owner == set_a:
-                new_owner = set_b
-            elif owner == set_b:
-                new_owner = set_a
+            edge = base + direction
+            pin = edge * channels + channel
+            owner = pin_slot.get(pin)
+            if owner == slot_a:
+                new_owner = slot_b
+            elif owner == slot_b:
+                new_owner = slot_a
             else:
+                owner_id = None if owner is None else self._ids[owner]
                 raise PinConfigurationError(
-                    f"pin {pin} belongs to {owner}, not to {set_a} or {set_b}"
+                    f"pin {self._pin_of(pin)} belongs to {owner_id}, not to "
+                    f"{(node, label_a)} or {(node, label_b)}"
                 )
-            pin_owner[pin] = new_owner
-            old_list = set_pins[owner]
+            pin_slot[pin] = new_owner
+            old_list = slot_pins[owner]
             if owner not in owned:
-                old_list = set_pins[owner] = list(old_list)
+                old_list = slot_pins[owner] = list(old_list)
                 owned.add(owner)
             old_list.remove(pin)
-            new_list = set_pins.get(new_owner)
+            new_list = slot_pins[new_owner]
             if new_list is None:
-                new_list = set_pins[new_owner] = []
+                new_list = slot_pins[new_owner] = []
                 owned.add(new_owner)
             elif new_owner not in owned:
-                new_list = set_pins[new_owner] = list(new_list)
+                new_list = slot_pins[new_owner] = list(new_list)
                 owned.add(new_owner)
             new_list.append(pin)
             if track:
-                mate_owner = pin_owner.get(pin.mate())
-                if mate_owner is not None:
-                    self._dirty.add(mate_owner)
+                mate_nid = nbr[edge]
+                if mate_nid >= 0:
+                    mate_owner = pin_slot.get(
+                        (mate_nid * 6 + _OPPOSITE[direction]) * channels + channel
+                    )
+                    if mate_owner is not None:
+                        self._dirty.add(mate_owner)
 
     # ------------------------------------------------------------------
     # freezing, compilation, and component computation
@@ -431,55 +622,97 @@ class CircuitLayout:
         self._frozen = True
 
     def _freeze_full(self) -> None:
-        self._compiled = compile_wiring(self._sets, self._pin_owner)
+        if self._n_alive != len(self._ids):
+            self._compact()
+        self._compiled = compile_wiring_ids(
+            self._ids, self._pin_slot, self._channels, self._gi.mate_edges()
+        )
         LAYOUT_STATS.full_builds += 1
         LAYOUT_STATS.compiles += 1
 
     def _freeze_incremental(self) -> None:
         base = self._base_compiled
         assert base is not None
-        if not self._dirty:
+        if not self._dirty and not self._force_relower:
             # Wiring unchanged: adopt the base compilation wholesale.
             self._compiled = base
             LAYOUT_STATS.noop_freezes += 1
             self._base_compiled = None
             return
 
-        index = base.index
-        if len(self._sets) != len(index) or any(
-            set_id not in index for set_id in self._dirty
+        if (
+            self._force_relower
+            or self._n_alive != len(self._ids)
+            or len(self._ids) != len(base.index)
         ):
             # The partition-set universe changed (sets released for good
-            # or newly declared): relower from scratch with a fresh
-            # index.  Assignment validation is still skipped — that is
-            # the derive() contract.
-            self._compiled = compile_wiring(self._sets, self._pin_owner)
+            # or newly declared): compact the slots and relower from
+            # scratch with a fresh index.  Assignment validation is
+            # still skipped — that is the derive() contract.
+            self._compact()
+            self._compiled = compile_wiring_ids(
+                self._ids, self._pin_slot, self._channels, self._gi.mate_edges()
+            )
         else:
-            # Universe intact: rebuild only the dirty adjacency rows in
-            # integer space and recompute components over the touched
-            # region.  The base index object is reused, so integer
-            # set-ids held by callers stay valid.
-            pin_owner = self._pin_owner
-            get_owner = pin_owner.get
-            get_index = index.get
+            # Universe intact: slots coincide with the base index's
+            # integer ids, so rebuild only the dirty adjacency rows and
+            # recompute components over the touched region.  The base
+            # index object is reused, so integer set-ids held by
+            # callers stay valid.
+            pin_slot = self._pin_slot
+            get_owner = pin_slot.get
+            mate_edges = self._gi.mate_edges()
+            channels = self._channels
+            slot_pins = self._slot_pins
             dirty_indices: List[int] = []
             new_rows: Dict[int, List[int]] = {}
-            for set_id in self._dirty:
-                i = get_index(set_id)
-                assert i is not None
-                dirty_indices.append(i)
+            for slot in self._dirty:
+                dirty_indices.append(slot)
                 row: List[int] = []
-                for pin in self._set_pins.get(set_id, ()):
-                    mate_owner = get_owner(pin.mate())
+                for pin in slot_pins[slot] or ():
+                    edge = pin // channels
+                    mate_owner = get_owner(
+                        pin + (mate_edges[edge] - edge) * channels
+                    )
                     if mate_owner is not None:
-                        j = get_index(mate_owner)
-                        assert j is not None
-                        row.append(j)
-                new_rows[i] = row
+                        row.append(mate_owner)
+                new_rows[slot] = row
             self._compiled = recompile_derived(base, dirty_indices, new_rows)
         LAYOUT_STATS.incremental_builds += 1
         LAYOUT_STATS.compiles += 1
         self._base_compiled = None
+        self._dirty.clear()
+        self._force_relower = False
+
+    def _compact(self) -> None:
+        """Renumber slots densely, dropping released (dead) ones.
+
+        Only runs on the relower paths: a frozen layout therefore always
+        has its slots coincide with its compiled integer ids, which is
+        what lets the incremental freeze pass slots straight to
+        :func:`~repro.sim.compiled.recompile_derived`.
+        """
+        alive = self._alive
+        if self._n_alive == len(self._ids):
+            return
+        remap = [-1] * len(self._ids)
+        fresh = 0
+        for slot in range(len(self._ids)):
+            if alive[slot]:
+                remap[slot] = fresh
+                fresh += 1
+        self._ids = [sid for sid, a in zip(self._ids, alive) if a]
+        self._slot_pins = [pl for pl, a in zip(self._slot_pins, alive) if a]
+        self._key_slot = {
+            key: remap[slot]
+            for key, slot in self._key_slot.items()
+            if alive[slot]
+        }
+        self._pin_slot = {pin: remap[slot] for pin, slot in self._pin_slot.items()}
+        self._owned_pin_lists = {
+            remap[slot] for slot in self._owned_pin_lists if alive[slot]
+        }
+        self._alive = bytearray(b"\x01") * len(self._ids)
         self._dirty.clear()
 
     def compiled(self) -> CompiledLayout:
@@ -502,7 +735,30 @@ class CircuitLayout:
 
     def partition_sets(self) -> Set[PartitionSetId]:
         """All declared partition sets."""
-        return set(self._sets)
+        return {sid for sid, a in zip(self._ids, self._alive) if a}
+
+    def uses_channel(self, channel: int) -> bool:
+        """Whether any pin was ever assigned on ``channel``.
+
+        Conservative O(1) probe (release does not clear the flag).
+        The PASC runner uses it to fail fast when a run wires pins on
+        the reserved termination channel — the termination circuit now
+        lives on its own layout, so the per-pin collision that used to
+        catch this no longer can.
+        """
+        return bool(self._channel_mask >> channel & 1)
+
+    def pin_assignments(self) -> Dict[Pin, PartitionSetId]:
+        """Pin -> owning partition set, as objects (observability view).
+
+        The layout keeps its pin table in integer space; this decodes
+        it for tests and statistics.  Built afresh on every call — do
+        not use it anywhere hot.
+        """
+        ids = self._ids
+        return {
+            self._pin_of(pin): ids[slot] for pin, slot in self._pin_slot.items()
+        }
 
     def circuit_of(self, node: Node, label: str) -> int:
         """Index of the circuit containing partition set ``(node, label)``.
@@ -547,16 +803,37 @@ class CircuitLayout:
     def wiring_fingerprint(self) -> int:
         """A hash over the full wiring (diagnostics / cache keying).
 
-        Prefer cheap semantic keys (the parameters that *determined* the
-        wiring) for :class:`LayoutCache`; this exhaustive fingerprint is
-        O(pins) and meant for tests and debugging.
+        **What it covers.**  The pin budget, the declared partition-set
+        universe, and every pin-to-set assignment, in a canonical
+        (sorted) encoding over the structure's integer node ids — two
+        layouts on the same structure fingerprint equal iff their
+        wirings are identical, regardless of assignment order or how
+        they were built (from scratch, by :meth:`derive` re-wiring, or
+        via :meth:`exchange_pins`).
+
+        **What it does not cover.**  The structure itself (two layouts
+        on *different* structures may collide — node ids are only
+        meaningful per grid index, so never mix structures under one
+        fingerprint namespace), beep activity, anything about the
+        compiled arrays, and hash-collision freedom (it is a ``hash``,
+        not an identity; equality of fingerprints is evidence, not
+        proof).  Prefer cheap semantic keys (the parameters that
+        *determined* the wiring) for :class:`LayoutCache`; this
+        exhaustive fingerprint is O(pins log pins) and meant for tests
+        and debugging.
         """
-        assignments = tuple(sorted(
-            (pin.node.x, pin.node.y, pin.direction.value, pin.channel,
-             owner[0].x, owner[0].y, owner[1])
-            for pin, owner in self._pin_owner.items()
-        ))
-        sets = tuple(sorted((n.x, n.y, label) for n, label in self._sets))
+        alive = self._alive
+        slot_keys: Dict[int, Tuple[int, str]] = {}
+        for key, slot in self._key_slot.items():
+            if alive[slot]:
+                slot_keys[slot] = key
+        assignments = tuple(
+            sorted(
+                (pin,) + slot_keys[slot]
+                for pin, slot in self._pin_slot.items()
+            )
+        )
+        sets = tuple(sorted(slot_keys.values()))
         return hash((self._channels, assignments, sets))
 
 

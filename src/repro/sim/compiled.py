@@ -11,7 +11,13 @@ construction and zero tuple hashing.
 
 The same move keeps the matching inner loop of slowmatch-style
 implementations out of object-graph traversal: hash each object exactly
-once into an index, then run the hot loop over flat integers.
+once into an index, then run the hot loop over flat integers.  Since
+the grid-index refactor the layouts themselves keep their pin tables in
+integer space, so the standard lowering (:func:`compile_wiring_ids`)
+never hashes a tuple at all — pin mates resolve through the grid
+index's mirror-edge table; :func:`compile_wiring` remains as the
+tuple-keyed reference implementation the equivalence tests compare
+against.
 
 Compiled layouts are immutable and cached on their layout; deriving a
 layout with an unchanged partition-set universe re-uses the base
@@ -38,11 +44,25 @@ class PartitionSetIndex:
     *stable*: resolve a listen set once, reuse the index every round.
     """
 
-    __slots__ = ("ids", "_pos")
+    __slots__ = ("ids", "_pos_cache")
 
     def __init__(self, ids: Iterable[PartitionSetId]):
         self.ids: List[PartitionSetId] = list(ids)
-        self._pos: Dict[PartitionSetId, int] = {s: i for i, s in enumerate(self.ids)}
+        self._pos_cache: Optional[Dict[PartitionSetId, int]] = None
+
+    @property
+    def _pos(self) -> Dict[PartitionSetId, int]:
+        """Tuple -> integer id table, built lazily on first resolution.
+
+        The integer build path never consults it — layouts carry dense
+        ids natively — so the one hashing pass over the id tuples is
+        only paid by callers that actually resolve tuples (algorithm
+        setup code, tests).
+        """
+        pos = self._pos_cache
+        if pos is None:
+            pos = self._pos_cache = {s: i for i, s in enumerate(self.ids)}
+        return pos
 
     def __len__(self) -> int:
         return len(self.ids)
@@ -94,7 +114,15 @@ class CompiledLayout:
         Number of circuits; every label in that range is non-empty.
     """
 
-    __slots__ = ("index", "adj", "comp", "n_components", "_starts", "_members")
+    __slots__ = (
+        "index",
+        "adj",
+        "comp",
+        "n_components",
+        "_starts",
+        "_members",
+        "_comp_sizes",
+    )
 
     def __init__(
         self,
@@ -109,6 +137,7 @@ class CompiledLayout:
         self.n_components = n_components
         self._starts: Optional[List[int]] = None
         self._members: Optional[List[int]] = None
+        self._comp_sizes: Optional[List[int]] = None
 
     def members_csr(self) -> Tuple[List[int], List[int]]:
         """Component -> member set-ids as ``(starts, members)`` arrays.
@@ -160,11 +189,34 @@ class CompiledLayout:
         """One full round in integer space: propagate, then read."""
         return self.read(self.propagate(beep_indices), listen_indices)
 
+    def component_sizes(self) -> List[int]:
+        """Member count per circuit, precomputed once per compilation."""
+        sizes = self._comp_sizes
+        if sizes is None:
+            if self._starts is not None:
+                starts = self._starts
+                sizes = [
+                    starts[c + 1] - starts[c] for c in range(self.n_components)
+                ]
+            else:
+                sizes = [0] * self.n_components
+                for c in self.comp:
+                    sizes[c] += 1
+            self._comp_sizes = sizes
+        return sizes
+
     def hearing_count(self, hears: bytearray) -> int:
-        """How many partition sets hear a beep under mask ``hears``."""
+        """How many partition sets hear a beep under mask ``hears``.
+
+        Sums the precomputed circuit sizes over the beeping circuits
+        only — O(circuits) per call rather than O(partition sets),
+        which matters to the tracer, the only per-round consumer.
+        """
+        sizes = self.component_sizes()
         total = 0
-        for c in self.comp:
-            total += hears[c]
+        for c in range(self.n_components):
+            if hears[c]:
+                total += sizes[c]
         return total
 
 
@@ -178,12 +230,15 @@ def compile_wiring(
     pin_owner: Mapping[Pin, PartitionSetId],
     index: Optional[PartitionSetIndex] = None,
 ) -> CompiledLayout:
-    """Lower a validated wiring to a :class:`CompiledLayout`.
+    """Lower a tuple-keyed wiring to a :class:`CompiledLayout`.
 
-    This is the only full pass over the tuple-keyed pin table; it hashes
-    every set and pin exactly once.  ``index`` may carry a pre-built
-    partition-set index (the derive path passes the base layout's to
-    keep integer ids stable).
+    Legacy/reference surface: hashes every set and pin exactly once.
+    Layout freezing no longer routes through here — layouts keep their
+    pin tables in integer space from construction on and compile via
+    :func:`compile_wiring_ids` without any tuple hashing — but the
+    function stays as the independent reference the equivalence tests
+    compare the integer path against.  ``index`` may carry a pre-built
+    partition-set index to keep integer ids stable.
     """
     if index is None:
         index = PartitionSetIndex(sets)
@@ -194,6 +249,36 @@ def compile_wiring(
         mate_owner = get(pin.mate())
         if mate_owner is not None:
             adj[pos[owner]].append(pos[mate_owner])
+    comp, n_components = _connected_components(adj)
+    return CompiledLayout(index, adj, comp, n_components)
+
+
+def compile_wiring_ids(
+    ids: Iterable[PartitionSetId],
+    pin_slot: Mapping[int, int],
+    channels: int,
+    mate_edges: Sequence[int],
+    index: Optional[PartitionSetIndex] = None,
+) -> CompiledLayout:
+    """Lower an integer-keyed wiring to a :class:`CompiledLayout`.
+
+    ``pin_slot`` maps encoded pins ``(node_id * 6 + direction) *
+    channels + channel`` to dense partition-set slots; ``mate_edges``
+    is the grid index's mirror-edge table
+    (:meth:`~repro.grid.compiled.GridIndex.mate_edges`).  The whole
+    lowering — mate resolution, adjacency, union-find — runs over flat
+    integers: nothing is hashed except the C-level int dict probes.
+    """
+    if index is None:
+        index = PartitionSetIndex(ids)
+    adj: List[List[int]] = [[] for _ in range(len(index))]
+    get = pin_slot.get
+    c = channels
+    for pin, slot in pin_slot.items():
+        e = pin // c
+        mate_slot = get(pin + (mate_edges[e] - e) * c)
+        if mate_slot is not None:
+            adj[slot].append(mate_slot)
     comp, n_components = _connected_components(adj)
     return CompiledLayout(index, adj, comp, n_components)
 

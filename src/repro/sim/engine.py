@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import (
     Dict,
+    Hashable,
     Iterable,
     Iterator,
     List,
@@ -200,9 +201,7 @@ class CircuitEngine:
 
     def _build_global_layout(self, label: str, channel: int) -> CircuitLayout:
         layout = self.new_layout()
-        for node in self.structure:
-            pins = [(d, channel) for d in self.structure.occupied_directions(node)]
-            layout.assign(node, label, pins)
+        layout.assign_global(label, channel)
         layout.freeze()
         return layout
 
@@ -212,6 +211,7 @@ class CircuitEngine:
         label: str = "net",
         channel: int = 0,
         isolated_ok: bool = True,
+        key: Optional[Hashable] = None,
     ) -> CircuitLayout:
         """A layout that fuses each connected component of ``edges``.
 
@@ -223,11 +223,20 @@ class CircuitEngine:
         ``isolated_ok`` is set.  Cached by the edge set: deterministic
         algorithms that rebuild identical sub-circuits (the recomputed
         decomposition tree, repeated portal broadcasts) hit the cache.
+
+        ``key``, when given, replaces the default ``frozenset(edges)``
+        cache key.  Callers that can *name* their edge set cheaply (the
+        portal machinery keys its circuits by ``(axis, representative
+        id, run length)`` triples) skip hashing every edge's coordinate
+        pair on each lookup; the caller guarantees the key uniquely
+        determines the edge set on this engine's structure.
         """
         edge_list = list(edges)
-        key = ("edges", label, channel, isolated_ok, frozenset(edge_list))
+        if key is None:
+            key = frozenset(edge_list)
+        cache_key = ("edges", label, channel, isolated_ok, key)
         return self.layouts.get_or_build(
-            key,
+            cache_key,
             lambda: self._build_edge_subset_layout(
                 edge_list, label, channel, isolated_ok
             ),

@@ -210,7 +210,10 @@ def _base_case(
         v for v in boundary if v.portal != lca
     ]
 
-    sub_structure = AmoebotStructure(region.nodes, require_hole_free=False)
+    # Regions are connected by construction (components of the split
+    # portal graph, adjacent vertices sharing connector edges), so the
+    # trusted constructor skips the O(n) re-validation flood fill.
+    sub_structure = AmoebotStructure.from_validated(region.nodes)
     forest: Optional[Forest] = None
     for vertex in ordered:
         line_nodes = list(vertex.nodes)
@@ -270,7 +273,9 @@ def _merge_at_portal(
     overlap = north.nodes & south.nodes
     if not set(portal.nodes) <= overlap:
         raise AssertionError("portal is not shared by both side regions")
-    structure = AmoebotStructure(combined_nodes, require_hole_free=False)
+    # Both side regions are connected and share the portal, so their
+    # union is connected: the trusted constructor applies.
+    structure = AmoebotStructure.from_validated(combined_nodes)
 
     forests = []
     for forest in (north.forest, south.forest):
@@ -383,7 +388,8 @@ def _merge_pair(
         if forest is None:
             return None
         target_nodes = into.nodes
-        sub = AmoebotStructure(target_nodes, require_hole_free=False)
+        # A region's node set is connected (see _base_case).
+        sub = AmoebotStructure.from_validated(target_nodes)
         spt = shortest_path_tree(
             engine, sub, mark, target_nodes, section=f"{section}:pair_spt"
         )

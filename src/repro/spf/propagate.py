@@ -27,7 +27,7 @@ Phase 2 — the shadowed remainder ``B'' = B \\ vis(P)``:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.grid.coords import Node
 from repro.grid.directions import Axis, Direction
@@ -96,11 +96,21 @@ def propagate_forest(
         # portal circuits; a B-amoebot hears per axis iff its portal
         # meets P (executed as a real round; the projection bookkeeping
         # below mirrors what each amoebot reads locally).
+        from repro.portals.primitives import portal_runs_key
+
         circuit_edges = []
         for d in other_axes:
             for run in systems[d].portals:
                 circuit_edges.extend(zip(run.nodes, run.nodes[1:]))
-        layout = engine.edge_subset_layout(circuit_edges, label="vis", channel=4)
+        layout = engine.edge_subset_layout(
+            circuit_edges,
+            label="vis",
+            channel=4,
+            key=portal_runs_key(
+                engine,
+                ((d, p) for d in other_axes for p in systems[d].portals),
+            ),
+        )
         # Charged for its cost; the projection bookkeeping below mirrors
         # what each amoebot reads locally, so nothing is materialized.
         engine.run_round_indexed(
@@ -109,14 +119,25 @@ def propagate_forest(
             (),
         )
 
+        # Where each transversal portal first meets P, computed in one
+        # pass per axis over the portal runs (instead of re-scanning a
+        # run for every B-amoebot on it).
+        meets: Dict[Axis, List[Optional[Node]]] = {}
+        for d in other_axes:
+            meets[d] = [
+                next((p for p in run.nodes if p in portal_set), None)
+                for run in systems[d].portals
+            ]
+
+        grid = structure.grid_index()
         visible: Dict[Node, Dict[Axis, Node]] = {}
         for u in sorted(b_nodes):
+            nid = grid.id_of(u)
             hits: Dict[Axis, Node] = {}
             for d in other_axes:
-                run = systems[d].portal_of[u]
-                meet = [p for p in run.nodes if p in portal_set]
-                if meet:
-                    hits[d] = meet[0]
+                meet = meets[d][systems[d].portal_index_of_id[nid]]
+                if meet is not None:
+                    hits[d] = meet
             if hits:
                 visible[u] = hits
         b_prime = set(visible)
@@ -228,8 +249,10 @@ def _propagate_into_shadow(
         return
 
     # Shortest path tree with source s_Z inside Z (Theorem 39 on the
-    # component sub-structure, destinations = all of Z).
-    sub = AmoebotStructure(component, require_hole_free=False)
+    # component sub-structure, destinations = all of Z).  The component
+    # was flood-filled, so it is connected and the trusted constructor
+    # skips re-validation.
+    sub = AmoebotStructure.from_validated(component)
     spt = shortest_path_tree(
         engine,
         sub,

@@ -31,9 +31,14 @@ from repro.portals.primitives import _is_north_side
 from repro.spf.types import Forest
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class SubPortal:
-    """One (sub)portal vertex of the split portal graph."""
+    """One (sub)portal vertex of the split portal graph.
+
+    Vertices are created exactly once per decomposition (``eq=False``):
+    identity comparison and hashing keep the split-graph adjacency and
+    the region bookkeeping free of portal-length tuple hashing.
+    """
 
     portal: Portal
     side: Optional[str]  # "N"/"S" for Q' portals, None for ordinary ones
@@ -103,6 +108,9 @@ class RegionDecomposition:
         return "N" if _is_north_side(self.system, u, v) else "S"
 
     def _node_index(self, portal: Portal, node: Node) -> int:
+        nid = self.system.structure.grid_index().id_of(node)
+        if nid is not None and self.system.portal_offset_of_id[nid] >= 0:
+            return self.system.portal_offset_of_id[nid]
         return portal.nodes.index(node)
 
     def _build(self) -> None:

@@ -138,14 +138,48 @@ def shortest_path_tree(
             )
             portal_parents[axis] = rp.parent
 
-        # Local parent choice (one local round: no beeps involved).
+        # Local parent choice (one local round: no beeps involved),
+        # evaluated over the grid index: Equation 1 becomes a handful
+        # of integer array reads per (node, neighbor) pair.  Equivalent
+        # to calling :func:`feasible_parents` per node and taking the
+        # first hit — neighbor ids ascend in direction order, which is
+        # exactly the ccw-from-East order ``structure.neighbors`` uses.
+        grid = structure.grid_index()
+        nbr = grid.nbr
+        nodes_of = grid.nodes
+        portal_idx = [systems[axis].portal_index_of_id for axis in Axis]
+        parent_idx: List[List[int]] = []
+        for axis in Axis:
+            portals = systems[axis].portals
+            position = {p: i for i, p in enumerate(portals)}
+            row = [-1] * len(portals)
+            for child, par in portal_parents[axis].items():
+                row[position[child]] = position[par]
+            parent_idx.append(row)
         raw_parent: Dict[Node, Node] = {}
-        for u in structure:
-            if u == source:
+        source_id = grid.id_of(source)
+        for nid in grid.live_ids():
+            if nid == source_id:
                 continue
-            feasible = feasible_parents(structure, systems, portal_parents, u)
-            if feasible:
-                raw_parent[u] = feasible[0]
+            base = nid * 6
+            for d in range(6):
+                vid = nbr[base + d]
+                if vid < 0:
+                    continue
+                # The edge's axis value is d % 3; the two other axes
+                # must both see v's portal as the parent of u's.
+                edge_axis = d % 3
+                feasible = True
+                for axis_value in (0, 1, 2):
+                    if axis_value == edge_axis:
+                        continue
+                    idx = portal_idx[axis_value]
+                    if parent_idx[axis_value][idx[nid]] != idx[vid]:
+                        feasible = False
+                        break
+                if feasible:
+                    raw_parent[nodes_of[nid]] = nodes_of[vid]
+                    break
         engine.charge_local_round()
 
         # Final pruning: root-and-prune on the source's parent-edge

@@ -68,16 +68,39 @@ def random_hole_free(
     if not 0.0 <= compactness <= 1.0:
         raise ValueError("compactness must lie in [0, 1]")
     rng = random.Random(seed)
-    nodes: Set[Node] = {Node(0, 0)}
+    origin = Node(0, 0)
+    nodes: Set[Node] = {origin}
+    # The addable frontier, maintained incrementally: adding a node only
+    # changes the occupancy masks of its own six neighbors, so each step
+    # refreshes at most seven cells instead of re-scanning the whole
+    # set.  Membership and weights match the full re-scan exactly, and
+    # candidates are drawn in sorted order, so any given seed grows the
+    # same structure the historical O(n^2) loop grew.
+    addable: dict = {}
+
+    def refresh(v: Node) -> None:
+        if v in nodes:
+            addable.pop(v, None)
+            return
+        mask = _occupied_mask(nodes, v)
+        if _is_contiguous_arc(mask):
+            addable[v] = sum(mask)
+        else:
+            addable.pop(v, None)
+
+    for v in origin.neighbors():
+        refresh(v)
     while len(nodes) < n:
-        candidates = sorted(addable_nodes(nodes))
-        if not candidates:  # pragma: no cover - cannot happen on the grid
+        if not addable:  # pragma: no cover - cannot happen on the grid
             raise RuntimeError("growth stalled")
-        weights = []
-        for v in candidates:
-            occupied = sum(_occupied_mask(nodes, v))
-            weights.append((1.0 - compactness) + compactness * occupied**2)
-        nodes.add(rng.choices(candidates, weights=weights, k=1)[0])
+        candidates = sorted(addable)
+        base = 1.0 - compactness
+        weights = [base + compactness * addable[v] ** 2 for v in candidates]
+        chosen = rng.choices(candidates, weights=weights, k=1)[0]
+        nodes.add(chosen)
+        addable.pop(chosen, None)
+        for v in chosen.neighbors():
+            refresh(v)
     return AmoebotStructure(nodes)
 
 

@@ -143,6 +143,35 @@ def round_cases(draw):
 # ----------------------------------------------------------------------
 
 
+@settings(max_examples=40, deadline=None)
+@given(case=round_cases())
+def test_integer_lowering_matches_tuple_reference(case):
+    # The layout lowers through compile_wiring_ids (integer pins, grid
+    # index mirror-edge mates); compile_wiring is the retained
+    # tuple-keyed reference lowering.  Both must produce the same
+    # circuits, up to component renumbering.
+    from repro.sim.compiled import compile_wiring
+
+    structure, pins_of, _beeps, _listen = case
+    engine = CircuitEngine(structure, channels=CHANNELS)
+    layout = apply_assignment(engine, pins_of)
+    compiled = layout.compiled()
+
+    reference = compile_wiring(layout.partition_sets(), layout.pin_assignments())
+    grouped: Dict[int, Set] = {}
+    for set_id in layout.partition_sets():
+        grouped.setdefault(
+            reference.comp[reference.index.index_of(set_id)], set()
+        ).add(set_id)
+    expected = {frozenset(members) for members in grouped.values()}
+
+    actual: Dict[int, Set] = {}
+    for i, set_id in enumerate(compiled.index.ids):
+        actual.setdefault(compiled.comp[i], set()).add(set_id)
+    assert {frozenset(members) for members in actual.values()} == expected
+    assert compiled.n_components == reference.n_components
+
+
 @settings(max_examples=60, deadline=None)
 @given(case=round_cases())
 def test_round_matches_reference(case):

@@ -189,11 +189,13 @@ class TestPascLayoutReuse:
         LAYOUT_STATS.reset()
         result = run_pasc(engine, [run])
         assert run.node_values() == {u: i for i, u in enumerate(nodes)}
-        # Exactly one from-scratch build (iteration 0); every other
-        # iteration has a distinct wiring and gets exactly one
-        # *incremental* computation — never a rebuild per iteration.
-        assert LAYOUT_STATS.full_builds == 1
-        assert LAYOUT_STATS.total_builds() == result.iterations
+        # Exactly two from-scratch builds: the runs' layout (iteration
+        # 0) and the engine-cached global termination layout, built
+        # once per engine.  Every other iteration has a distinct wiring
+        # and gets exactly one *incremental* computation — never a
+        # rebuild per iteration.
+        assert LAYOUT_STATS.full_builds == 2
+        assert LAYOUT_STATS.total_builds() == result.iterations + 1
         # The compile contract rides along: every component build lowers
         # to flat arrays exactly once, and every round of the PASC loop
         # executes on the integer fast path (no id-keyed dict rounds).
@@ -249,11 +251,29 @@ class TestPascLayoutReuse:
         run = PascTreeRun(root, parent)
         LAYOUT_STATS.reset()
         run_pasc(engine, [run])
-        assert LAYOUT_STATS.full_builds == 1
+        # Runs' layout + the engine's global termination layout.
+        assert LAYOUT_STATS.full_builds == 2
         # Depths must match the BFS tree depths.
         values = run.values()
         for child, par in parent.items():
             assert values[child] == values[par] + 1
+
+    def test_runs_on_reserved_termination_channel_fail_fast(self):
+        # The termination circuit executes on its own engine-cached
+        # layout; a run wiring the reserved channel would silently
+        # double-drive the same physical pins, so the runner rejects it.
+        from repro.sim.errors import PinConfigurationError
+
+        structure = line_structure(4)
+        nodes = line_nodes(4)
+        engine = CircuitEngine(structure)
+        term_channel = engine.channels - 1
+        run = PascChainRun(
+            [(u, "") for u in nodes],
+            chain_links_for_nodes(nodes, term_channel - 1, term_channel),
+        )
+        with pytest.raises(PinConfigurationError, match="reserved"):
+            run_pasc(engine, [run])
 
     def test_inclusive_iteration_cap(self):
         structure = line_structure(4)
@@ -390,6 +410,25 @@ class TestRoundTotalsMatchSeed:
         winner = elect_first_marked(engine, tour, marked)
         assert engine.rounds.total == SEED_ROUNDS[spec]["election"]
         assert winner == SEED_WINNERS[spec]
+
+    def test_solves_ride_the_grid_index_build_path(self, spec):
+        # The seed-identical round totals above must be produced by the
+        # int-indexed build path: the structure's GridIndex is built
+        # (once — substructures carry their own), layouts keep integer
+        # pin tables, and every round executes on the integer fast path.
+        from repro.grid.compiled import GRID_STATS
+
+        structure = build_structure(spec)
+        nodes = sorted(structure.nodes)
+        engine = CircuitEngine(structure)
+        GRID_STATS.reset()
+        LAYOUT_STATS.reset()
+        solution = solve_spf(structure, [nodes[0]], list(structure.nodes), engine=engine)
+        assert solution.rounds == SEED_ROUNDS[spec]["sssp"]
+        assert structure._grid_index is not None
+        assert GRID_STATS.full_builds >= 1
+        assert GRID_STATS.derives == 0  # no edits, so no derived indexes
+        assert LAYOUT_STATS.mapped_rounds == 0  # all rounds stayed indexed
 
 
 class TestLayoutStatsChainConsistency:

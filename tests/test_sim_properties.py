@@ -65,20 +65,13 @@ def test_connected_partition_sets_share_circuits_symmetrically(seed):
     from repro.sim.pins import Pin
 
     component = layout.component_map()
+    # The decoded pin-assignment view exists exactly for this kind of
+    # white-box check; the layout itself stores integer pins.
+    owners = layout.pin_assignments()
     for u in structure:
         for d in structure.occupied_directions(u):
             pin = Pin(u, d, 0)
-            owner = _owner_of(layout, pin)
-            mate_owner = _owner_of(layout, pin.mate())
+            owner = owners.get(pin)
+            mate_owner = owners.get(pin.mate())
             if owner and mate_owner:
                 assert component[owner] == component[mate_owner]
-
-
-def _owner_of(layout, pin):
-    for label in ("a", "b"):
-        set_id = (pin.node, label)
-        if set_id in layout.partition_sets():
-            # Peek into the private pin-owner map only for testing.
-            if layout._pin_owner.get(pin) == set_id:
-                return set_id
-    return None
