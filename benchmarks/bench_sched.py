@@ -1,0 +1,158 @@
+"""Scheduler cost contract (CI perf-smoke) and BENCH_sched.json scribe.
+
+The event-driven :class:`~repro.sched.ActivationEngine` promises two
+things the benchmarks pin down on the standard ``random:200:7``
+instance:
+
+* *outcome invariance* — round totals (and forests) are identical under
+  every scheduler, so the paper's round-complexity results survive the
+  asynchronous adversary unchanged;
+* *cost separation* — activation counts order the schedulers
+  (sync < adversarial-with-few-victims < random/weighted), which is the
+  measurable quantity the scheduler axis exists for.
+
+Run quick in CI via ``BENCH_QUICK=1`` (shrinks the instance).  Running
+the module as a script measures rounds-vs-activations medians per
+scheduler and writes ``BENCH_sched.json``, which doubles as a
+``check_regression.py`` baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+from typing import Dict
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+N = 60 if QUICK else 200
+SEED = 7
+K = 1
+
+#: The scheduler axis measured here and by the ``sched`` campaigns.
+SCHEDULERS = ("sync", "random:1", "adversarial:4", "weighted:1")
+
+
+def sched_solve(spec: str, n: int = N, seed: int = SEED, k: int = K) -> Dict[str, float]:
+    """One SSSP solve under ``spec``; phases plus cost counters.
+
+    Returns the ``check_regression.py`` phase dict (``build_s`` /
+    ``rounds_s``) extended with the run's deterministic cost counters
+    (``rounds``, ``activations``, ``time``).
+    """
+    from repro.sched import ActivationEngine
+    from repro.spf.api import solve_spf
+    from repro.workloads import random_hole_free
+
+    start = time.perf_counter()
+    structure = random_hole_free(n, seed=seed)
+    structure.grid_index()
+    nodes = sorted(structure.nodes)
+    engine = ActivationEngine(structure, scheduler=spec)
+    build_s = time.perf_counter() - start
+    start = time.perf_counter()
+    solution = solve_spf(structure, nodes[:k], list(structure.nodes), engine=engine)
+    rounds_s = time.perf_counter() - start
+    return {
+        "build_s": build_s,
+        "rounds_s": rounds_s,
+        "rounds": solution.rounds,
+        "activations": solution.activations,
+        "time": round(engine.stats.time, 3),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest smokes (CI perf-smoke job)
+# ----------------------------------------------------------------------
+
+
+def test_rounds_are_scheduler_invariant():
+    runs = {spec: sched_solve(spec) for spec in SCHEDULERS}
+    rounds = {spec: r["rounds"] for spec, r in runs.items()}
+    assert len(set(rounds.values())) == 1, (
+        f"round totals diverged across schedulers: {rounds}; "
+        "the synchronization barrier must make outcomes scheduler-invariant"
+    )
+
+
+def test_sync_activations_equal_n_times_rounds():
+    r = sched_solve("sync")
+    assert r["activations"] == N * r["rounds"], (
+        f"sync scheduler charged {r['activations']} activations for "
+        f"{r['rounds']} rounds on n = {N}; lock-step must cost exactly "
+        "one activation per amoebot per round"
+    )
+
+
+def test_async_schedulers_cost_more_activations():
+    sync = sched_solve("sync")["activations"]
+    for spec in ("random:1", "weighted:1"):
+        async_cost = sched_solve(spec)["activations"]
+        assert async_cost > sync, (
+            f"{spec} charged {async_cost} activations <= sync's {sync}; "
+            "wasted wake-ups must make asynchronous schedules strictly "
+            "more expensive"
+        )
+
+
+# ----------------------------------------------------------------------
+# baseline scribe (python benchmarks/bench_sched.py)
+# ----------------------------------------------------------------------
+
+
+def main(repeats: int = 3, path: str = "BENCH_sched.json") -> int:
+    """Measure every scheduler and write the committed baseline."""
+    workloads: Dict[str, Dict[str, object]] = {}
+    for spec in SCHEDULERS:
+        sched_solve(spec)  # warm-up: imports, caches, pyc compilation
+        runs = []
+        phase_runs = {"build_s": [], "rounds_s": []}
+        counters: Dict[str, float] = {}
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = sched_solve(spec)
+            runs.append(round(time.perf_counter() - start, 6))
+            for phase in phase_runs:
+                phase_runs[phase].append(round(result[phase], 6))
+            counters = {
+                "rounds": result["rounds"],
+                "activations": result["activations"],
+                "time": result["time"],
+            }
+        name = f"sched_{spec.split(':')[0]}_random{N}"
+        workloads[name] = {
+            "after_s": statistics.median(runs),
+            "build_s": statistics.median(phase_runs["build_s"]),
+            "rounds_s": statistics.median(phase_runs["rounds_s"]),
+            "detail": {"scheduler": spec, **counters},
+        }
+        print(
+            f"measured {name}: median {workloads[name]['after_s']:.3f}s, "
+            f"{counters['rounds']} rounds, {counters['activations']} activations"
+        )
+    payload = {
+        "description": (
+            "Event-driven scheduler cost on the standard random:%d:%d SSSP "
+            "instance: round totals are scheduler-invariant, activation "
+            "counts are the per-scheduler cost (deterministic per seed). "
+            "after_s medians gate check_regression.py." % (N, SEED)
+        ),
+        "instance": {"shape": f"random:{N}:{SEED}", "k": K, "l": "all"},
+        "workloads": workloads,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

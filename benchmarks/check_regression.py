@@ -96,6 +96,13 @@ def _spf(n: int, seed: int, k: int) -> Dict[str, float]:
     return {"build_s": build_s, "rounds_s": rounds_s}
 
 
+def _sched(spec: str) -> Dict[str, float]:
+    from benchmarks.bench_sched import sched_solve
+
+    result = sched_solve(spec, n=200, seed=7)
+    return {"build_s": result["build_s"], "rounds_s": result["rounds_s"]}
+
+
 #: Workload name -> zero-argument callable returning the per-phase wall
 #: clock: ``build_s`` (workload/structure/index construction) and
 #: ``rounds_s`` (algorithm execution).  Names must match the
@@ -106,6 +113,8 @@ WORKLOADS: Dict[str, Callable[[], Dict[str, float]]] = {
     "primitives_n400_q16": lambda: _primitive_rounds(16),
     "sssp_random200": lambda: _spf(200, seed=7, k=1),
     "forest_random200_k4": lambda: _spf(200, seed=7, k=4),
+    "sched_sync_random200": lambda: _sched("sync"),
+    "sched_random_random200": lambda: _sched("random:1"),
 }
 
 #: The phase keys every workload reports, in report order.
@@ -227,8 +236,12 @@ def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--baseline",
-        default="BENCH_grid_index.json",
-        help="committed baseline JSON with workloads.<name>.after_s medians",
+        action="append",
+        default=None,
+        help="committed baseline JSON with workloads.<name>.after_s "
+        "medians; repeatable — workload maps are merged (later files "
+        "win on a name clash).  Default: BENCH_grid_index.json plus "
+        "BENCH_sched.json when present",
     )
     parser.add_argument("--output", default=None, help="write fresh measurements to this JSON file")
     parser.add_argument(
@@ -245,10 +258,21 @@ def main(argv: List[str] | None = None) -> int:
         "fresh medians instead of comparing against them",
     )
     args = parser.parse_args(argv)
+    baselines = args.baseline
+    if baselines is None:
+        baselines = ["BENCH_grid_index.json"]
+        if os.path.exists("BENCH_sched.json"):
+            baselines.append("BENCH_sched.json")
 
     fresh = measure(args.repeats)
     if args.update_baseline:
-        return update_baseline(args.baseline, fresh)
+        if len(baselines) != 1:
+            print(
+                "--update-baseline requires exactly one --baseline file",
+                file=sys.stderr,
+            )
+            return 2
+        return update_baseline(baselines[0], fresh)
     if args.output:
         payload = {
             "python": platform.python_version(),
@@ -260,12 +284,15 @@ def main(argv: List[str] | None = None) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"wrote {args.output}")
 
-    try:
-        with open(args.baseline, encoding="utf-8") as handle:
-            baseline = json.load(handle)
-    except OSError as exc:
-        print(f"cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
-        return 2
+    baseline: Dict[str, object] = {"workloads": {}}
+    for path in baselines:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                loaded = json.load(handle)
+        except OSError as exc:
+            print(f"cannot read baseline {path!r}: {exc}", file=sys.stderr)
+            return 2
+        baseline["workloads"].update(loaded.get("workloads", {}))
 
     problems = compare(fresh, baseline, args.tolerance)
     for problem in problems:

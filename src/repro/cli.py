@@ -56,14 +56,37 @@ def make_structure(spec: str) -> AmoebotStructure:
         raise SystemExit(str(exc)) from exc
 
 
+def _scheduler_engine(structure: AmoebotStructure, spec: str):
+    """Build an :class:`~repro.sched.ActivationEngine` from ``--scheduler``."""
+    from repro.sched import ActivationEngine
+
+    try:
+        return ActivationEngine(structure, scheduler=spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def _print_scheduler_report(engine) -> None:
+    """One summary line for an event-driven run (``--scheduler``)."""
+    st = engine.stats
+    print(
+        f"scheduler {engine.scheduler.name}: {st.activations} activations "
+        f"over {st.epochs} epochs, simulated time {st.time:.1f}"
+        + (f", {st.retransmissions} retransmissions" if st.retransmissions else "")
+    )
+
+
 def cmd_solve(args: argparse.Namespace) -> int:
     """Handle ``repro solve``."""
     structure = make_structure(args.shape)
     sources, destinations = _endpoints(structure, args)
-    solution = solve_spf(structure, sources, destinations)
+    engine = _scheduler_engine(structure, args.scheduler) if args.scheduler else None
+    solution = solve_spf(structure, sources, destinations, engine=engine)
     print(f"n = {len(structure)}, k = {args.k}, l = {args.l}")
     print(f"algorithm: {solution.algorithm}")
     print(f"synchronous rounds: {solution.rounds}")
+    if engine is not None:
+        _print_scheduler_report(engine)
     print(f"forest members: {len(solution.forest.members)}")
     for d in destinations:
         root = solution.forest.root_of(d)
@@ -143,12 +166,14 @@ def cmd_churn(args: argparse.Namespace) -> int:
         pool = [u for u in sorted(structure.nodes) if u not in set(sources)]
         crashed = rng.sample(pool, min(args.crash, len(pool))) if args.crash else []
         faults = FaultInjector(crashed=crashed, drop_prob=args.drop, seed=args.seed)
+    engine = _scheduler_engine(structure, args.scheduler) if args.scheduler else None
     dyn = DynamicSPF(
         structure,
         sources,
         destinations,
         threshold=args.threshold,
         faults=faults,
+        engine=engine,
     )
     init_rounds = dyn.engine.rounds.total
     print(f"n = {len(structure)}, k = {args.k}, l = {args.l}")
@@ -177,6 +202,8 @@ def cmd_churn(args: argparse.Namespace) -> int:
     )
     print(f"repair total: {repair_rounds} rounds over {len(script)} batches "
           f"(one fresh solve on the final structure: {reference.rounds} rounds)")
+    if engine is not None:
+        _print_scheduler_report(dyn.engine)
     if faults is not None:
         fs = faults.stats
         print(f"faults: {fs.lost} beeps lost ({fs.suppressed} crashed, "
@@ -263,6 +290,21 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     from repro.experiments import CampaignRunner, ResultStore
 
     campaign = _load_campaign(args)
+    if getattr(args, "scheduler", None):
+        import dataclasses
+
+        from repro.experiments.spec import SpecError
+
+        try:
+            campaign = dataclasses.replace(
+                campaign,
+                scenarios=tuple(
+                    dataclasses.replace(s, schedulers=(args.scheduler,))
+                    for s in campaign.scenarios
+                ),
+            )
+        except SpecError as exc:
+            raise SystemExit(f"bad --scheduler: {exc}") from exc
     path = _store_path(args, campaign.name)
     if args.action == "resume" and not path.exists():
         raise SystemExit(f"no result store to resume at {path}")
@@ -373,6 +415,13 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("-l", type=int, default=5, help="number of destinations")
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--spread", action="store_true", help="spread sources far apart")
+    solve.add_argument(
+        "--scheduler",
+        default="",
+        metavar="NAME[:PARAM]",
+        help="event-driven activation scheduler: sync, random:SEED, "
+        "adversarial:DELTA, weighted:SEED",
+    )
     solve.add_argument("--ascii", action="store_true", help="render the forest")
     solve.set_defaults(func=cmd_solve)
 
@@ -420,6 +469,12 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument(
         "--drop", type=float, default=0.0, help="per-beep drop probability"
     )
+    churn.add_argument(
+        "--scheduler",
+        default="",
+        metavar="NAME[:PARAM]",
+        help="event-driven activation scheduler (see 'solve --help')",
+    )
     churn.add_argument("--ascii", action="store_true", help="render the final frame")
     churn.set_defaults(func=cmd_churn)
 
@@ -451,6 +506,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--scenario", help="summarize: restrict to one scenario"
+    )
+    campaign.add_argument(
+        "--scheduler",
+        default="",
+        metavar="NAME[:PARAM]",
+        help="run/resume: override every scenario's scheduler axis",
     )
     campaign.add_argument(
         "--quiet", action="store_true", help="suppress per-trial progress lines"

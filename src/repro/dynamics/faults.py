@@ -65,6 +65,8 @@ class FaultInjector:
     ):
         if not 0.0 <= drop_prob <= 1.0:
             raise ValueError(f"drop probability must be in [0, 1], got {drop_prob}")
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
         self.crashed: Set[Node] = set(crashed)
         self.drop_prob = drop_prob
         self._rng = random.Random(seed)

@@ -296,6 +296,52 @@ def _churn() -> CampaignSpec:
     )
 
 
+@_builtin("sched-small")
+def _sched_small() -> CampaignSpec:
+    return CampaignSpec(
+        name="sched-small",
+        description=(
+            "activation cost per scheduler on one instance: same rounds, "
+            "different wake-up counts (sync vs random vs adversarial)"
+        ),
+        scenarios=(
+            ScenarioSpec(
+                name="sched",
+                shape="random:200:7",
+                ks=(1, 4),
+                ls=(0,),
+                seeds=(1,),
+                placement="spread",
+                schedulers=("sync", "random:1", "adversarial:4", "weighted:1"),
+            ),
+        ),
+    )
+
+
+@_builtin("sched")
+def _sched() -> CampaignSpec:
+    return CampaignSpec(
+        name="sched",
+        description=(
+            "T6: activation cost vs n per scheduler — rounds stay "
+            "scheduler-invariant while activations scale with the "
+            "scheduler's waste"
+        ),
+        scenarios=(
+            ScenarioSpec(
+                name="sched-scaling",
+                shape="random:{n}:7",
+                sizes=(100, 200, 400),
+                ks=(1, 4),
+                ls=(0,),
+                seeds=(1, 2),
+                placement="spread",
+                schedulers=("sync", "random:1", "adversarial:4", "weighted:1"),
+            ),
+        ),
+    )
+
+
 @_builtin("shapes")
 def _shapes() -> CampaignSpec:
     return CampaignSpec(

@@ -42,12 +42,19 @@ from repro.workloads.specs import build_structure
 _WORKER_LAYOUTS = LayoutCache(maxsize=128)
 
 
-def _trial_engine(structure: AmoebotStructure) -> CircuitEngine:
-    """An engine whose layout cache is shared across the worker's trials."""
-    return CircuitEngine(
-        structure,
-        layouts=_WORKER_LAYOUTS.scoped(frozenset(structure.nodes)),
-    )
+def _trial_engine(structure: AmoebotStructure, scheduler: str = "") -> CircuitEngine:
+    """An engine whose layout cache is shared across the worker's trials.
+
+    A non-empty ``scheduler`` spec selects the event-driven
+    :class:`~repro.sched.ActivationEngine` (activation counts and
+    scheduler time become part of the trial record).
+    """
+    layouts = _WORKER_LAYOUTS.scoped(frozenset(structure.nodes))
+    if scheduler:
+        from repro.sched import ActivationEngine
+
+        return ActivationEngine(structure, scheduler=scheduler, layouts=layouts)
+    return CircuitEngine(structure, layouts=layouts)
 
 
 @dataclass
@@ -70,6 +77,11 @@ class TrialResult:
     diameter: Optional[int] = None
     sections: Dict[str, int] = field(default_factory=dict)
     cached: bool = False
+    # Scheduler-axis extras (new keys appended to the record; every
+    # pre-existing key above is untouched, so old stores keep loading).
+    scheduler: str = ""
+    activations: Optional[int] = None
+    sched_time: Optional[float] = None
 
     def to_dict(self) -> Dict[str, object]:
         """Flatten into the JSON-ready record the store persists."""
@@ -90,6 +102,9 @@ class TrialResult:
             "diameter": self.diameter,
             "sections": dict(self.sections),
             "cached": self.cached,
+            "scheduler": self.scheduler,
+            "activations": self.activations,
+            "sched_time": self.sched_time,
         }
 
     @classmethod
@@ -98,7 +113,8 @@ class TrialResult:
         known = {
             "key", "scenario", "shape", "n", "k", "l", "seed", "algorithm",
             "resolved", "placement", "rounds", "forest_members", "elapsed_s",
-            "diameter", "sections", "cached",
+            "diameter", "sections", "cached", "scheduler", "activations",
+            "sched_time",
         }
         kwargs = {name: data[name] for name in known if name in data}
         return cls(**kwargs)  # type: ignore[arg-type]
@@ -152,8 +168,10 @@ def _execute_churn_trial(
     structure: AmoebotStructure,
     sources: List[Node],
     destinations: List[Node],
-) -> Tuple[int, int, Dict[str, int]]:
-    """Initial solve + churn/repair loop; returns (members, rounds, extras).
+) -> Tuple[int, int, Dict[str, int], int, Optional[float]]:
+    """Initial solve + churn/repair loop.
+
+    Returns ``(members, rounds, extras, activations, sched_time)``.
 
     The dynamics engine owns its layout cache (the structure mutates
     every batch, so the worker-wide shape-keyed cache does not apply).
@@ -162,10 +180,16 @@ def _execute_churn_trial(
     """
     from repro.dynamics import DynamicSPF, generate_churn
 
+    engine = None
+    if trial.scheduler:
+        from repro.sched import ActivationEngine
+
+        engine = ActivationEngine(structure, scheduler=trial.scheduler)
     dyn = DynamicSPF(
         structure,
         sources,
         destinations if trial.l != ALL_NODES else None,
+        engine=engine,
     )
     script = generate_churn(
         structure,
@@ -176,7 +200,7 @@ def _execute_churn_trial(
         protected=dyn.protected,
     )
     stats = dyn.apply_script(script)
-    extras = {
+    extras: Dict[str, int] = {
         "edit_batches": len(stats),
         "edit_ops": sum(s.batch_ops for s in stats),
         "repairs_patch": sum(1 for s in stats if s.mode == "patch"),
@@ -185,7 +209,15 @@ def _execute_churn_trial(
         "wave_rounds": sum(s.wave_rounds for s in stats),
         "dirty_nodes": sum(s.dirty for s in stats),
     }
-    return len(dyn.forest.members), dyn.engine.rounds.total, extras
+    sched_stats = getattr(dyn.engine, "stats", None)
+    sched_time = round(sched_stats.time, 6) if sched_stats is not None else None
+    return (
+        len(dyn.forest.members),
+        dyn.engine.rounds.total,
+        extras,
+        dyn.engine.rounds.activations,
+        sched_time,
+    )
 
 
 def execute_trial(trial: TrialSpec) -> TrialResult:
@@ -196,7 +228,7 @@ def execute_trial(trial: TrialSpec) -> TrialResult:
     start = time.perf_counter()
 
     if trial.churn:
-        members, total_rounds, extras = _execute_churn_trial(
+        members, total_rounds, extras, activations, sched_time = _execute_churn_trial(
             trial, structure, sources, destinations
         )
         elapsed = time.perf_counter() - start
@@ -219,9 +251,12 @@ def execute_trial(trial: TrialSpec) -> TrialResult:
                 structure_diameter(structure) if trial.measure_diameter else None
             ),
             sections=sections,
+            scheduler=trial.scheduler,
+            activations=activations,
+            sched_time=sched_time,
         )
 
-    engine = _trial_engine(structure)
+    engine = _trial_engine(structure, trial.scheduler)
     if trial.algorithm == "auto":
         from repro.spf.api import solve_spf
 
@@ -259,6 +294,7 @@ def execute_trial(trial: TrialSpec) -> TrialResult:
         raise ValueError(f"unknown algorithm {trial.algorithm!r}")
 
     elapsed = time.perf_counter() - start
+    sched_stats = getattr(engine, "stats", None)
     return TrialResult(
         key=trial.key(),
         scenario=trial.scenario,
@@ -275,6 +311,11 @@ def execute_trial(trial: TrialSpec) -> TrialResult:
         elapsed_s=round(elapsed, 6),
         diameter=structure_diameter(structure) if trial.measure_diameter else None,
         sections=dict(engine.rounds.breakdown()),
+        scheduler=trial.scheduler,
+        activations=engine.rounds.activations,
+        sched_time=(
+            round(sched_stats.time, 6) if sched_stats is not None else None
+        ),
     )
 
 

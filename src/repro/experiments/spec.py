@@ -28,6 +28,12 @@ PLACEMENTS = ("random", "spread", "extremes")
 #: spec validation never imports the simulator).
 CHURNS = ("", "growth", "erosion", "tunnel", "block_move", "mixed")
 
+#: Scheduler base names a trial may request (mirrors
+#: :data:`repro.sched.schedulers.SCHEDULER_NAMES`; duplicated as a
+#: literal so spec validation never imports the simulator).  A spec is
+#: ``""`` (plain synchronous engine) or ``NAME[:param[:param]]``.
+SCHEDULERS = ("sync", "random", "adversarial", "weighted")
+
 #: ``l`` value meaning "every node is a destination" (the paper's SSSP
 #: setting, and the forest algorithm's default of no final pruning).
 ALL_NODES = 0
@@ -35,6 +41,19 @@ ALL_NODES = 0
 
 class SpecError(ValueError):
     """A scenario or campaign description is malformed."""
+
+
+def _check_scheduler(spec: str, context: str = "") -> None:
+    """Validate a scheduler spec string (``""`` or ``NAME[:params]``)."""
+    if not spec:
+        return
+    base = spec.split(":", 1)[0]
+    if base not in SCHEDULERS:
+        where = f"scenario {context!r}: " if context else ""
+        raise SpecError(
+            f"{where}unknown scheduler {spec!r}; expected '' or one of "
+            f"{SCHEDULERS} (optionally with ':'-separated parameters)"
+        )
 
 
 @dataclass(frozen=True)
@@ -58,10 +77,12 @@ class TrialSpec:
     churn: str = ""
     churn_steps: int = 0
     churn_batch: int = 1
+    scheduler: str = ""
 
     def __post_init__(self) -> None:
         if self.k < 1:
             raise SpecError(f"k must be positive, got {self.k}")
+        _check_scheduler(self.scheduler)
         if self.l < ALL_NODES:
             raise SpecError(f"l must be >= 0 (0 = all nodes), got {self.l}")
         if self.algorithm not in ALGORITHMS:
@@ -102,9 +123,10 @@ class TrialSpec:
         Two trials with equal configs are the same experiment even if
         they appear under different scenario or campaign names — this is
         what lets the store share cached results across campaigns.
-        Churn parameters enter the config only when churn is enabled, so
-        every pre-dynamics trial keeps its historical content hash (and
-        its cached store records).
+        Churn parameters enter the config only when churn is enabled,
+        and the scheduler only when one is named, so every pre-existing
+        trial keeps its historical content hash (and its cached store
+        records).
         """
         out: Dict[str, object] = {
             "shape": self.shape,
@@ -119,6 +141,8 @@ class TrialSpec:
             out["churn"] = self.churn
             out["churn_steps"] = self.churn_steps
             out["churn_batch"] = self.churn_batch
+        if self.scheduler:
+            out["scheduler"] = self.scheduler
         return out
 
     def key(self) -> str:
@@ -155,6 +179,21 @@ class TrialSpec:
             return cls(**data)  # type: ignore[arg-type]
         except TypeError as exc:
             raise SpecError(f"bad trial spec: {exc}") from exc
+
+
+def _str_tuple(name: str, values: object) -> Tuple[str, ...]:
+    if isinstance(values, str):
+        values = [values]
+    if not isinstance(values, (list, tuple)):
+        raise SpecError(f"{name} must be a string or a list of strings")
+    out = []
+    for v in values:
+        if not isinstance(v, str):
+            raise SpecError(f"{name} entries must be strings, got {v!r}")
+        out.append(v)
+    if not out:
+        raise SpecError(f"{name} must be non-empty")
+    return tuple(out)
 
 
 def _int_tuple(name: str, values: object) -> Tuple[int, ...]:
@@ -194,10 +233,23 @@ class ScenarioSpec:
     churn: str = ""
     churn_steps: int = 0
     churn_batch: int = 1
+    #: Scheduler axis: one trial per entry (``""`` = plain synchronous
+    #: engine, otherwise a spec like ``random:1`` or ``adversarial:4``).
+    schedulers: Tuple[str, ...] = ("",)
 
     def __post_init__(self) -> None:
         if not self.name:
             raise SpecError("scenario name must be non-empty")
+        object.__setattr__(self, "schedulers", tuple(self.schedulers))
+        if not self.schedulers:
+            raise SpecError(f"scenario {self.name!r}: empty scheduler axis")
+        for sched in self.schedulers:
+            if not isinstance(sched, str):
+                raise SpecError(
+                    f"scenario {self.name!r}: scheduler entries must be "
+                    f"strings, got {sched!r}"
+                )
+            _check_scheduler(sched, context=self.name)
         has_placeholder = "{n}" in self.shape
         if has_placeholder and not self.sizes:
             raise SpecError(
@@ -263,22 +315,24 @@ class ScenarioSpec:
             for k in self.ks:
                 for l in self.ls:
                     for seed in self.seeds:
-                        trial = TrialSpec(
-                            scenario=self.name,
-                            shape=shape,
-                            k=k,
-                            l=l,
-                            seed=seed,
-                            algorithm=self.algorithm,
-                            placement=self.placement,
-                            measure_diameter=self.measure_diameter,
-                            churn=self.churn,
-                            churn_steps=self.churn_steps,
-                            churn_batch=self.churn_batch,
-                        )
-                        if trial.key() not in seen:
-                            seen.add(trial.key())
-                            out.append(trial)
+                        for scheduler in self.schedulers:
+                            trial = TrialSpec(
+                                scenario=self.name,
+                                shape=shape,
+                                k=k,
+                                l=l,
+                                seed=seed,
+                                algorithm=self.algorithm,
+                                placement=self.placement,
+                                measure_diameter=self.measure_diameter,
+                                churn=self.churn,
+                                churn_steps=self.churn_steps,
+                                churn_batch=self.churn_batch,
+                                scheduler=scheduler,
+                            )
+                            if trial.key() not in seen:
+                                seen.add(trial.key())
+                                out.append(trial)
         return out
 
     def to_dict(self) -> Dict[str, object]:
@@ -298,6 +352,8 @@ class ScenarioSpec:
             out["churn"] = self.churn
             out["churn_steps"] = self.churn_steps
             out["churn_batch"] = self.churn_batch
+        if self.schedulers != ("",):
+            out["schedulers"] = list(self.schedulers)
         return out
 
     @classmethod
@@ -317,7 +373,15 @@ class ScenarioSpec:
         }
         for axis in ("sizes", "ks", "ls", "seeds"):
             if axis in data:
-                kwargs[axis] = _int_tuple(axis, data[axis])
+                values = data[axis]
+                # An empty sizes list is valid (non-template shapes
+                # serialize it; to_dict always emits the key).
+                if axis == "sizes" and isinstance(values, (list, tuple)) and not values:
+                    kwargs[axis] = ()
+                    continue
+                kwargs[axis] = _int_tuple(axis, values)
+        if "schedulers" in data:
+            kwargs["schedulers"] = _str_tuple("schedulers", data["schedulers"])
         for scalar in (
             "algorithm",
             "placement",

@@ -17,25 +17,51 @@ from typing import Dict, Iterator, List
 
 
 class RoundCounter:
-    """Counts synchronous rounds, with nested named sections."""
+    """Counts synchronous rounds, with nested named sections.
+
+    Besides rounds, the counter tracks *activations* — individual
+    amoebot wake-ups.  Under the synchronous scheduler every amoebot
+    activates exactly once per round, so engines set
+    :attr:`activations_per_round` to the structure size and every tick
+    charges ``rounds * n_active`` activations automatically (the
+    invariant ``activations == n_active * rounds``).  Event-driven
+    engines (:mod:`repro.sched`) set it to zero and charge the real
+    per-epoch activation counts through :meth:`charge_activations`.
+    """
 
     def __init__(self) -> None:
         self._total = 0
+        self._activations = 0
         self._per_section: Counter = Counter()
         self._stack: List[str] = []
+        #: Activations charged implicitly per ticked round.  Owned by
+        #: whichever engine drives this counter.
+        self.activations_per_round = 0
 
     @property
     def total(self) -> int:
         """Total number of synchronous rounds elapsed."""
         return self._total
 
+    @property
+    def activations(self) -> int:
+        """Total number of amoebot activations elapsed."""
+        return self._activations
+
     def tick(self, rounds: int = 1) -> None:
         """Advance the clock by ``rounds`` synchronous rounds."""
         if rounds < 0:
             raise ValueError("cannot tick a negative number of rounds")
         self._total += rounds
+        self._activations += rounds * self.activations_per_round
         for name in self._stack:
             self._per_section[name] += rounds
+
+    def charge_activations(self, count: int) -> None:
+        """Charge ``count`` explicit activations (event-driven engines)."""
+        if count < 0:
+            raise ValueError("cannot charge a negative number of activations")
+        self._activations += count
 
     @contextlib.contextmanager
     def section(self, name: str) -> Iterator[None]:
@@ -59,8 +85,9 @@ class RoundCounter:
         return dict(self._per_section)
 
     def reset(self) -> None:
-        """Zero the clock and all section totals."""
+        """Zero the clock, the activation count and all section totals."""
         self._total = 0
+        self._activations = 0
         self._per_section.clear()
 
     def parallel(self) -> "ParallelGroup":
@@ -94,6 +121,7 @@ class ParallelGroup:
     def __init__(self, counter: RoundCounter):
         self._counter = counter
         self._max_branch = 0
+        self._max_act_branch = 0
         self._open = False
 
     def __enter__(self) -> "ParallelGroup":
@@ -103,7 +131,16 @@ class ParallelGroup:
     def __exit__(self, exc_type, exc, tb) -> None:
         self._open = False
         if exc_type is None:
-            self._counter.tick(self._max_branch)
+            # Charge rounds and activations independently: the final
+            # tick must not auto-charge activations on top of the
+            # rolled-back branch maxima.
+            apr = self._counter.activations_per_round
+            self._counter.activations_per_round = 0
+            try:
+                self._counter.tick(self._max_branch)
+            finally:
+                self._counter.activations_per_round = apr
+            self._counter.charge_activations(self._max_act_branch)
 
     @contextlib.contextmanager
     def branch(self) -> Iterator[None]:
@@ -111,12 +148,16 @@ class ParallelGroup:
         if not self._open:
             raise RuntimeError("branch() outside the parallel group")
         start = self._counter._total
+        act_start = self._counter._activations
         try:
             yield
         finally:
             used = self._counter._total - start
+            used_act = self._counter._activations - act_start
             self._max_branch = max(self._max_branch, used)
+            self._max_act_branch = max(self._max_act_branch, used_act)
             # Roll back: the final group tick charges the max once.  Keep
             # the per-section attribution of the branch (sections remain
             # informative even if they over-count parallel work).
             self._counter._total = start
+            self._counter._activations = act_start

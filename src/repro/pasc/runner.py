@@ -101,6 +101,9 @@ class PascResult:
 
     iterations: int
     rounds: int
+    #: Amoebot activations spent (equals ``n * rounds`` under the
+    #: synchronous engine; event-driven engines report real counts).
+    activations: int = 0
 
 
 TERMINATION_LABEL = "pasc:termination"
@@ -159,6 +162,7 @@ def run_pasc(
 
     iterations = 0
     start_rounds = engine.rounds.total
+    start_activations = engine.rounds.activations
     layout: Optional[CircuitLayout] = None
     # Integer set-ids, resolved once per partition-set index.  Derived
     # layouts keep the index object of their base, so one resolution
@@ -243,7 +247,11 @@ def run_pasc(
                 )
                 if not term_received[term_probe]:
                     break
-    return PascResult(iterations=iterations, rounds=engine.rounds.total - start_rounds)
+    return PascResult(
+        iterations=iterations,
+        rounds=engine.rounds.total - start_rounds,
+        activations=engine.rounds.activations - start_activations,
+    )
 
 
 def _iteration_layout(

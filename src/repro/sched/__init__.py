@@ -1,0 +1,37 @@
+"""Event-driven activation scheduling (ROADMAP item 4).
+
+The synchronous round model of the paper is one point in a family of
+activation models.  This package makes the scheduler an explicit,
+swappable axis: :class:`ActivationEngine` drives the compiled circuit
+arrays from a priority queue of per-amoebot activation events, and a
+:class:`Scheduler` decides who wakes up when — lock-step
+(:class:`SynchronousScheduler`), Poisson clocks
+(:class:`RandomSequentialScheduler`), a delay adversary with a fairness
+bound (:class:`AdversarialDelayScheduler`), or heterogeneous rates
+(:class:`WeightedScheduler`).  Algorithm outcomes are preserved via
+round synchronization; costs (activations, effective rounds,
+retransmissions under faults) become the measured quantities.
+"""
+
+from repro.sched.engine import ActivationEngine, ActivationStats
+from repro.sched.schedulers import (
+    SCHEDULER_NAMES,
+    AdversarialDelayScheduler,
+    RandomSequentialScheduler,
+    Scheduler,
+    SynchronousScheduler,
+    WeightedScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "ActivationEngine",
+    "ActivationStats",
+    "Scheduler",
+    "SynchronousScheduler",
+    "RandomSequentialScheduler",
+    "AdversarialDelayScheduler",
+    "WeightedScheduler",
+    "make_scheduler",
+    "SCHEDULER_NAMES",
+]

@@ -146,6 +146,11 @@ class CircuitEngine:
         self.structure = structure
         self.channels = channels
         self.rounds = counter if counter is not None else RoundCounter()
+        # Synchronous semantics: every amoebot activates once per round,
+        # so the counter auto-charges n activations per tick (the
+        # invariant ``activations == n_active * rounds``).  Event-driven
+        # subclasses (repro.sched) zero this and charge real counts.
+        self.rounds.activations_per_round = len(structure)
         #: Frozen-layout cache, keyed by wiring fingerprints.  Bound to
         #: this engine's structure (directly, or via a structure-scoped
         #: view of a shared cache), so keys never include the structure.
@@ -172,6 +177,7 @@ class CircuitEngine:
         is therefore mandatory unless the caller cleared the old cache.
         """
         self.structure = structure
+        self.rounds.activations_per_round = len(structure)
         if layouts is not None:
             self.layouts = layouts
         else:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Set
+from typing import Iterable, Optional, Set, Union
 
 from repro.grid.coords import Node
 from repro.grid.structure import AmoebotStructure
@@ -28,11 +28,16 @@ class SPFSolution:
     algorithm:
         ``"spt"`` (Section 4) for ``k = 1``; ``"forest"`` (Section 5)
         otherwise.
+    activations:
+        Amoebot activations spent; ``n * rounds`` under the synchronous
+        engine, the real wake-up count under an event-driven one
+        (:mod:`repro.sched`).
     """
 
     forest: Forest
     rounds: int
     algorithm: str
+    activations: int = 0
 
 
 def solve_spf(
@@ -41,6 +46,7 @@ def solve_spf(
     destinations: Iterable[Node],
     engine: Optional[CircuitEngine] = None,
     allow_holes: bool = False,
+    scheduler: Optional[Union[str, object]] = None,
 ) -> SPFSolution:
     """Solve (k, l)-SPF on an amoebot structure.
 
@@ -54,14 +60,27 @@ def solve_spf(
     circuit-free BFS wave instead: still a correct (S, D)-shortest path
     forest, but at ``Θ(max_d dist(S, d))`` rounds.  The returned
     ``algorithm`` field says which path was taken.
+
+    ``scheduler`` (a name like ``"random:3"`` or a
+    :class:`~repro.sched.schedulers.Scheduler` instance) runs the solve
+    on an event-driven :class:`~repro.sched.ActivationEngine` instead of
+    the plain synchronous engine — same forest, measured activation
+    cost.  Mutually exclusive with passing an ``engine``.
     """
     source_set = set(sources)
     dest_set = set(destinations)
     if not source_set or not dest_set:
         raise ValueError("sources and destinations must be non-empty")
+    if scheduler is not None:
+        if engine is not None:
+            raise ValueError("pass either engine or scheduler, not both")
+        from repro.sched import ActivationEngine
+
+        engine = ActivationEngine(structure, scheduler=scheduler)
     if engine is None:
         engine = CircuitEngine(structure)
     start = engine.rounds.total
+    start_activations = engine.rounds.activations
 
     from repro.grid.holes import has_holes
 
@@ -89,6 +108,7 @@ def solve_spf(
         forest=forest,
         rounds=engine.rounds.total - start,
         algorithm=algorithm,
+        activations=engine.rounds.activations - start_activations,
     )
 
 

@@ -338,8 +338,10 @@ def _merge_side(
 
     while marks:
         # Termination test + one PASC iteration for the parity pairing.
-        engine.rounds.tick(1)  # beep: are marked amoebots left?
-        engine.rounds.tick(2)  # one PASC iteration on P with M
+        # Charged through the engine (not the raw counter) so an
+        # event-driven engine simulates the activation epochs too.
+        engine.charge_local_round(1)  # beep: are marked amoebots left?
+        engine.charge_local_round(2)  # one PASC iteration on P with M
         # M' = the odd-parity marks (every other one, starting with the
         # westernmost); pair the regions around each of them.
         with engine.rounds.parallel() as group:
@@ -360,7 +362,7 @@ def _merge_side(
             rebuilt.append(groups[-1])
         groups = rebuilt
         marks = new_marks
-    engine.rounds.tick(1)  # final silence on the termination circuit
+    engine.charge_local_round(1)  # final silence on the termination circuit
     return groups[0], consumed
 
 

@@ -23,6 +23,11 @@ Phase 2 — the shadowed remainder ``B'' = B \\ vis(P)``:
   48/49); ``s_Z`` hooks onto its closest-to-``P`` visible neighbor and a
   shortest path tree with source ``s_Z`` covers ``Z`` (Theorem 39).
   All components run in parallel.
+
+Scheduler contract: all round costs are charged through the engine's
+hooks (``run_round_indexed`` / ``charge_local_round``), so the
+propagation runs unchanged under the event-driven engines of
+:mod:`repro.sched` — delayed amoebots delay epochs, never outcomes.
 """
 
 from __future__ import annotations

@@ -16,6 +16,13 @@ Pipeline (Theorem 39, ``O(log l)`` rounds overall):
    on the source's component extracts the shortest path tree and prunes
    subtrees without destinations.  Components not containing the source
    hear no signals during that pass and drop out.
+
+Scheduler contract: every step runs through the engine's round hooks
+(``run_round_indexed`` for beep rounds, ``charge_local_round`` for pure
+local recomputation), never the raw counter — so executing on an
+event-driven :class:`~repro.sched.ActivationEngine` simulates one
+activation epoch per round and the algorithm is correct under any
+scheduler via round synchronization.
 """
 
 from __future__ import annotations

@@ -74,6 +74,14 @@ class TestFaultInjector:
         with pytest.raises(ValueError):
             FaultInjector(drop_prob=1.5)
 
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError, match="drop probability"):
+            FaultInjector(drop_prob=-0.1)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            FaultInjector(drop_prob=0.5, seed=-1)
+
 
 class TestFaultyRepair:
     @pytest.mark.parametrize("drop", [0.3, 0.7])
