@@ -1,0 +1,360 @@
+"""Backend kernel contract (CI numpy leg) and BENCH_numpy_kernel.json scribe.
+
+The numpy execution backend promises two things these benchmarks pin
+down:
+
+* *bit-identity* — every lowered kernel (grid-index build, wiring
+  compilation, round execution) produces exactly the structures the
+  pure-Python reference produces, so round totals and forests are
+  backend-invariant;
+* *kernel speedups at scale* — the array kernels win where arrays can
+  win: batched round execution, component labeling, and from-scratch
+  index builds on the ``large``/``huge`` random tiers.  End-to-end
+  solves at n = 200 stay Python-bound (layout construction dominates;
+  Amdahl), which is why the gate keys record honest near-1x totals
+  while the kernel rows record the real wins.
+
+Run quick in CI via ``BENCH_QUICK=1`` (shrinks the sweep sizes).
+Running the module as a script measures each kernel under both
+backends and writes ``BENCH_numpy_kernel.json`` — ``before_s`` is the
+python median, ``after_s`` the numpy median — which doubles as a
+``check_regression.py`` baseline for the ``*_np`` gate keys.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+#: Sizes for the kernel sweeps: the CI-sized ``large`` tier and the
+#: n = 10^5 ``huge`` tier the vectorized generator unlocked.
+N_LARGE = 2000 if QUICK else 20000
+N_HUGE = 10000 if QUICK else 100000
+ROUNDS_BATCH = 50
+SEED = 11
+
+_STRUCTURES: Dict[int, object] = {}
+
+
+def _structure(n: int):
+    """The seeded random structure of size ``n`` (generated once)."""
+    from repro.workloads import build_structure
+
+    if n not in _STRUCTURES:
+        _STRUCTURES[n] = build_structure(f"random:{n}:{SEED}")
+    return _STRUCTURES[n]
+
+
+# ----------------------------------------------------------------------
+# kernels (run under whatever backend is currently resolved; each
+# returns the wall clock of the kernel section alone, with structure
+# generation, layout assignment, and other Python-bound setup excluded
+# so the rows compare the lowered kernels and nothing else)
+# ----------------------------------------------------------------------
+
+_COMPILED: Dict[Tuple[int, str], object] = {}
+
+
+def _compiled_global(n: int):
+    """The frozen global-circuit layout of size ``n`` per backend."""
+    from repro.backend import resolve_backend
+    from repro.sim.circuits import CircuitLayout
+
+    key = (n, resolve_backend())
+    if key not in _COMPILED:
+        structure = _structure(n)
+        structure.grid_index()
+        layout = CircuitLayout(structure, 2)
+        layout.assign_global("g", 0)
+        _COMPILED[key] = layout.compiled()
+    return _COMPILED[key]
+
+
+def _kernel_grid_build(n: int) -> float:
+    from repro.grid.compiled import GridIndex
+
+    nodes = _structure(n).nodes
+    start = time.perf_counter()
+    GridIndex(nodes)
+    return time.perf_counter() - start
+
+
+def _kernel_compile(n: int) -> float:
+    from repro.sim.circuits import CircuitLayout
+
+    structure = _structure(n)
+    structure.grid_index()
+    layout = CircuitLayout(structure, 2)
+    layout.assign_global("g", 0)
+    start = time.perf_counter()
+    layout.freeze()
+    return time.perf_counter() - start
+
+
+def _kernel_rounds(n: int) -> float:
+    from repro.backend import numpy_or_none, resolve_backend
+
+    compiled = _compiled_global(n)
+    size = len(compiled.comp)
+    # Listen sets as each backend's consumers hold them: index lists on
+    # the python path, an index ndarray on the numpy path (execute
+    # accepts either; converting a 10^5-entry list every round would
+    # charge the kernel for the caller's representation).
+    if resolve_backend() == "numpy":
+        np = numpy_or_none()
+        listens = np.arange(size, dtype=np.intp)
+    else:
+        listens = list(range(size))
+    start = time.perf_counter()
+    for i in range(ROUNDS_BATCH):
+        compiled.execute([i % size], listens)
+    return time.perf_counter() - start
+
+
+def _kernel_generator(n: int) -> float:
+    from repro.workloads import random_hole_free
+
+    start = time.perf_counter()
+    random_hole_free(n, seed=SEED)
+    return time.perf_counter() - start
+
+
+def _huge_tier() -> None:
+    """Complete the ``huge`` tier: generate, index, compile, run rounds."""
+    from repro.sim.circuits import CircuitLayout
+    from repro.workloads import build_structure
+
+    structure = build_structure("huge" if not QUICK else f"random:{N_HUGE}:{SEED}")
+    structure.grid_index()
+    layout = CircuitLayout(structure, 2)
+    layout.assign_global("g", 0)
+    compiled = layout.compiled()
+    listens = list(range(len(compiled.comp)))
+    for i in range(ROUNDS_BATCH):
+        compiled.execute([i % len(compiled.comp)], listens)
+
+
+# ----------------------------------------------------------------------
+# pytest smokes (CI numpy-leg perf-smoke job)
+# ----------------------------------------------------------------------
+
+
+def _skip_without_numpy():
+    import pytest
+
+    from repro.backend import numpy_or_none
+
+    if numpy_or_none() is None:
+        pytest.skip("numpy not installed")
+
+
+def test_round_kernel_is_bit_identical_across_backends():
+    _skip_without_numpy()
+    from repro.backend import use_backend
+    from repro.sim.circuits import CircuitLayout
+
+    structure = _structure(N_LARGE // 10)
+    results = {}
+    for backend in ("python", "numpy"):
+        with use_backend(backend):
+            layout = CircuitLayout(structure, 2)
+            layout.assign_global("g", 0)
+            compiled = layout.compiled()
+            listens = list(range(len(compiled.comp)))
+            results[backend] = [
+                list(compiled.execute([i], listens)) for i in range(0, 60, 7)
+            ]
+    assert results["python"] == results["numpy"], (
+        "round kernel diverged between backends; beep propagation must be "
+        "bit-identical"
+    )
+
+
+def test_solve_totals_are_backend_invariant():
+    _skip_without_numpy()
+    from repro.backend import use_backend
+    from repro.spf.api import solve_spf
+
+    structure = _structure(N_LARGE // 10)
+    nodes = sorted(structure.nodes)
+    solutions = {}
+    for backend in ("python", "numpy"):
+        with use_backend(backend):
+            solutions[backend] = solve_spf(structure, nodes[:1], list(structure.nodes))
+    py, nb = solutions["python"], solutions["numpy"]
+    assert py.rounds == nb.rounds, (
+        f"round totals diverged: python {py.rounds} != numpy {nb.rounds}; "
+        "the numpy backend must not change a single round"
+    )
+    assert py.forest.parent == nb.forest.parent, (
+        "forests diverged across backends; lowering must be bit-identical"
+    )
+
+
+def test_large_tier_builds_under_numpy():
+    _skip_without_numpy()
+    from repro.backend import use_backend
+    from repro.workloads import SCALE_TIERS, build_structure
+
+    spec = f"random:{N_LARGE}:{SEED}" if QUICK else "large"
+    assert "large" in SCALE_TIERS and "huge" in SCALE_TIERS
+    with use_backend("numpy"):
+        structure = build_structure(spec)
+        index = structure.grid_index()
+    assert len(structure.nodes) == N_LARGE
+    assert index.n_slots == N_LARGE
+
+
+# ----------------------------------------------------------------------
+# baseline scribe (python benchmarks/bench_numpy_kernel.py)
+# ----------------------------------------------------------------------
+
+#: name -> (kernel, repeats, detail).  Kernel rows measure under BOTH
+#: backends (before_s = python, after_s = numpy); the huge-tier rows
+#: repeat once (generation dominates and is already the measured
+#: quantity).
+KERNELS: Dict[str, Tuple[Callable[[], float], int, Dict[str, object]]] = {
+    "np_grid_build_n20000": (
+        lambda: _kernel_grid_build(N_LARGE),
+        3,
+        {"kernel": "GridIndex build", "n": N_LARGE},
+    ),
+    "np_grid_build_n100000": (
+        lambda: _kernel_grid_build(N_HUGE),
+        1,
+        {"kernel": "GridIndex build", "n": N_HUGE},
+    ),
+    "np_compile_n100000": (
+        lambda: _kernel_compile(N_HUGE),
+        1,
+        {"kernel": "global-circuit compile (edges + components)", "n": N_HUGE},
+    ),
+    "np_rounds_n20000_x50": (
+        lambda: _kernel_rounds(N_LARGE),
+        3,
+        {"kernel": f"{ROUNDS_BATCH} global-circuit rounds", "n": N_LARGE},
+    ),
+    "np_rounds_n100000_x50": (
+        lambda: _kernel_rounds(N_HUGE),
+        1,
+        {"kernel": f"{ROUNDS_BATCH} global-circuit rounds", "n": N_HUGE},
+    ),
+    "np_generator_n20000": (
+        lambda: _kernel_generator(N_LARGE),
+        3,
+        {"kernel": "random_hole_free growth", "n": N_LARGE},
+    ),
+}
+
+#: check_regression.py gate keys measured end to end under the numpy
+#: backend only (before_s comes from the python twin's committed
+#: baseline row; the totals at n = 200 are Python-bound either way).
+GATE_KEYS = (
+    "pasc_chain_m1024_np",
+    "sssp_random200_np",
+    "forest_random200_k4_np",
+    "sssp_random2000_np",
+)
+
+
+def _median_under(backend: str, kernel: Callable[[], float], repeats: int) -> float:
+    from repro.backend import use_backend
+
+    with use_backend(backend):
+        kernel()  # warm-up: imports, caches, structure generation
+        runs: List[float] = []
+        for _ in range(repeats):
+            runs.append(round(kernel(), 6))
+    return statistics.median(runs)
+
+
+def main(path: str = "BENCH_numpy_kernel.json") -> int:
+    """Measure every kernel under both backends; write the baseline."""
+    from repro.backend import require_numpy, use_backend
+    from benchmarks.check_regression import PHASES, WORKLOADS
+
+    require_numpy()
+    workloads: Dict[str, Dict[str, object]] = {}
+    for name, (kernel, repeats, detail) in KERNELS.items():
+        before = _median_under("python", kernel, repeats)
+        after = _median_under("numpy", kernel, repeats)
+        workloads[name] = {
+            "before_s": before,
+            "after_s": after,
+            "speedup": round(before / max(after, 1e-9), 2),
+            "backend": "numpy",
+            "detail": detail,
+        }
+        print(
+            f"measured {name}: python {before:.3f}s -> numpy {after:.3f}s "
+            f"({workloads[name]['speedup']}x)"
+        )
+
+    # The huge tier, end to end, numpy only: its point is *completing*.
+    start = time.perf_counter()
+    with use_backend("numpy"):
+        _huge_tier()
+    elapsed = round(time.perf_counter() - start, 6)
+    workloads["huge_tier_np"] = {
+        "after_s": elapsed,
+        "backend": "numpy",
+        "detail": {
+            "tier": "huge",
+            "spec": "random:100000:11",
+            "nodes": N_HUGE,
+            "kernel": f"generate + index + compile + {ROUNDS_BATCH} rounds",
+        },
+    }
+    print(f"measured huge_tier_np: {elapsed:.3f}s (n = {N_HUGE})")
+
+    # End-to-end gate keys, straight from the regression harness so the
+    # committed after_s budgets match what the gate will re-measure.
+    for name in GATE_KEYS:
+        backend, workload = WORKLOADS[name]
+        with use_backend(backend):
+            workload()  # warm-up
+            runs = []
+            phase_runs: Dict[str, List[float]] = {phase: [] for phase in PHASES}
+            for _ in range(3):
+                start = time.perf_counter()
+                phases = workload()
+                runs.append(round(time.perf_counter() - start, 6))
+                for phase in PHASES:
+                    phase_runs[phase].append(round(phases[phase], 6))
+        workloads[name] = {
+            "after_s": statistics.median(runs),
+            "backend": backend,
+        }
+        for phase in PHASES:
+            workloads[name][phase] = statistics.median(phase_runs[phase])
+        print(f"measured {name}: median {workloads[name]['after_s']:.3f}s")
+
+    payload = {
+        "description": (
+            "Python-vs-numpy kernel medians (before_s = python, after_s = "
+            "numpy) on the seeded random tiers, plus numpy-backend gate "
+            "keys for check_regression.py.  Kernel rows show where arrays "
+            "win (rounds, components, index builds at n >= 2*10^4); the "
+            "n = 200 gate keys stay Python-bound and honest."
+        ),
+        "instance": {"seed": SEED, "rounds_batch": ROUNDS_BATCH},
+        "workloads": workloads,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

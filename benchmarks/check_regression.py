@@ -39,7 +39,7 @@ import platform
 import statistics
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 # Runnable as a plain script (`python benchmarks/check_regression.py`):
 # the repository root must be importable for the benchmark modules.
@@ -103,18 +103,27 @@ def _sched(spec: str) -> Dict[str, float]:
     return {"build_s": result["build_s"], "rounds_s": result["rounds_s"]}
 
 
-#: Workload name -> zero-argument callable returning the per-phase wall
-#: clock: ``build_s`` (workload/structure/index construction) and
-#: ``rounds_s`` (algorithm execution).  Names must match the
-#: ``workloads`` keys of the committed baseline JSON.
-WORKLOADS: Dict[str, Callable[[], Dict[str, float]]] = {
-    "pasc_chain_m256": lambda: _pasc_chain(256),
-    "pasc_chain_m1024": lambda: _pasc_chain(1024),
-    "primitives_n400_q16": lambda: _primitive_rounds(16),
-    "sssp_random200": lambda: _spf(200, seed=7, k=1),
-    "forest_random200_k4": lambda: _spf(200, seed=7, k=4),
-    "sched_sync_random200": lambda: _sched("sync"),
-    "sched_random_random200": lambda: _sched("random:1"),
+#: Workload name -> (backend, zero-argument callable) returning the
+#: per-phase wall clock: ``build_s`` (workload/structure/index
+#: construction) and ``rounds_s`` (round execution).  Names must match
+#: the ``workloads`` keys of the committed baseline JSON.  Each
+#: workload is pinned to its backend — the python and numpy variants
+#: gate as *separate* keys (``sssp_random200`` vs ``sssp_random200_np``)
+#: so a numpy regression can never hide behind a python improvement or
+#: vice versa; numpy keys are skipped (not failed) on a numpy-free
+#: install.
+WORKLOADS: Dict[str, Tuple[str, Callable[[], Dict[str, float]]]] = {
+    "pasc_chain_m256": ("python", lambda: _pasc_chain(256)),
+    "pasc_chain_m1024": ("python", lambda: _pasc_chain(1024)),
+    "primitives_n400_q16": ("python", lambda: _primitive_rounds(16)),
+    "sssp_random200": ("python", lambda: _spf(200, seed=7, k=1)),
+    "forest_random200_k4": ("python", lambda: _spf(200, seed=7, k=4)),
+    "sched_sync_random200": ("python", lambda: _sched("sync")),
+    "sched_random_random200": ("python", lambda: _sched("random:1")),
+    "pasc_chain_m1024_np": ("numpy", lambda: _pasc_chain(1024)),
+    "sssp_random200_np": ("numpy", lambda: _spf(200, seed=7, k=1)),
+    "forest_random200_k4_np": ("numpy", lambda: _spf(200, seed=7, k=4)),
+    "sssp_random2000_np": ("numpy", lambda: _spf(2000, seed=11, k=1)),
 }
 
 #: The phase keys every workload reports, in report order.
@@ -127,24 +136,36 @@ def measure(repeats: int) -> Dict[str, Dict[str, object]]:
     Besides the gated total (``median_s``), each workload's build and
     round-execution phases are recorded separately so a regression
     localizes to the layer that caused it (structure/index/layout
-    construction versus round execution).
+    construction versus round execution).  Every row records the
+    backend it ran under.
     """
+    from repro.backend import numpy_or_none, use_backend
+
     results: Dict[str, Dict[str, object]] = {}
-    for name, workload in WORKLOADS.items():
-        workload()  # warm-up: imports, caches, pyc compilation
-        runs: List[float] = []
-        phase_runs: Dict[str, List[float]] = {phase: [] for phase in PHASES}
-        for _ in range(repeats):
-            start = time.perf_counter()
-            phases = workload()
-            runs.append(round(time.perf_counter() - start, 6))
-            for phase in PHASES:
-                phase_runs[phase].append(round(phases[phase], 6))
-        results[name] = {"median_s": statistics.median(runs), "runs_s": runs}
+    for name, (backend, workload) in WORKLOADS.items():
+        if backend == "numpy" and numpy_or_none() is None:
+            print(f"note: numpy not installed; skipping {name!r}")
+            continue
+        with use_backend(backend):
+            workload()  # warm-up: imports, caches, pyc compilation
+            runs: List[float] = []
+            phase_runs: Dict[str, List[float]] = {phase: [] for phase in PHASES}
+            for _ in range(repeats):
+                start = time.perf_counter()
+                phases = workload()
+                runs.append(round(time.perf_counter() - start, 6))
+                for phase in PHASES:
+                    phase_runs[phase].append(round(phases[phase], 6))
+        results[name] = {
+            "median_s": statistics.median(runs),
+            "runs_s": runs,
+            "backend": backend,
+        }
         for phase in PHASES:
             results[name][phase] = statistics.median(phase_runs[phase])
         print(
-            f"measured {name}: median {results[name]['median_s']:.3f}s "
+            f"measured {name} [{backend}]: median "
+            f"{results[name]['median_s']:.3f}s "
             f"(build {results[name]['build_s']:.3f}s, "
             f"rounds {results[name]['rounds_s']:.3f}s) {runs}"
         )
@@ -217,6 +238,8 @@ def update_baseline(path: str, fresh: Dict[str, Dict[str, object]]) -> int:
     for name, result in fresh.items():
         entry = workloads.setdefault(name, {})
         entry["after_s"] = float(result["median_s"])
+        if "backend" in result:
+            entry["backend"] = result["backend"]
         for phase in PHASES:
             if phase in result:
                 entry[phase] = float(result[phase])
@@ -261,8 +284,9 @@ def main(argv: List[str] | None = None) -> int:
     baselines = args.baseline
     if baselines is None:
         baselines = ["BENCH_grid_index.json"]
-        if os.path.exists("BENCH_sched.json"):
-            baselines.append("BENCH_sched.json")
+        for extra in ("BENCH_sched.json", "BENCH_numpy_kernel.json"):
+            if os.path.exists(extra):
+                baselines.append(extra)
 
     fresh = measure(args.repeats)
     if args.update_baseline:

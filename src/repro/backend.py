@@ -1,0 +1,125 @@
+"""Execution-backend selection: pure Python versus NumPy array kernels.
+
+The compiled layers (:mod:`repro.sim.compiled`,
+:mod:`repro.grid.compiled`) store flat integer tables either way; the
+*backend* decides how those tables are traversed.  ``"python"`` iterates
+them in pure-Python loops — the equivalence-tested reference that works
+on any interpreter with no dependencies.  ``"numpy"`` lowers the same
+tables onto ndarray kernels (``bincount`` beep propagation, sorted-array
+mate resolution, vectorized component labeling, ``searchsorted`` grid
+neighbor construction) and is bit-identical by construction: component
+labels, round results, and grid ids match the Python backend exactly,
+which the equivalence suite in ``tests/test_compiled_equivalence.py``
+asserts.
+
+NumPy is an *optional* dependency (the ``perf`` extra): every selection
+point accepts ``"auto"``, which resolves to ``"numpy"`` exactly when
+numpy imports and to ``"python"`` otherwise, so a numpy-free install
+never changes behavior.  Selection is explicit at three levels:
+
+* per engine — ``CircuitEngine(structure, backend="numpy")``;
+* per process — :func:`set_default_backend` (the CLI's ``--backend``);
+* per block — the :func:`use_backend` context manager (tests pin the
+  seed round totals under ``backend="numpy"`` this way).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: Names accepted by every ``backend=`` parameter.
+BACKEND_NAMES = ("auto", "python", "numpy")
+
+_UNRESOLVED = object()
+_numpy_module = _UNRESOLVED
+
+#: Process-wide default, consulted whenever a selection point receives
+#: ``None``.  ``"auto"`` keeps resolution lazy: numpy availability is
+#: probed at use, not at import.
+_default_backend = "auto"
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when ``backend="numpy"`` is forced but numpy is missing."""
+
+
+def numpy_or_none():
+    """The ``numpy`` module, or ``None`` when it cannot be imported.
+
+    The import is attempted once per process and cached (including the
+    failure), so hot paths may call this freely.
+    """
+    global _numpy_module
+    if _numpy_module is _UNRESOLVED:
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+        _numpy_module = numpy
+    return _numpy_module
+
+
+def require_numpy():
+    """The ``numpy`` module; raises :class:`BackendUnavailableError`."""
+    np = numpy_or_none()
+    if np is None:
+        raise BackendUnavailableError(
+            "backend 'numpy' requested but numpy is not importable; "
+            "install the perf extra (pip install 'repro[perf]') or use "
+            "backend='python'"
+        )
+    return np
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Resolve a backend request to ``"python"`` or ``"numpy"``.
+
+    ``None`` consults the process default; ``"auto"`` picks numpy iff it
+    imports.  Forcing ``"numpy"`` without numpy installed raises
+    :class:`BackendUnavailableError` — an explicit request must never
+    degrade silently.
+    """
+    if name is None:
+        name = _default_backend
+    if name == "auto":
+        return "numpy" if numpy_or_none() is not None else "python"
+    if name == "python":
+        return "python"
+    if name == "numpy":
+        require_numpy()
+        return "numpy"
+    raise ValueError(f"unknown backend {name!r} (choose from {', '.join(BACKEND_NAMES)})")
+
+
+def default_backend() -> str:
+    """The process default, resolved to ``"python"`` or ``"numpy"``."""
+    return resolve_backend(None)
+
+
+def set_default_backend(name: str) -> None:
+    """Set the process-wide default backend (``auto``/``python``/``numpy``).
+
+    Validates eagerly — setting ``"numpy"`` on a numpy-free install
+    fails here rather than at the first compile.
+    """
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown backend {name!r} (choose from {', '.join(BACKEND_NAMES)})"
+        )
+    if name == "numpy":
+        require_numpy()
+    global _default_backend
+    _default_backend = name
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Temporarily set the process default backend (tests, benches)."""
+    global _default_backend
+    previous = _default_backend
+    set_default_backend(name)
+    try:
+        yield resolve_backend(name)
+    finally:
+        _default_backend = previous

@@ -31,6 +31,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.backend import BACKEND_NAMES, BackendUnavailableError, set_default_backend
 from repro.grid.directions import Axis
 from repro.grid.oracle import structure_diameter
 from repro.grid.structure import AmoebotStructure
@@ -407,6 +408,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Shortest path forests in programmable matter (PODC 2024 reproduction)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default="auto",
+        help="execution backend for compiled layouts and grid indexes "
+        "(auto: numpy when importable; results are bit-identical either way)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     solve = sub.add_parser("solve", help="solve a (k, l)-SPF instance")
@@ -529,6 +537,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        set_default_backend(args.backend)
+    except (ValueError, BackendUnavailableError) as exc:
+        raise SystemExit(str(exc)) from exc
     try:
         return args.func(args)
     except BrokenPipeError:  # e.g. `repro campaign summarize | head`

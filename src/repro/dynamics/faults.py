@@ -119,6 +119,11 @@ class FaultInjector:
         (pure array work, no extra synchronous round) and every
         listened set that hears in the clean run but not in the faulty
         one increments :attr:`FaultStats.missed_hears`.
+
+        Backend-agnostic: the result bits come back as whatever the
+        compilation's backend produces (list of bools or a boolean
+        ndarray) and the detection diff handles either — under numpy it
+        is a single vectorized ``&``/``sum`` pass.
         """
         all_beeps = list(beeps)
         ids = compiled.index.ids
@@ -127,7 +132,25 @@ class FaultInjector:
         if len(kept) != len(all_beeps):
             self.stats.faulty_rounds += 1
             clean = compiled.execute(all_beeps, listen)
-            self.stats.missed_hears += sum(
-                1 for should, did in zip(clean, result) if should and not did
-            )
+            self.stats.missed_hears += missed_hears(clean, result)
         return result
+
+
+def missed_hears(clean, faulty) -> int:
+    """How many positions hear in ``clean`` but not in ``faulty``.
+
+    Accepts list-of-bool and boolean-ndarray bit vectors in any
+    combination (the two executions always share a backend in practice,
+    but the diff does not rely on it).  The vectors must describe the
+    same listen list; diverging lengths mean the caller compared rounds
+    of different layouts, which would silently miscount — rejected.
+    """
+    if len(clean) != len(faulty):
+        raise ValueError(
+            "cannot diff round results of different lengths "
+            f"({len(clean)} != {len(faulty)}); both rounds must use the "
+            "same layout and listen list"
+        )
+    if type(clean) is list or type(faulty) is list:
+        return sum(1 for should, did in zip(clean, faulty) if should and not did)
+    return int((clean & ~faulty).sum())

@@ -47,6 +47,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
+from repro.backend import resolve_backend
 from repro.grid.coords import Node
 from repro.grid.directions import OPPOSITE_VALUES as _OPPOSITE, Direction
 from repro.grid.structure import AmoebotStructure
@@ -151,12 +152,21 @@ class CircuitLayout:
     (:meth:`pin_assignments`, :meth:`partition_sets`).
     """
 
-    def __init__(self, structure: AmoebotStructure, channels: int):
+    def __init__(
+        self,
+        structure: AmoebotStructure,
+        channels: int,
+        backend: Optional[str] = None,
+    ):
         if channels < 1:
             raise PinConfigurationError("pin budget c must be at least 1")
         self._structure = structure
         self._gi = structure.grid_index()
         self._channels = channels
+        #: Execution backend the compiled arrays run under; resolved at
+        #: construction (``None`` -> process default) and inherited by
+        #: every derived layout so a derive chain never mixes backends.
+        self._backend = resolve_backend(backend)
         #: (node_id, label) -> slot.  Slots are stable for the lifetime
         #: of a layout (a released set keeps its slot, marked dead) and
         #: are compacted away only by a full relower.
@@ -368,6 +378,7 @@ class CircuitLayout:
         clone._structure = self._structure
         clone._gi = self._gi
         clone._channels = self._channels
+        clone._backend = self._backend
         clone._key_slot = dict(self._key_slot)
         clone._ids = list(self._ids)
         clone._alive = bytearray(self._alive)
@@ -625,7 +636,11 @@ class CircuitLayout:
         if self._n_alive != len(self._ids):
             self._compact()
         self._compiled = compile_wiring_ids(
-            self._ids, self._pin_slot, self._channels, self._gi.mate_edges()
+            self._ids,
+            self._pin_slot,
+            self._channels,
+            self._gi.mate_edges(),
+            backend=self._backend,
         )
         LAYOUT_STATS.full_builds += 1
         LAYOUT_STATS.compiles += 1
@@ -651,7 +666,11 @@ class CircuitLayout:
             # still skipped — that is the derive() contract.
             self._compact()
             self._compiled = compile_wiring_ids(
-                self._ids, self._pin_slot, self._channels, self._gi.mate_edges()
+                self._ids,
+                self._pin_slot,
+                self._channels,
+                self._gi.mate_edges(),
+                backend=self._backend,
             )
         else:
             # Universe intact: slots coincide with the base index's

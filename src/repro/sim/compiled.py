@@ -19,6 +19,19 @@ index's mirror-edge table; :func:`compile_wiring` remains as the
 tuple-keyed reference implementation the equivalence tests compare
 against.
 
+**Backends.**  The integer tables admit two traversal strategies
+(:mod:`repro.backend`).  Under ``backend="python"`` every pass is a
+pure-Python loop — the dependency-free reference.  Under
+``backend="numpy"`` the same lowering runs on ndarray kernels: pin
+mates resolve by ``searchsorted`` over the sorted pin array, connected
+components by vectorized min-label propagation with pointer jumping,
+``execute`` becomes one boolean scatter plus one gather, and
+``component_sizes`` a single ``bincount``.  Both backends produce
+*bit-identical* results — the numpy component labeling converges to the
+minimal member index of each circuit, which is exactly the label order
+the Python union-find assigns — so round counts, forests, and every
+pinned total are unchanged by the backend switch.
+
 Compiled layouts are immutable and cached on their layout; deriving a
 layout with an unchanged partition-set universe re-uses the base
 layout's :class:`PartitionSetIndex` *object*, so integer set-ids held by
@@ -30,6 +43,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.backend import require_numpy, resolve_backend
 from repro.sim.errors import PinConfigurationError
 from repro.sim.pins import PartitionSetId, Pin
 
@@ -98,6 +112,15 @@ class PartitionSetIndex:
         return result
 
 
+def _index_array(values, np):
+    """``values`` (ndarray / sequence / iterable of ints) as an intp array."""
+    if isinstance(values, np.ndarray):
+        return values
+    if isinstance(values, (list, tuple, range)):
+        return np.asarray(values, dtype=np.intp)
+    return np.fromiter(values, dtype=np.intp)
+
+
 class CompiledLayout:
     """A frozen layout lowered to flat integer arrays.
 
@@ -107,18 +130,28 @@ class CompiledLayout:
         Partition set <-> integer id mapping.
     adj:
         ``adj[i]`` lists the integer ids of the sets wired to set ``i``
-        by external links (one entry per wired link endpoint).
+        by external links (one entry per wired link endpoint).  Under
+        the numpy backend the rows are materialized lazily from the
+        compiled edge arrays — only the incremental derive path reads
+        them.
     comp:
-        Dense circuit label per set id (``0 .. n_components - 1``).
+        Dense circuit label per set id (``0 .. n_components - 1``); a
+        plain list under the Python backend, an ``intp`` ndarray under
+        numpy.  Labels agree bit for bit between backends.
     n_components:
         Number of circuits; every label in that range is non-empty.
+    backend:
+        ``"python"`` or ``"numpy"`` — how rounds over this compilation
+        execute.
     """
 
     __slots__ = (
         "index",
-        "adj",
         "comp",
         "n_components",
+        "backend",
+        "_adj",
+        "_edges",
         "_starts",
         "_members",
         "_comp_sizes",
@@ -127,39 +160,74 @@ class CompiledLayout:
     def __init__(
         self,
         index: PartitionSetIndex,
-        adj: List[List[int]],
-        comp: List[int],
+        adj: Optional[List[List[int]]],
+        comp,
         n_components: int,
+        backend: str = "python",
+        edges=None,
     ):
         self.index = index
-        self.adj = adj
-        self.comp = comp
+        self.backend = backend
+        self._adj = adj
+        self._edges = edges
+        if backend == "numpy":
+            np = require_numpy()
+            self.comp = np.asarray(comp, dtype=np.intp)
+        else:
+            self.comp = comp
         self.n_components = n_components
-        self._starts: Optional[List[int]] = None
-        self._members: Optional[List[int]] = None
-        self._comp_sizes: Optional[List[int]] = None
+        self._starts = None
+        self._members = None
+        self._comp_sizes = None
 
-    def members_csr(self) -> Tuple[List[int], List[int]]:
+    @property
+    def adj(self) -> List[List[int]]:
+        """Adjacency rows, materialized from the edge arrays on demand.
+
+        The Python backend builds the rows during compilation; the
+        numpy backend keeps only the flat ``(src, dst)`` edge arrays
+        and pays the row materialization once, if and when a derive
+        chain actually needs rows to patch.
+        """
+        adj = self._adj
+        if adj is None:
+            adj = [[] for _ in range(len(self.index))]
+            src, dst = self._edges
+            for a, b in zip(src.tolist(), dst.tolist()):
+                adj[a].append(b)
+            self._adj = adj
+        return adj
+
+    def members_csr(self):
         """Component -> member set-ids as ``(starts, members)`` arrays.
 
         ``members[starts[c] : starts[c + 1]]`` are the set ids of circuit
-        ``c``.  Built lazily by one counting pass and cached (derived
-        freezes read it to collect the touched region).
+        ``c``, ascending.  Built lazily by one counting pass (Python) or
+        one stable argsort (numpy) and cached; both orders are identical
+        (members of a circuit in ascending set-id order).
         """
         if self._starts is None:
             comp = self.comp
-            starts = [0] * (self.n_components + 1)
-            for c in comp:
-                starts[c + 1] += 1
-            for c in range(1, len(starts)):
-                starts[c] += starts[c - 1]
-            members = [0] * len(comp)
-            cursor = list(starts[: self.n_components])
-            for i, c in enumerate(comp):
-                members[cursor[c]] = i
-                cursor[c] += 1
-            self._starts = starts
-            self._members = members
+            if self.backend == "numpy":
+                np = require_numpy()
+                counts = np.bincount(comp, minlength=self.n_components)
+                starts = np.zeros(self.n_components + 1, dtype=np.intp)
+                np.cumsum(counts, out=starts[1:])
+                self._starts = starts
+                self._members = np.argsort(comp, kind="stable")
+            else:
+                starts = [0] * (self.n_components + 1)
+                for c in comp:
+                    starts[c + 1] += 1
+                for c in range(1, len(starts)):
+                    starts[c] += starts[c - 1]
+                members = [0] * len(comp)
+                cursor = list(starts[: self.n_components])
+                for i, c in enumerate(comp):
+                    members[cursor[c]] = i
+                    cursor[c] += 1
+                self._starts = starts
+                self._members = members
         assert self._members is not None
         return self._starts, self._members
 
@@ -185,19 +253,36 @@ class CompiledLayout:
         self,
         beep_indices: Iterable[int],
         listen_indices: Optional[Sequence[int]] = None,
-    ) -> List[bool]:
-        """One full round in integer space: propagate, then read."""
+    ):
+        """One full round in integer space: propagate, then read.
+
+        The Python backend returns a list of bools; the numpy backend a
+        boolean ndarray with identical truth values (beep -> component
+        scatter, then one per-listen gather; no per-round Python loop).
+        """
+        if self.backend == "numpy":
+            np = require_numpy()
+            comp = self.comp
+            hears = np.zeros(self.n_components, dtype=np.bool_)
+            beeps = _index_array(beep_indices, np)
+            if beeps.size:
+                hears[comp[beeps]] = True
+            if listen_indices is None:
+                return hears[comp]
+            listens = _index_array(listen_indices, np)
+            return hears[comp[listens]]
         return self.read(self.propagate(beep_indices), listen_indices)
 
-    def component_sizes(self) -> List[int]:
+    def component_sizes(self):
         """Member count per circuit, precomputed once per compilation."""
         sizes = self._comp_sizes
         if sizes is None:
-            if self._starts is not None:
+            if self.backend == "numpy":
+                np = require_numpy()
+                sizes = np.bincount(self.comp, minlength=self.n_components)
+            elif self._starts is not None:
                 starts = self._starts
-                sizes = [
-                    starts[c + 1] - starts[c] for c in range(self.n_components)
-                ]
+                sizes = [starts[c + 1] - starts[c] for c in range(self.n_components)]
             else:
                 sizes = [0] * self.n_components
                 for c in self.comp:
@@ -217,7 +302,7 @@ class CompiledLayout:
         for c in range(self.n_components):
             if hears[c]:
                 total += sizes[c]
-        return total
+        return int(total)
 
 
 # ----------------------------------------------------------------------
@@ -259,6 +344,7 @@ def compile_wiring_ids(
     channels: int,
     mate_edges: Sequence[int],
     index: Optional[PartitionSetIndex] = None,
+    backend: str = "python",
 ) -> CompiledLayout:
     """Lower an integer-keyed wiring to a :class:`CompiledLayout`.
 
@@ -268,9 +354,20 @@ def compile_wiring_ids(
     (:meth:`~repro.grid.compiled.GridIndex.mate_edges`).  The whole
     lowering — mate resolution, adjacency, union-find — runs over flat
     integers: nothing is hashed except the C-level int dict probes.
+
+    Under ``backend="numpy"`` mate resolution is one ``searchsorted``
+    over the sorted pin array and the components come from vectorized
+    min-label propagation — no Python loop touches the pin table.
     """
     if index is None:
         index = PartitionSetIndex(ids)
+    if backend == "numpy":
+        np = require_numpy()
+        src, dst = _compile_edges_np(pin_slot, channels, mate_edges, np)
+        comp, n_components = _connected_components_np(len(index), src, dst, np)
+        return CompiledLayout(
+            index, None, comp, n_components, backend="numpy", edges=(src, dst)
+        )
     adj: List[List[int]] = [[] for _ in range(len(index))]
     get = pin_slot.get
     c = channels
@@ -283,11 +380,43 @@ def compile_wiring_ids(
     return CompiledLayout(index, adj, comp, n_components)
 
 
+def _compile_edges_np(
+    pin_slot: Mapping[int, int], channels: int, mate_edges: Sequence[int], np
+):
+    """Directed slot-adjacency edges of an integer wiring, vectorized.
+
+    One entry per wired pin endpoint, in pin-table order — exactly the
+    entries the Python loop appends, so lazily materialized adjacency
+    rows are identical list for list.  Mates resolve by binary search:
+    sort the pin encodings once, then locate every pin's mirror
+    encoding in ``O(P log P)`` with zero dict probes.
+    """
+    count = len(pin_slot)
+    if count == 0:
+        empty = np.zeros(0, dtype=np.intp)
+        return empty, empty
+    pins = np.fromiter(pin_slot.keys(), dtype=np.int64, count=count)
+    slots = np.fromiter(pin_slot.values(), dtype=np.intp, count=count)
+    mate_table = np.asarray(mate_edges, dtype=np.int64)
+    edges = pins // channels
+    mate_edge = mate_table[edges]
+    wired = mate_edge >= 0
+    mate_pins = np.where(wired, pins + (mate_edge - edges) * channels, -1)
+    order = np.argsort(pins)
+    sorted_pins = pins[order]
+    pos = np.minimum(np.searchsorted(sorted_pins, mate_pins), count - 1)
+    found = wired & (sorted_pins[pos] == mate_pins)
+    return slots[found], slots[order[pos[found]]]
+
+
 def _connected_components(adj: List[List[int]]) -> Tuple[List[int], int]:
     """Dense component labels of the integer adjacency table.
 
     Union-find with path halving and union by size, entirely over flat
-    integer arrays.
+    integer arrays.  Labels are assigned in ascending order of each
+    component's minimal member index (the first member encountered by
+    the ascending scan), which is the invariant the numpy labeling
+    reproduces.
     """
     size = len(adj)
     parent = list(range(size))
@@ -321,6 +450,74 @@ def _connected_components(adj: List[List[int]]) -> Tuple[List[int], int]:
             comp[root] = label
         comp[i] = label
     return comp, n_components
+
+
+def _scipy_connected_components():
+    """The scipy csgraph labeler, or ``None`` when scipy is absent.
+
+    :func:`scipy.sparse.csgraph.connected_components` scans vertices in
+    index order and labels each newly met component with the next dense
+    id, so its labels are exactly the ascending first-member order the
+    Python union-find produces — no relabeling needed for bit-identity.
+    """
+    try:
+        from scipy.sparse import csr_array
+        from scipy.sparse.csgraph import connected_components
+    except ImportError:  # pragma: no cover - exercised on scipy-free installs
+        return None
+
+    def labeler(size, src, dst, np):
+        graph = csr_array(
+            (np.ones(len(src), dtype=np.int8), (src, dst)), shape=(size, size)
+        )
+        n_components, labels = connected_components(
+            graph, directed=True, connection="weak"
+        )
+        return labels.astype(np.intp, copy=False), int(n_components)
+
+    return labeler
+
+
+_SCIPY_CC = _scipy_connected_components()
+
+
+def _connected_components_np(size: int, src, dst, np):
+    """Vectorized component labels over flat edge arrays.
+
+    Prefers scipy's compiled csgraph labeler (its vertex-scan order
+    makes the labels bit-identical to the union-find's — see
+    :func:`_scipy_connected_components`); falls back to pure-numpy
+    min-label hooking with pointer jumping (Shiloach–Vishkin style):
+    every node starts as its own label; each sweep hooks the larger
+    root of every edge onto the smaller and then flattens the pointer
+    forest by repeated ``label[label]`` squaring, so the sweep count is
+    logarithmic in the largest component diameter.  Labels only ever
+    decrease and ``label[i] <= i`` is invariant, so the fixpoint label
+    of every component is its *minimal member index* — relabeling by
+    sorted unique values therefore assigns exactly the same dense
+    labels as the Python union-find's ascending first-member scan.
+    """
+    if _SCIPY_CC is not None and src.size:
+        return _SCIPY_CC(size, src, dst, np)
+    label = np.arange(size, dtype=np.intp)
+    if src.size:
+        while True:
+            before = label
+            roots_a = label[src]
+            roots_b = label[dst]
+            hooked = np.minimum(roots_a, roots_b)
+            label = label.copy()
+            np.minimum.at(label, roots_a, hooked)
+            np.minimum.at(label, roots_b, hooked)
+            while True:
+                squared = label[label]
+                if np.array_equal(squared, label):
+                    break
+                label = squared
+            if np.array_equal(label, before):
+                break
+    uniq, inverse = np.unique(label, return_inverse=True)
+    return inverse.astype(np.intp, copy=False).reshape(size), int(uniq.size)
 
 
 def _group_region(region: Sequence[int], adj: List[List[int]]) -> List[List[int]]:
@@ -364,14 +561,17 @@ def recompile_derived(
     are unchanged and shared with ``base``).  Components are recomputed
     only inside the touched region — the base circuits containing a
     dirty set — and relabeled so circuit labels stay dense, mirroring
-    the historical dict-based incremental freeze.
+    the historical dict-based incremental freeze.  The result inherits
+    the base compilation's backend; the O(touched) bound holds either
+    way (the numpy comp array is rebuilt from the patched labels in one
+    C-level pass).
     """
     adj = list(base.adj)
     for i, row in new_rows.items():
         adj[i] = row
 
     base_comp = base.comp
-    affected = sorted({base_comp[i] for i in dirty_indices})
+    affected = sorted({int(base_comp[i]) for i in dirty_indices})
     starts, members = base.members_csr()
     region: List[int] = []
     for c in affected:
@@ -381,7 +581,7 @@ def recompile_derived(
 
     comp = list(base_comp)
     n_components = base.n_components
-    sizes = [starts[c + 1] - starts[c] for c in range(n_components)]
+    sizes = [int(starts[c + 1] - starts[c]) for c in range(n_components)]
     group_members: Dict[int, List[int]] = {}
     for c in affected:
         sizes[c] = 0
@@ -418,4 +618,14 @@ def recompile_derived(
         sizes[tail] = 0
         n_components -= 1
 
-    return CompiledLayout(base.index, adj, comp, n_components)
+    return CompiledLayout(base.index, adj, comp, n_components, backend=base.backend)
+
+
+__all__ = [
+    "CompiledLayout",
+    "PartitionSetIndex",
+    "compile_wiring",
+    "compile_wiring_ids",
+    "recompile_derived",
+    "resolve_backend",
+]

@@ -46,6 +46,7 @@ from typing import (
     Union,
 )
 
+from repro.backend import resolve_backend
 from repro.grid.coords import Node
 from repro.grid.structure import AmoebotStructure
 from repro.metrics.rounds import RoundCounter
@@ -142,9 +143,14 @@ class CircuitEngine:
         counter: Optional[RoundCounter] = None,
         layout_cache_size: int = 256,
         layouts: Optional[AnyLayoutCache] = None,
+        backend: Optional[str] = None,
     ):
         self.structure = structure
         self.channels = channels
+        #: Execution backend for every layout this engine builds
+        #: (``"python"`` or ``"numpy"``); ``None`` resolves the process
+        #: default (:func:`repro.backend.resolve_backend`) once, here.
+        self.backend = resolve_backend(backend)
         self.rounds = counter if counter is not None else RoundCounter()
         # Synchronous semantics: every amoebot activates once per round,
         # so the counter auto-charges n activations per tick (the
@@ -188,7 +194,7 @@ class CircuitEngine:
     # ------------------------------------------------------------------
     def new_layout(self) -> CircuitLayout:
         """A fresh, empty layout bound to this engine's structure."""
-        return CircuitLayout(self.structure, self.channels)
+        return CircuitLayout(self.structure, self.channels, backend=self.backend)
 
     def global_layout(self, label: str = "global", channel: int = 0) -> CircuitLayout:
         """A layout wiring the whole structure into one global circuit.

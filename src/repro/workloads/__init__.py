@@ -16,9 +16,10 @@ from repro.workloads.shapes import (
 )
 from repro.workloads.random_structures import random_hole_free, random_tree_like
 from repro.workloads.samplers import sample_sources_destinations, spread_nodes
-from repro.workloads.specs import build_structure, shape_names
+from repro.workloads.specs import SCALE_TIERS, build_structure, shape_names
 
 __all__ = [
+    "SCALE_TIERS",
     "build_structure",
     "shape_names",
     "line_structure",

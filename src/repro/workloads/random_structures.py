@@ -11,11 +11,32 @@ construction (and re-validated by :class:`AmoebotStructure`).
 from __future__ import annotations
 
 import random
+from bisect import bisect_left, bisect_right
+from itertools import accumulate
 from typing import List, Optional, Set
 
+from repro.backend import numpy_or_none
 from repro.grid.coords import Node
 from repro.grid.directions import all_directions_ccw
 from repro.grid.structure import AmoebotStructure
+
+#: Packed sort key for frontier candidates: order-isomorphic to the
+#: ``(x, y)`` order of :class:`Node` for any ``|y| < 2^32`` (python
+#: ints, so no overflow anywhere).  Sorting ints instead of dataclasses
+#: is what keeps the frontier maintainable by bisection.
+_KEY_BIAS = 1 << 32
+_KEY_SHIFT = 1 << 33
+
+#: Frontier size below which the scalar cumulative-weight draw beats
+#: the ndarray one: per-draw ``fromiter``/``cumsum`` setup is a fixed
+#: few microseconds, the scalar scan costs ~80ns per candidate, so the
+#: crossover sits near a couple hundred candidates (a blob's frontier
+#: passes that around n = 10^4).
+_NUMPY_DRAW_MIN = 256
+
+
+def _node_key(v: Node) -> int:
+    return (v.x + _KEY_BIAS) * _KEY_SHIFT + (v.y + _KEY_BIAS)
 
 
 def _occupied_mask(nodes: Set[Node], candidate: Node) -> List[bool]:
@@ -70,35 +91,76 @@ def random_hole_free(
     rng = random.Random(seed)
     origin = Node(0, 0)
     nodes: Set[Node] = {origin}
-    # The addable frontier, maintained incrementally: adding a node only
-    # changes the occupancy masks of its own six neighbors, so each step
-    # refreshes at most seven cells instead of re-scanning the whole
-    # set.  Membership and weights match the full re-scan exactly, and
-    # candidates are drawn in sorted order, so any given seed grows the
-    # same structure the historical O(n^2) loop grew.
-    addable: dict = {}
+    # The addable frontier, maintained incrementally *and in sorted
+    # order*: adding a node only changes the occupancy masks of its own
+    # six neighbors, so each step touches at most seven cells of three
+    # parallel arrays (packed sort key, node, occupied-neighbor count)
+    # kept aligned by bisection.  The frontier of a growing blob is its
+    # perimeter — O(sqrt(n)) cells — so the per-step cost is the weight
+    # scan over the frontier, not a full re-sort; that is what makes
+    # the random:100000 tier reachable.  Membership, candidate order,
+    # and weights match the historical sorted(dict) re-scan exactly,
+    # and each draw consumes exactly one ``rng.random()`` just like
+    # ``rng.choices(...)`` did, so any given seed grows bit for bit
+    # the same structure every prior implementation grew.
+    cand_keys: List[int] = []
+    cand_nodes: List[Node] = []
+    cand_counts: List[int] = []
 
     def refresh(v: Node) -> None:
+        key = _node_key(v)
+        idx = bisect_left(cand_keys, key)
+        present = idx < len(cand_keys) and cand_keys[idx] == key
         if v in nodes:
-            addable.pop(v, None)
-            return
-        mask = _occupied_mask(nodes, v)
-        if _is_contiguous_arc(mask):
-            addable[v] = sum(mask)
+            mask = None
         else:
-            addable.pop(v, None)
+            mask = _occupied_mask(nodes, v)
+            if not _is_contiguous_arc(mask):
+                mask = None
+        if mask is None:
+            if present:
+                del cand_keys[idx]
+                del cand_nodes[idx]
+                del cand_counts[idx]
+            return
+        if present:
+            cand_counts[idx] = sum(mask)
+        else:
+            cand_keys.insert(idx, key)
+            cand_nodes.insert(idx, v)
+            cand_counts.insert(idx, sum(mask))
 
     for v in origin.neighbors():
         refresh(v)
+    np = numpy_or_none()
+    base = 1.0 - compactness
     while len(nodes) < n:
-        if not addable:  # pragma: no cover - cannot happen on the grid
+        if not cand_keys:  # pragma: no cover - cannot happen on the grid
             raise RuntimeError("growth stalled")
-        candidates = sorted(addable)
-        base = 1.0 - compactness
-        weights = [base + compactness * addable[v] ** 2 for v in candidates]
-        chosen = rng.choices(candidates, weights=weights, k=1)[0]
+        # One weighted draw, replicating random.choices(k=1) exactly:
+        # cumulative weights, one random() draw, right-bisection bounded
+        # to the last index.  The numpy branch computes the identical
+        # weights and the identical sequential cumulative sum (cumsum is
+        # not pairwise), so the chosen index matches bit for bit.
+        hi = len(cand_keys) - 1
+        if np is not None and hi >= _NUMPY_DRAW_MIN:
+            counts = np.fromiter(
+                cand_counts, dtype=np.float64, count=len(cand_counts)
+            )
+            cum = np.cumsum(base + compactness * (counts * counts))
+            total = float(cum[-1]) + 0.0
+            x = rng.random() * total
+            idx = min(int(np.searchsorted(cum, x, side="right")), hi)
+        else:
+            cum_list = list(
+                accumulate(base + compactness * (c * c) for c in cand_counts)
+            )
+            total = cum_list[-1] + 0.0
+            x = rng.random() * total
+            idx = bisect_right(cum_list, x, 0, hi)
+        chosen = cand_nodes[idx]
         nodes.add(chosen)
-        addable.pop(chosen, None)
+        refresh(chosen)
         for v in chosen.neighbors():
             refresh(v)
     return AmoebotStructure(nodes)

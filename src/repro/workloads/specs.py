@@ -51,6 +51,17 @@ _SIZE_ARG_COUNTS: Dict[str, int] = {
     "dendrite": 1,
 }
 
+#: Named scale tiers over the seeded random generator, so campaigns,
+#: benches, and CI name the same structures.  ``large`` is CI-sized
+#: (the numpy leg's perf smoke builds it); ``huge`` is the n = 10^5
+#: tier the vectorized backend unlocked — both rely on the generator's
+#: frontier-incremental growth (the historical per-step re-sort made
+#: anything past ~1600 nodes unreachable).
+SCALE_TIERS: Dict[str, str] = {
+    "large": "random:20000:11",
+    "huge": "random:100000:11",
+}
+
 
 def shape_names() -> List[str]:
     """Names accepted as the head of a shape spec."""
@@ -68,7 +79,11 @@ def build_structure(spec: str) -> AmoebotStructure:
     arguments, a wrong argument count, or a non-positive size argument
     (``random:0`` or ``line:-3`` never reach a generator; the error
     names the offending spec).
+
+    Scale-tier aliases (:data:`SCALE_TIERS`: ``large``, ``huge``)
+    resolve to their pinned random specs first.
     """
+    spec = SCALE_TIERS.get(spec, spec)
     name, *args = spec.split(":")
     generator = _GENERATORS.get(name)
     if generator is None:

@@ -25,6 +25,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.backend import numpy_or_none
 from repro.grid.coords import Node
 from repro.grid.directions import opposite
 from repro.sim.circuits import CircuitLayout
@@ -189,12 +190,13 @@ def test_round_matches_reference(case):
     assert engine.run_round(layout, beeps, listen=()) == {}
 
     # Integer fast path: same bits, in listen order and in index order.
+    # (list() materializes the bits: the numpy backend returns ndarrays.)
     index = layout.compiled().index
     beep_idx = index.indices(beeps, "beep on")
     bits = engine.run_round_indexed(layout, beep_idx, index.indices(listen))
-    assert bits == [expected[s] for s in listen]
+    assert list(bits) == [expected[s] for s in listen]
     all_bits = engine.run_round_indexed(layout, beep_idx)
-    assert all_bits == [expected[s] for s in index.ids]
+    assert list(all_bits) == [expected[s] for s in index.ids]
 
     # The layout's component view agrees with the reference grouping.
     reference = reference_components(set(pins_of), pins_of)
@@ -268,3 +270,168 @@ def test_error_paths_match_reference_contract():
     with pytest.raises(PinConfigurationError):
         engine.run_round(layout, [ghost])
     assert engine.rounds.total == before
+
+
+# ----------------------------------------------------------------------
+# python-vs-numpy backend equivalence (the numpy lowering must be
+# *bit-identical* to the pure-Python reference, not merely isomorphic:
+# same dense component labels, same bits, same forests)
+# ----------------------------------------------------------------------
+
+requires_numpy = pytest.mark.skipif(
+    numpy_or_none() is None, reason="numpy not installed"
+)
+
+
+def _both_engines(structure) -> Tuple[CircuitEngine, CircuitEngine]:
+    return (
+        CircuitEngine(structure, channels=CHANNELS, backend="python"),
+        CircuitEngine(structure, channels=CHANNELS, backend="numpy"),
+    )
+
+
+@requires_numpy
+@settings(max_examples=50, deadline=None)
+@given(case=round_cases())
+def test_numpy_backend_round_is_bit_identical(case):
+    structure, pins_of, beeps, listen = case
+    py_engine, np_engine = _both_engines(structure)
+    py_layout = apply_assignment(py_engine, pins_of)
+    np_layout = apply_assignment(np_engine, pins_of)
+    py_compiled = py_layout.compiled()
+    np_compiled = np_layout.compiled()
+
+    # Identical dense labels — not just the same partition — plus
+    # identical adjacency rows, sizes, and CSR member slices.
+    assert list(py_compiled.comp) == [int(c) for c in np_compiled.comp]
+    assert py_compiled.n_components == np_compiled.n_components
+    assert [sorted(row) for row in py_compiled.adj] == [
+        sorted(int(v) for v in row) for row in np_compiled.adj
+    ]
+    assert list(py_compiled.component_sizes()) == [
+        int(s) for s in np_compiled.component_sizes()
+    ]
+    py_starts, py_members = py_compiled.members_csr()
+    np_starts, np_members = np_compiled.members_csr()
+    assert list(py_starts) == [int(v) for v in np_starts]
+    assert list(py_members) == [int(v) for v in np_members]
+
+    # Same bits on the full result, the listen subset, and the empty
+    # subset (the numpy path returns ndarrays; compare as lists).
+    index = py_compiled.index
+    beep_idx = index.indices(beeps, "beep on")
+    listen_idx = index.indices(listen)
+    assert list(py_compiled.execute(beep_idx, None)) == list(
+        np_compiled.execute(beep_idx, None)
+    )
+    assert list(py_compiled.execute(beep_idx, listen_idx)) == list(
+        np_compiled.execute(beep_idx, listen_idx)
+    )
+    assert list(np_compiled.execute(beep_idx, [])) == []
+
+
+@requires_numpy
+@settings(max_examples=25, deadline=None)
+@given(case=round_cases(), data=st.data())
+def test_numpy_backend_derived_chain_is_bit_identical(case, data):
+    # Drive the same derive -> reassign/exchange_pins -> freeze chain
+    # through both backends; the incremental recompilation must stay in
+    # lock-step with the python reference at every step.
+    structure, pins_of, beeps, _listen = case
+    py_engine, np_engine = _both_engines(structure)
+    py_layout = apply_assignment(py_engine, pins_of)
+    np_layout = apply_assignment(np_engine, pins_of)
+    py_layout.freeze()
+    np_layout.freeze()
+
+    declared = sorted(pins_of)
+    for _step in range(data.draw(st.integers(min_value=1, max_value=3))):
+        py_layout = py_layout.derive()
+        np_layout = np_layout.derive()
+        if declared:
+            for set_id in data.draw(
+                st.lists(st.sampled_from(declared), unique=True, max_size=2)
+            ):
+                node, label = set_id
+                keep = [
+                    (d, c)
+                    for (_n, d, c) in pins_of[set_id]
+                    if data.draw(st.booleans())
+                ]
+                py_layout.reassign(node, label, keep)
+                np_layout.reassign(node, label, keep)
+        py_layout.freeze()
+        np_layout.freeze()
+        py_compiled = py_layout.compiled()
+        np_compiled = np_layout.compiled()
+        assert list(py_compiled.comp) == [int(c) for c in np_compiled.comp]
+        assert py_compiled.n_components == np_compiled.n_components
+        beep_idx = py_compiled.index.indices(
+            [s for s in beeps if s in py_layout.partition_sets()]
+        )
+        assert list(py_compiled.execute(beep_idx, None)) == list(
+            np_compiled.execute(beep_idx, None)
+        )
+
+
+@requires_numpy
+def test_numpy_backend_exchange_pins_matches_python():
+    # PASC's crossing flip: swapping pin ownership between sibling sets
+    # on a derived layout must recompile identically under both
+    # backends.
+    structure = random_hole_free(12, seed=5)
+    results = {}
+    for backend in ("python", "numpy"):
+        engine = CircuitEngine(structure, channels=CHANNELS, backend=backend)
+        layout = engine.new_layout()
+        for node in sorted(structure.nodes):
+            dirs = list(structure.occupied_directions(node))
+            layout.assign(node, "a", [(d, 0) for d in dirs])
+            layout.assign(node, "b", [(d, 1) for d in dirs])
+        layout.freeze()
+        derived = layout.derive()
+        for node in sorted(structure.nodes)[:4]:
+            dirs = list(structure.occupied_directions(node))
+            derived.exchange_pins(
+                node, "a", "b", [(d, c) for d in dirs for c in (0, 1)]
+            )
+        derived.freeze()
+        compiled = derived.compiled()
+        results[backend] = (
+            [int(c) for c in compiled.comp],
+            compiled.n_components,
+            [int(s) for s in compiled.component_sizes()],
+        )
+    assert results["python"] == results["numpy"]
+
+
+@requires_numpy
+@settings(max_examples=20, deadline=None)
+@given(case=round_cases(), seed=st.integers(min_value=0, max_value=1000))
+def test_numpy_backend_faulty_rounds_are_bit_identical(case, seed):
+    # The fault injector owns its randomness, so the same seed must
+    # drop the same beeps — and detect the same missed hears — under
+    # both backends.
+    from repro.dynamics.faults import FaultInjector
+
+    structure, pins_of, beeps, listen = case
+    py_engine, np_engine = _both_engines(structure)
+    results = {}
+    for engine in (py_engine, np_engine):
+        layout = apply_assignment(engine, pins_of)
+        compiled = layout.compiled()
+        injector = FaultInjector(drop_prob=0.5, seed=seed)
+        index = compiled.index
+        beep_idx = index.indices(beeps, "beep on")
+        listen_idx = index.indices(listen)
+        bits = [
+            list(injector.execute(compiled, beep_idx, listen_idx))
+            for _ in range(4)
+        ]
+        results[engine.backend] = (
+            bits,
+            injector.stats.dropped,
+            injector.stats.faulty_rounds,
+            injector.stats.missed_hears,
+        )
+    assert results["python"] == results["numpy"]

@@ -66,9 +66,26 @@ class TestFaultInjector:
         beep = compiled.index.index_of((Node(0, 0), "global"))
         listen = [compiled.index.index_of((Node(i, 0), "global")) for i in range(5)]
         bits = engine.run_round_indexed(layout, [beep], listen)
-        assert bits == [False] * 5
+        assert list(bits) == [False] * 5
         assert injector.stats.missed_hears == 5
         assert injector.stats.faulty_rounds == 1
+
+    def test_detection_diff_rejects_mismatched_lengths(self):
+        from repro.dynamics.faults import missed_hears
+
+        with pytest.raises(ValueError, match="different lengths"):
+            missed_hears([True, False], [True])
+
+    def test_detection_diff_accepts_ndarray_bits(self):
+        np = pytest.importorskip("numpy")
+        from repro.dynamics.faults import missed_hears
+
+        clean = np.asarray([True, True, False, True])
+        faulty = np.asarray([True, False, False, False])
+        assert missed_hears(clean, faulty) == 2
+        # Mixed representations diff elementwise too.
+        assert missed_hears([True, True, False, True], faulty) == 2
+        assert missed_hears(clean, [True, False, False, False]) == 2
 
     def test_bad_probability_rejected(self):
         with pytest.raises(ValueError):

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.backend import numpy_or_none, use_backend
 from repro.grid.coords import Node
 from repro.ett.election import elect_first_marked
 from repro.ett.technique import mark_one_outgoing_edge
@@ -373,6 +374,22 @@ SEED_WINNERS = {"hexagon:3": Node(-2, 0), "lollipop:2:8": Node(-1, 1)}
 
 @pytest.mark.parametrize("spec", sorted(SEED_ROUNDS))
 class TestRoundTotalsMatchSeed:
+    @pytest.fixture(
+        autouse=True,
+        params=[
+            "python",
+            pytest.param("numpy", marks=pytest.mark.skipif(
+                numpy_or_none() is None, reason="numpy not installed"
+            )),
+        ],
+    )
+    def backend(self, request):
+        # The seed totals are backend-invariant by construction: the
+        # numpy lowering must reproduce them bit for bit, so the whole
+        # class runs once per backend.
+        with use_backend(request.param):
+            yield request.param
+
     def test_spsp_and_sssp(self, spec):
         structure = build_structure(spec)
         nodes = sorted(structure.nodes)
