@@ -103,6 +103,13 @@ def _sched(spec: str) -> Dict[str, float]:
     return {"build_s": result["build_s"], "rounds_s": result["rounds_s"]}
 
 
+def _service() -> Dict[str, float]:
+    from benchmarks.bench_service import service_roundtrip
+
+    result = service_roundtrip()
+    return {"build_s": result["build_s"], "rounds_s": result["rounds_s"]}
+
+
 #: Workload name -> (backend, zero-argument callable) returning the
 #: per-phase wall clock: ``build_s`` (workload/structure/index
 #: construction) and ``rounds_s`` (round execution).  Names must match
@@ -120,6 +127,8 @@ WORKLOADS: Dict[str, Tuple[str, Callable[[], Dict[str, float]]]] = {
     "forest_random200_k4": ("python", lambda: _spf(200, seed=7, k=4)),
     "sched_sync_random200": ("python", lambda: _sched("sync")),
     "sched_random_random200": ("python", lambda: _sched("random:1")),
+    # Daemon HTTP round trips: build_s = cold p50, rounds_s = warm p50.
+    "service_roundtrip": ("python", _service),
     "pasc_chain_m1024_np": ("numpy", lambda: _pasc_chain(1024)),
     "sssp_random200_np": ("numpy", lambda: _spf(200, seed=7, k=1)),
     "forest_random200_k4_np": ("numpy", lambda: _spf(200, seed=7, k=4)),

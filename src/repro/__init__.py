@@ -7,7 +7,17 @@ technique, tree and portal primitives, and the paper's shortest path
 tree / shortest path forest algorithms, all executed as synchronous
 beep rounds on a faithful circuit simulator.
 
-Quickstart::
+Quickstart — the :mod:`repro.api` facade is the supported entry point
+(one request object, one session, every solver path)::
+
+    from repro import Session, SolveRequest
+
+    session = Session()
+    report = session.run(SolveRequest(shape="hexagon:4", k=1, l=5))
+    print(report.rounds, "synchronous rounds")
+    assert session.run(SolveRequest(shape="hexagon:4", k=1, l=5)).cached
+
+The low-level functional surface remains::
 
     from repro import hexagon, solve_spf
 
@@ -28,6 +38,17 @@ result store::
     print(report.summary())  # re-running serves every trial from cache
 """
 
+from repro.api import (
+    RequestError,
+    Session,
+    SolveReport,
+    SolveRequest,
+)
+from repro.backend import (
+    backend_info,
+    set_default_backend,
+    use_backend,
+)
 from repro.dynamics import (
     DynamicSPF,
     EditBatch,
@@ -84,6 +105,13 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Session",
+    "SolveRequest",
+    "SolveReport",
+    "RequestError",
+    "backend_info",
+    "set_default_backend",
+    "use_backend",
     "AmoebotStructure",
     "Axis",
     "Direction",

@@ -113,6 +113,20 @@ def set_default_backend(name: str) -> None:
     _default_backend = name
 
 
+def backend_info() -> dict:
+    """Observability snapshot of the backend configuration.
+
+    Reported by ``repro serve``'s ``/stats`` endpoint and usable from
+    tests: the requested process default, what it currently resolves
+    to, and whether numpy is importable.
+    """
+    return {
+        "default": _default_backend,
+        "resolved": resolve_backend(None),
+        "numpy": numpy_or_none() is not None,
+    }
+
+
 @contextmanager
 def use_backend(name: str) -> Iterator[str]:
     """Temporarily set the process default backend (tests, benches)."""

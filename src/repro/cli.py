@@ -20,8 +20,18 @@ Commands
     Declarative experiment campaigns: ``run`` / ``resume`` named or
     JSON-file campaigns in parallel with a persistent JSONL result
     store, ``list`` the built-ins, ``summarize`` a store.
+``serve``
+    Run the solver daemon: a long-lived :class:`~repro.api.Session`
+    behind an HTTP job API with JSONL progress streaming and a
+    persistent result store (see :mod:`repro.service`).
 ``info``
     Describe a generated structure (portals, diameter, holes).
+
+The solve-family commands (``solve``/``route``/``churn``) are thin
+translators: flags become a :class:`~repro.api.SolveRequest` executed
+on a throwaway :class:`~repro.api.Session`, so a CLI invocation, a
+library call, and a daemon job with the same parameters share one
+content key and produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -35,12 +45,7 @@ from repro.backend import BACKEND_NAMES, BackendUnavailableError, set_default_ba
 from repro.grid.directions import Axis
 from repro.grid.oracle import structure_diameter
 from repro.grid.structure import AmoebotStructure
-from repro.spf.api import solve_spf
 from repro.viz.ascii_art import render_forest_ascii
-from repro.workloads import (
-    sample_sources_destinations,
-    spread_nodes,
-)
 from repro.workloads.specs import build_structure
 
 
@@ -57,170 +62,170 @@ def make_structure(spec: str) -> AmoebotStructure:
         raise SystemExit(str(exc)) from exc
 
 
-def _scheduler_engine(structure: AmoebotStructure, spec: str):
-    """Build an :class:`~repro.sched.ActivationEngine` from ``--scheduler``."""
-    from repro.sched import ActivationEngine
+def _request_from_args(args: argparse.Namespace, kind: str, **extra):
+    """Translate solve-family flags into a :class:`SolveRequest`.
+
+    The commands are thin: every knob lands in the request, and the
+    request (not the flag set) is what executes — identically to a
+    library call or an HTTP job with the same content key.
+    """
+    from repro.api import RequestError, SolveRequest
+
+    if args.k < 1 or args.l < 1:
+        raise SystemExit("k and l must be at least 1")
+    try:
+        return SolveRequest(
+            kind=kind,
+            shape=args.shape,
+            k=args.k,
+            l=args.l,
+            seed=args.seed,
+            placement="spread" if getattr(args, "spread", False) else "random",
+            scheduler=getattr(args, "scheduler", "") or "",
+            **extra,
+        )
+    except RequestError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def _run_request(request):
+    """Execute one request on a throwaway session (user errors exit)."""
+    from repro.api import Session
 
     try:
-        return ActivationEngine(structure, scheduler=spec)
+        return Session().run(request)
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
 
 
-def _print_scheduler_report(engine) -> None:
+def _print_scheduler_report(sched: dict) -> None:
     """One summary line for an event-driven run (``--scheduler``)."""
-    st = engine.stats
     print(
-        f"scheduler {engine.scheduler.name}: {st.activations} activations "
-        f"over {st.epochs} epochs, simulated time {st.time:.1f}"
-        + (f", {st.retransmissions} retransmissions" if st.retransmissions else "")
+        f"scheduler {sched['name']}: {sched['activations']} activations "
+        f"over {sched['epochs']} epochs, simulated time {sched['time']:.1f}"
+        + (
+            f", {sched['retransmissions']} retransmissions"
+            if sched["retransmissions"]
+            else ""
+        )
     )
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
     """Handle ``repro solve``."""
-    structure = make_structure(args.shape)
-    sources, destinations = _endpoints(structure, args)
-    engine = _scheduler_engine(structure, args.scheduler) if args.scheduler else None
-    solution = solve_spf(structure, sources, destinations, engine=engine)
-    print(f"n = {len(structure)}, k = {args.k}, l = {args.l}")
-    print(f"algorithm: {solution.algorithm}")
-    print(f"synchronous rounds: {solution.rounds}")
-    if engine is not None:
-        _print_scheduler_report(engine)
-    print(f"forest members: {len(solution.forest.members)}")
-    for d in destinations:
-        root = solution.forest.root_of(d)
-        depth = solution.forest.depth_of(d)
+    report = _run_request(_request_from_args(args, "solve"))
+    print(f"n = {report.n}, k = {args.k}, l = {args.l}")
+    print(f"algorithm: {report.algorithm}")
+    print(f"synchronous rounds: {report.rounds}")
+    if report.sched is not None:
+        _print_scheduler_report(report.sched)
+    print(f"forest members: {report.forest_members}")
+    for d in report.destinations:
+        root = report.forest.root_of(d)
+        depth = report.forest.depth_of(d)
         print(f"  {tuple(d)} -> {tuple(root)} ({depth} hops)")
     if args.ascii:
         print()
         print(
             render_forest_ascii(
-                structure, sources, destinations, solution.forest.members
+                report.structure,
+                report.sources,
+                report.destinations,
+                report.forest.members,
             )
         )
     return 0
 
 
-def _endpoints(structure, args):
-    """Shared source/destination selection for solve-style commands."""
-    if args.k < 1 or args.l < 1:
-        raise SystemExit("k and l must be at least 1")
-    if getattr(args, "spread", False):
-        sources = spread_nodes(structure, args.k)
-        rest = [u for u in sorted(structure.nodes) if u not in set(sources)]
-        destinations = rest[: args.l]
-    else:
-        sources, destinations = sample_sources_destinations(
-            structure, args.k, args.l, seed=args.seed
-        )
-    return sources, destinations
-
-
 def cmd_route(args: argparse.Namespace) -> int:
     """Handle ``repro route`` — token routing along a solved forest."""
-    from repro.motion import RoutingPlan, route_tokens
-
-    structure = make_structure(args.shape)
-    sources, destinations = _endpoints(structure, args)
-    solution = solve_spf(structure, sources, destinations)
-    if args.tokens:
-        members = sorted(solution.forest.members - set(sources))
-        if not members:
-            raise SystemExit("forest has no non-source members to seed tokens on")
-        import random as _random
-
-        rng = _random.Random(args.seed)
-        origins = [members[i] for i in sorted(
-            rng.sample(range(len(members)), min(args.tokens, len(members)))
-        )]
-    else:
-        origins = list(destinations)
-    stats = route_tokens(RoutingPlan(solution.forest, origins))
-    print(f"n = {len(structure)}, k = {args.k}, l = {args.l}")
-    print(f"algorithm: {solution.algorithm} ({solution.rounds} solve rounds)")
-    print(f"tokens routed: {len(origins)}")
-    print(f"steps (makespan): {stats.steps}")
-    print(f"total moves: {stats.total_moves}")
-    print(f"lower bound: {stats.lower_bound}")
-    print(f"congestion overhead: {stats.congestion_overhead:.3f}")
+    report = _run_request(_request_from_args(args, "route", tokens=args.tokens))
+    routing = report.routing
+    print(f"n = {report.n}, k = {args.k}, l = {args.l}")
+    print(f"algorithm: {report.algorithm} ({report.rounds} solve rounds)")
+    print(f"tokens routed: {routing['tokens']}")
+    print(f"steps (makespan): {routing['steps']}")
+    print(f"total moves: {routing['total_moves']}")
+    print(f"lower bound: {routing['lower_bound']}")
+    print(f"congestion overhead: {routing['congestion_overhead']:.3f}")
     return 0
 
 
 def cmd_churn(args: argparse.Namespace) -> int:
     """Handle ``repro churn`` — dynamic SPF repair under an edit stream."""
-    from repro.dynamics import CHURN_KINDS, DynamicSPF, FaultInjector, generate_churn
-    from repro.spf.api import solve_spf as _solve
-
-    if args.kind not in CHURN_KINDS:
-        raise SystemExit(
-            f"unknown churn kind {args.kind!r} (choose from {', '.join(CHURN_KINDS)})"
+    report = _run_request(
+        _request_from_args(
+            args,
+            "churn",
+            churn=args.kind,
+            churn_steps=args.steps,
+            churn_batch=args.batch,
+            threshold=args.threshold,
+            crash=args.crash,
+            drop=args.drop,
         )
-    structure = make_structure(args.shape)
-    sources, destinations = _endpoints(structure, args)
-    faults = None
-    if args.crash or args.drop:
-        import random as _random
-
-        rng = _random.Random(args.seed + 1)
-        pool = [u for u in sorted(structure.nodes) if u not in set(sources)]
-        crashed = rng.sample(pool, min(args.crash, len(pool))) if args.crash else []
-        faults = FaultInjector(crashed=crashed, drop_prob=args.drop, seed=args.seed)
-    engine = _scheduler_engine(structure, args.scheduler) if args.scheduler else None
-    dyn = DynamicSPF(
-        structure,
-        sources,
-        destinations,
-        threshold=args.threshold,
-        faults=faults,
-        engine=engine,
     )
-    init_rounds = dyn.engine.rounds.total
-    print(f"n = {len(structure)}, k = {args.k}, l = {args.l}")
-    print(f"initial solve: {init_rounds} rounds, {len(dyn.forest.members)} members")
-    script = generate_churn(
-        structure,
-        args.kind,
-        steps=args.steps,
-        batch_size=args.batch,
-        seed=args.seed,
-        protected=dyn.protected,
-    )
-    print(f"edit stream: {len(script)} batches, {script.total_ops} ops ({args.kind})")
+    repair = report.repair
+    print(f"n = {repair['initial_n']}, k = {args.k}, l = {args.l}")
+    print(f"initial solve: {repair['initial_rounds']} rounds, "
+          f"{repair['initial_members']} members")
+    print(f"edit stream: {repair['edit_batches']} batches, "
+          f"{repair['edit_ops']} ops ({args.kind})")
     print(f"{'batch':>5} {'ops':>4} {'n':>5} {'region':>6} {'dirty':>6} "
           f"{'mode':>6} {'rounds':>6} {'wave':>5} {'healed':>6}")
-    for i, batch in enumerate(script):
-        st = dyn.apply(batch)
-        print(f"{i:>5} {st.batch_ops:>4} {st.structure_size:>5} {st.region:>6} "
-              f"{st.dirty:>6} {st.mode:>6} {st.rounds:>6} {st.wave_rounds:>5} "
-              f"{st.corrected:>6}")
-    repair_rounds = dyn.engine.rounds.total - init_rounds
-    reference = _solve(
-        dyn.structure,
-        sources,
-        destinations if destinations else list(dyn.structure.nodes),
-    )
-    print(f"repair total: {repair_rounds} rounds over {len(script)} batches "
-          f"(one fresh solve on the final structure: {reference.rounds} rounds)")
-    if engine is not None:
-        _print_scheduler_report(dyn.engine)
-    if faults is not None:
-        fs = faults.stats
-        print(f"faults: {fs.lost} beeps lost ({fs.suppressed} crashed, "
-              f"{fs.dropped} dropped), {fs.missed_hears} missed hears detected")
+    for i, b in enumerate(repair["batches"]):
+        print(f"{i:>5} {b['ops']:>4} {b['n']:>5} {b['region']:>6} "
+              f"{b['dirty']:>6} {b['mode']:>6} {b['rounds']:>6} {b['wave']:>5} "
+              f"{b['healed']:>6}")
+    print(f"repair total: {repair['repair_rounds']} rounds over "
+          f"{repair['edit_batches']} batches "
+          f"(one fresh solve on the final structure: {repair['fresh_rounds']} rounds)")
+    if report.sched is not None:
+        _print_scheduler_report(report.sched)
+    if report.faults is not None:
+        fs = report.faults
+        print(f"faults: {fs['lost']} beeps lost ({fs['suppressed']} crashed, "
+              f"{fs['dropped']} dropped), {fs['missed_hears']} missed hears detected")
     if args.ascii:
         from repro.viz.ascii_art import render_churn_ascii
 
-        last = script.batches[-1]
         print()
         print(render_churn_ascii(
-            dyn.structure,
-            sources=sources,
-            destinations=destinations,
-            members=dyn.forest.members,
-            added=[u for u in last.add if u in dyn.structure],
+            report.structure,
+            sources=report.sources,
+            destinations=report.destinations,
+            members=report.forest.members,
+            added=report.added or [],
         ))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Handle ``repro serve`` — the solver daemon (see :mod:`repro.service`)."""
+    from repro.api import Session
+    from repro.service import SolverService, serve
+
+    try:
+        session = Session(scheduler=args.scheduler, store=args.store)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    service = SolverService(session=session, workers=args.workers)
+    server = serve(host=args.host, port=args.port, service=service)
+    host, port = server.server_address[:2]
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"({args.workers} workers)")
+    if args.store:
+        print(f"store: {args.store} ({len(service.store)} prior records)")
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down (finishing in-flight jobs)...")
+    finally:
+        summary = service.shutdown(wait=True)
+        server.server_close()
+        if summary["cancelled"]:
+            print(f"cancelled {summary['cancelled']} queued job(s)")
     return 0
 
 
@@ -525,6 +530,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-trial progress lines"
     )
     campaign.set_defaults(func=cmd_campaign)
+
+    serve = sub.add_parser(
+        "serve", help="run the solver daemon (HTTP job API, JSONL streaming)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8100,
+                       help="listen port (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker threads executing jobs")
+    serve.add_argument(
+        "--store",
+        help="JSONL result store path: results persist and a restarted "
+        "daemon resumes from them (default: in-memory)",
+    )
+    serve.add_argument(
+        "--scheduler",
+        default="",
+        metavar="NAME[:PARAM]",
+        help="session-wide default activation scheduler (see 'solve --help')",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     info = sub.add_parser("info", help="describe a generated structure")
     info.add_argument("--shape", default="hexagon:3")

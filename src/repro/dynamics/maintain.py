@@ -56,6 +56,7 @@ stays exact even under injected faults.
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
@@ -285,9 +286,15 @@ class DynamicSPF:
         The SPF instance.  ``destinations=None`` means every node (the
         SSSP setting).  Sources are always protected from removal;
         explicit destinations are too.
+    session:
+        Optional :class:`repro.api.Session` supplying the engine
+        (backend, scheduler, shared caches) — the preferred way to run
+        dynamics under an event-driven scheduler:
+        ``DynamicSPF(..., session=Session(scheduler="random:1"))``.
     engine:
-        Optional engine; the round counter carries over, so the initial
-        solve and every repair charge one clock.
+        Deprecated alias for ``session`` (warns): a pre-built engine;
+        the round counter carries over, so the initial solve and every
+        repair charge one clock.
     threshold:
         Dirty fraction above which a batch triggers a full re-solve
         instead of a regional repair wave.
@@ -305,7 +312,20 @@ class DynamicSPF:
         engine: Optional[CircuitEngine] = None,
         threshold: float = 0.2,
         faults: Optional[object] = None,
+        *,
+        session: Optional[object] = None,
     ):
+        if engine is not None:
+            warnings.warn(
+                "DynamicSPF(engine=...) is deprecated; pass "
+                "session=Session(scheduler=..., backend=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if session is not None:
+                raise ValueError("pass either engine or session, not both")
+        elif session is not None:
+            engine = session.engine_for(structure)
         self.sources: FrozenSet[Node] = frozenset(sources)
         if not self.sources:
             raise ValueError("need at least one source")

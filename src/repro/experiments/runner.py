@@ -178,18 +178,16 @@ def _execute_churn_trial(
     Churn is seeded from the trial's content hash, so records are
     reproducible across runs and worker counts.
     """
+    from repro.api import Session
     from repro.dynamics import DynamicSPF, generate_churn
 
-    engine = None
-    if trial.scheduler:
-        from repro.sched import ActivationEngine
-
-        engine = ActivationEngine(structure, scheduler=trial.scheduler)
+    # A per-trial session: churn mutates the structure, so nothing is
+    # shareable beyond the engine policy (scheduler spec, backend).
     dyn = DynamicSPF(
         structure,
         sources,
         destinations if trial.l != ALL_NODES else None,
-        engine=engine,
+        session=Session(scheduler=trial.scheduler),
     )
     script = generate_churn(
         structure,

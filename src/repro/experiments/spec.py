@@ -43,6 +43,19 @@ class SpecError(ValueError):
     """A scenario or campaign description is malformed."""
 
 
+def content_key(config: Mapping[str, object]) -> str:
+    """Stable content hash of a JSON-ready configuration mapping.
+
+    The identity used throughout the repository for jobs-as-data:
+    :meth:`TrialSpec.key`, :meth:`repro.api.SolveRequest.key`, and the
+    service layer's :meth:`repro.service.JobSpec.key` all hash their
+    configuration through this one function, so any layer can cache,
+    queue, or resume any other layer's work by key.
+    """
+    blob = json.dumps(dict(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
+
+
 def _check_scheduler(spec: str, context: str = "") -> None:
     """Validate a scheduler spec string (``""`` or ``NAME[:params]``)."""
     if not spec:
@@ -147,8 +160,7 @@ class TrialSpec:
 
     def key(self) -> str:
         """Stable content hash of the configuration."""
-        blob = json.dumps(self.config(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
+        return content_key(self.config())
 
     def sampling_seed(self) -> int:
         """Deterministic per-trial seed for source/destination sampling.

@@ -8,14 +8,32 @@ resumable; for duplicate keys the last record wins.
 
 A store constructed with ``path=None`` is purely in-memory — used by
 ``repro sweep`` and by tests that do not need persistence.
+
+**Concurrent writers.**  ``repro serve`` turns one store into a shared
+database for several daemon worker threads — and for daemon restarts
+racing campaign runs over the same file.  Appends are therefore a
+single ``O_APPEND`` ``write(2)`` of one complete line (the kernel
+serializes the offset, so two processes never interleave mid-line),
+taken under a *shared* advisory lock on a ``<path>.lock`` sidecar;
+:meth:`compact` takes the *exclusive* lock, re-reads the file so lines
+appended by other processes survive the rewrite, and replaces the file
+atomically.  On platforms without ``fcntl`` the appends stay atomic and
+compaction degrades to best-effort (documented, Linux is the serving
+platform).
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 
 class ResultStore:
@@ -38,6 +56,12 @@ class ResultStore:
 
     def _load(self) -> None:
         assert self.path is not None
+        self._records, lines = self._read_file()
+        self.superseded_lines = lines - len(self._records)
+
+    def _read_file(self) -> "tuple[Dict[str, dict], int]":
+        """Parse the backing file: (records by key, parseable lines)."""
+        records: Dict[str, dict] = {}
         lines = 0
         with self.path.open("r", encoding="utf-8") as handle:
             for line in handle:
@@ -54,8 +78,31 @@ class ResultStore:
                     # index under the same string before and after a
                     # restart, or resume silently re-runs finished trials.
                     record["key"] = str(record["key"])
-                    self._records[record["key"]] = record
-        self.superseded_lines = lines - len(self._records)
+                    records[record["key"]] = record
+        return records, lines
+
+    @contextlib.contextmanager
+    def _lock(self, exclusive: bool) -> Iterator[None]:
+        """Advisory inter-process lock on the ``<path>.lock`` sidecar.
+
+        Shared for appends (many writers may interleave whole lines),
+        exclusive for compaction (no writer may append between the
+        re-read and the atomic replace).  A no-op without ``fcntl``.
+        """
+        assert self.path is not None
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+            try:
+                yield
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
 
     # ------------------------------------------------------------------
     # queries
@@ -117,9 +164,19 @@ class ResultStore:
         self._records[record["key"]] = record
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self.path.open("a", encoding="utf-8") as handle:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
-                handle.flush()
+            line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+            with self._lock(exclusive=False):
+                # One O_APPEND write of one complete line: concurrent
+                # writers (daemon workers, parallel campaigns) can never
+                # interleave mid-record, and a crash can tear at most
+                # the final line — which loading already tolerates.
+                fd = os.open(
+                    self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+                )
+                try:
+                    os.write(fd, line)
+                finally:
+                    os.close(fd)
 
     def add_many(self, records: Iterator[Mapping[str, object]]) -> int:
         """Record several results; returns how many were added."""
@@ -134,19 +191,33 @@ class ResultStore:
 
         Long-lived stores grow a superseded line for every ``--fresh``
         re-run and every resumed duplicate; compaction drops them
-        (last record per key wins — exactly the in-memory view).  The
-        rewrite goes through a temporary file in the same directory and
-        an atomic replace, so a crash mid-compaction never loses the
-        store.  Returns the number of lines reclaimed (0 when the file
-        is already minimal, in which case nothing is rewritten).
+        (last record per key wins — exactly the in-memory view).
+        Under the exclusive sidecar lock the file is re-read first, so
+        records appended by *other* processes since our load are merged
+        into this store's view instead of being dropped by the rewrite;
+        the rewrite then goes through a temporary file in the same
+        directory and an atomic replace, so a crash mid-compaction
+        never loses the store.  Returns the number of lines reclaimed
+        (0 when the file is already minimal, in which case nothing is
+        rewritten).
         """
-        if self.path is None or self.superseded_lines <= 0:
+        if self.path is None:
             return 0
-        reclaimed = self.superseded_lines
-        tmp = self.path.with_name(self.path.name + ".compact")
-        with tmp.open("w", encoding="utf-8") as handle:
-            for record in self._records.values():
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
-        os.replace(tmp, self.path)
-        self.superseded_lines = 0
+        with self._lock(exclusive=True):
+            if not self.path.exists():
+                return 0
+            disk, lines = self._read_file()
+            # Other processes' records merge in; for keys we both hold,
+            # the on-disk line is at least as new as our memory (add()
+            # writes through), so disk wins.
+            self._records.update(disk)
+            reclaimed = lines - len(disk)
+            self.superseded_lines = 0
+            if reclaimed <= 0:
+                return 0
+            tmp = self.path.with_name(self.path.name + ".compact")
+            with tmp.open("w", encoding="utf-8") as handle:
+                for record in self._records.values():
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+            os.replace(tmp, self.path)
         return reclaimed

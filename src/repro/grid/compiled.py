@@ -75,6 +75,10 @@ class GridIndexStats:
         self.full_builds = 0
         self.derives = 0
 
+    def to_dict(self) -> dict:
+        """All counters as a JSON-ready mapping (``/stats`` payload)."""
+        return dict(vars(self))
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"GridIndexStats(full={self.full_builds}, derives={self.derives})"
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import contextlib
 from collections import Counter
-from typing import Dict, Iterator, List
+from typing import Callable, Dict, Iterator, List, Optional
 
 
 class RoundCounter:
@@ -37,6 +37,11 @@ class RoundCounter:
         #: Activations charged implicitly per ticked round.  Owned by
         #: whichever engine drives this counter.
         self.activations_per_round = 0
+        #: Optional observer called after every tick with the new round
+        #: total — the hook the service layer uses to stream round-by-
+        #: round progress without touching the engines.  Must be cheap;
+        #: exceptions propagate to the ticking engine.
+        self.on_tick: Optional[Callable[[int], None]] = None
 
     @property
     def total(self) -> int:
@@ -56,6 +61,8 @@ class RoundCounter:
         self._activations += rounds * self.activations_per_round
         for name in self._stack:
             self._per_section[name] += rounds
+        if self.on_tick is not None:
+            self.on_tick(self._total)
 
     def charge_activations(self, count: int) -> None:
         """Charge ``count`` explicit activations (event-driven engines)."""

@@ -37,6 +37,24 @@ class RoutingStats:
         """Makespan divided by the congestion-free lower bound."""
         return self.steps / max(self.lower_bound, 1)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (what the facade and service serialize).
+
+        Per-token paths are summarized to their lengths — full node
+        sequences are in-process data (:attr:`token_paths`), not wire
+        payload.
+        """
+        return {
+            "steps": self.steps,
+            "total_moves": self.total_moves,
+            "lower_bound": self.lower_bound,
+            "congestion_overhead": round(self.congestion_overhead, 6),
+            "rescued": self.rescued,
+            "path_lengths": {
+                t: len(path) - 1 for t, path in sorted(self.token_paths.items())
+            },
+        }
+
 
 @dataclass
 class RoutingPlan:

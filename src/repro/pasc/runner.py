@@ -115,8 +115,15 @@ def run_pasc(
     term_channel: int | None = None,
     max_iterations: int | None = None,
     section: str = "pasc",
+    structure=None,
 ) -> PascResult:
     """Execute ``runs`` to completion in parallel on ``engine``.
+
+    ``engine`` may also be a :class:`repro.api.Session` together with an
+    explicit ``structure=`` — the session then supplies the engine
+    (backend, scheduler, shared layout caches), unifying PASC with the
+    rest of the facade: ``run_pasc(session, runs, structure=st)`` is
+    ``run_pasc(session.engine_for(st), runs)``.
 
     ``term_channel`` is the channel of the global termination circuit
     (default: the engine's highest channel, which the wiring conventions
@@ -128,6 +135,20 @@ def run_pasc(
     and caching change only wall-clock cost, never the round structure
     (two rounds per iteration, Lemma 4).
     """
+    if not isinstance(engine, CircuitEngine):
+        if not hasattr(engine, "engine_for"):
+            raise TypeError(
+                f"run_pasc needs a CircuitEngine or a Session, got "
+                f"{type(engine).__name__}"
+            )
+        if structure is None:
+            raise ValueError(
+                "run_pasc(session, runs) needs structure=: a session is "
+                "structure-agnostic, so the structure must be explicit"
+            )
+        engine = engine.engine_for(structure)
+    elif structure is not None and structure is not engine.structure:
+        raise ValueError("structure= disagrees with the engine's structure")
     if term_channel is None:
         term_channel = engine.channels - 1
     if max_iterations is None:

@@ -1,0 +1,39 @@
+"""Solver-as-a-service: a persistent daemon over the ``repro.api`` facade.
+
+``repro serve`` keeps one long-lived :class:`repro.api.Session` — hot
+:class:`~repro.grid.compiled.GridIndex` es, the shared
+:class:`~repro.sim.circuits.LayoutCache`, compiled layouts — across
+requests, accepts jobs-as-data over HTTP (stdlib ``http.server``
+threads, zero new dependencies), executes them on a worker pool, streams
+round-by-round progress as chunked JSONL, and persists every result
+through the content-hash :class:`~repro.experiments.store.ResultStore`,
+so a killed-and-restarted daemon serves finished work from its log
+instead of recomputing it.
+
+Layers (each importable on its own):
+
+* :mod:`repro.service.jobs` — :class:`JobSpec`, the serializable job
+  envelope (a :class:`~repro.api.SolveRequest` or a campaign), and
+  :class:`Job`, the runtime record with its event stream.
+* :mod:`repro.service.daemon` — :class:`SolverService`, the queue +
+  worker pool + registry (usable in-process, no HTTP required).
+* :mod:`repro.service.http` — the HTTP surface
+  (:class:`ServiceHTTPServer`, :func:`serve`).
+* :mod:`repro.service.client` — :class:`ServiceClient`, a stdlib
+  client used by the CI smoke, benches, and tests.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import Job, ServiceClosed, SolverService
+from repro.service.http import ServiceHTTPServer, serve
+from repro.service.jobs import JobSpec
+
+__all__ = [
+    "Job",
+    "JobSpec",
+    "ServiceClient",
+    "ServiceClosed",
+    "ServiceHTTPServer",
+    "SolverService",
+    "serve",
+]

@@ -1,0 +1,140 @@
+"""Stdlib client for the solver daemon.
+
+:class:`ServiceClient` wraps :mod:`http.client` (which transparently
+de-chunks ``Transfer-Encoding: chunked``, so the JSONL stream surfaces
+as plain lines).  It is what the CLI smoke, the service benchmark, and
+the tests drive — and a reasonable template for user code, though any
+HTTP client works against the daemon.
+
+Quickstart::
+
+    from repro import SolveRequest
+    from repro.service import JobSpec, ServiceClient
+
+    client = ServiceClient("127.0.0.1", 8100)
+    job = client.submit(JobSpec(request=SolveRequest(shape="hexagon:6")))
+    for event in client.stream(job["id"]):
+        print(event)                      # queued/running/round/.../done
+    result = client.result(job["id"])     # the SolveReport dict
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Iterator, Optional, Union
+
+from repro.service.jobs import JobSpec
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx daemon response (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Thin blocking client; one short-lived connection per call.
+
+    Streaming holds its own dedicated connection open for the life of
+    the job, so a client can stream one job while submitting others.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8100,
+                 timeout: Optional[float] = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        conn = self._connect()
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read().decode("utf-8"))
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status, data.get("error", "unknown error")
+                )
+            return data
+        finally:
+            conn.close()
+
+    # -- API ------------------------------------------------------------
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """``GET /stats``."""
+        return self._request("GET", "/stats")
+
+    def submit(self, spec: Union[JobSpec, Dict]) -> dict:
+        """``POST /jobs`` — returns the job snapshot (with its ``id``)."""
+        body = spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
+        return self._request("POST", "/jobs", body=body)
+
+    def jobs(self) -> list:
+        """``GET /jobs`` — snapshots of every known job."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/<id>`` — one snapshot."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str, timeout: Optional[float] = None) -> dict:
+        """``GET /jobs/<id>/result`` — block until terminal, return it.
+
+        ``timeout`` bounds the *server-side* wait; the raised
+        :class:`ServiceError` has ``status == 408`` on expiry.
+        """
+        path = f"/jobs/{job_id}/result"
+        if timeout is not None:
+            path += f"?timeout={timeout}"
+        return self._request("GET", path)
+
+    def stream(self, job_id: str) -> Iterator[dict]:
+        """``GET /jobs/<id>/stream`` — yield progress events as dicts.
+
+        Ends after the terminal ``{"event": "end", "state": ...}`` line.
+        """
+        conn = self._connect()
+        try:
+            conn.request("GET", f"/jobs/{job_id}/stream")
+            response = conn.getresponse()
+            if response.status >= 400:
+                data = json.loads(response.read().decode("utf-8"))
+                raise ServiceError(
+                    response.status, data.get("error", "unknown error")
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def run(self, spec: Union[JobSpec, Dict],
+            timeout: Optional[float] = None) -> dict:
+        """Submit and block for the result (submit + ``/result``)."""
+        job = self.submit(spec)
+        return self.result(job["id"], timeout=timeout)
+
+    def shutdown(self) -> dict:
+        """``POST /shutdown`` — ask the daemon to stop gracefully."""
+        return self._request("POST", "/shutdown")

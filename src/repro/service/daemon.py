@@ -1,0 +1,357 @@
+"""The solver daemon core: one hot session, a queue, a worker pool.
+
+:class:`SolverService` is the transport-free heart of ``repro serve``:
+it owns a single long-lived :class:`~repro.api.Session` (hot structure
+LRU, shared layout cache, persistent result store) and executes
+submitted :class:`~repro.service.jobs.JobSpec` s on a pool of worker
+threads.  The HTTP layer (:mod:`repro.service.http`) is a thin shell
+over this class; tests and benchmarks drive it in-process.
+
+Determinism: a job's randomness comes entirely from the seeds inside
+its spec (``SolveRequest.seed``, per-trial campaign seeds), never from
+which worker picks it up or in what order — so a job's result is a pure
+function of its content key, which is what makes the store-backed cache
+and killed-daemon resume sound.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import traceback
+from typing import Dict, Iterator, List, Optional
+
+from repro.api import Session
+from repro.backend import backend_info
+from repro.service.jobs import JobSpec
+
+_QUEUED, _RUNNING, _DONE, _FAILED, _CANCELLED = (
+    "queued",
+    "running",
+    "done",
+    "failed",
+    "cancelled",
+)
+
+
+class ServiceClosed(RuntimeError):
+    """Raised by :meth:`SolverService.submit` after shutdown began."""
+
+
+class Job:
+    """Runtime record of one submitted job: state, result, event stream.
+
+    Events are JSON-ready dicts buffered in order; :meth:`events` is a
+    blocking iterator over them (this is what the HTTP layer streams as
+    chunked JSONL).  Terminal states are ``done``, ``failed``, and
+    ``cancelled``; :attr:`finished` is set exactly once, on entry to a
+    terminal state.
+    """
+
+    def __init__(self, job_id: str, spec: JobSpec):
+        self.id = job_id
+        self.spec = spec
+        self.key = spec.key()
+        self.state = _QUEUED
+        self.result: Optional[dict] = None
+        self.error: Optional[str] = None
+        self.submitted_s = time.time()
+        self.started_s: Optional[float] = None
+        self.elapsed_s: Optional[float] = None
+        self.finished = threading.Event()
+        self._events: List[dict] = []
+        self._cond = threading.Condition()
+
+    # -- event stream ---------------------------------------------------
+    def emit(self, event: dict) -> None:
+        """Append one progress event and wake blocked streamers."""
+        with self._cond:
+            self._events.append(dict(event))
+            self._cond.notify_all()
+
+    def events(
+        self, start: int = 0, timeout: Optional[float] = None
+    ) -> Iterator[dict]:
+        """Yield events from ``start`` until the job reaches a terminal
+        state and the buffer is drained.
+
+        ``timeout`` bounds each *wait* for the next event (not the whole
+        stream); on expiry the iterator stops early.
+        """
+        index = start
+        while True:
+            with self._cond:
+                while index >= len(self._events):
+                    if self.finished.is_set():
+                        return
+                    if not self._cond.wait(timeout=timeout):
+                        return
+                event = self._events[index]
+            index += 1
+            yield event
+
+    def _finish(self, state: str) -> None:
+        with self._cond:
+            self.state = state
+            if self.started_s is not None:
+                self.elapsed_s = round(time.time() - self.started_s, 6)
+            self.finished.set()
+            self._cond.notify_all()
+
+    # -- views ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready status view (the ``GET /jobs/<id>`` body)."""
+        out = {
+            "id": self.id,
+            "key": self.key,
+            "kind": self.spec.kind,
+            "state": self.state,
+            "events": len(self._events),
+            "submitted_s": round(self.submitted_s, 3),
+        }
+        if self.elapsed_s is not None:
+            out["elapsed_s"] = self.elapsed_s
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class SolverService:
+    """Queue + worker pool over one shared :class:`~repro.api.Session`.
+
+    Parameters
+    ----------
+    session:
+        The hot session; built from ``store`` when omitted.
+    store:
+        Result store (or JSONL path) for the default session — this is
+        what makes a restarted daemon resume finished work.
+    workers:
+        Worker thread count (jobs execute concurrently up to this).
+    """
+
+    def __init__(
+        self,
+        session: Optional[Session] = None,
+        store: Optional[object] = None,
+        workers: int = 2,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.session = session if session is not None else Session(store=store)
+        self.store = self.session.store
+        self.workers = workers
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._jobs: "Dict[str, Job]" = {}
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._closed = False
+        self.started_s = time.time()
+        #: Completed-job latency samples: (kind, cached, elapsed_s).
+        self._latencies: List[tuple] = []
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # submission & queries
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        """Queue one job; returns its :class:`Job` immediately.
+
+        Job ids are ``<key12>-<seq>``: the content-hash prefix makes
+        identical work visibly identical across submissions, the
+        sequence number keeps ids unique when the same spec is
+        submitted twice.
+        """
+        if not isinstance(spec, JobSpec):
+            raise TypeError(f"submit() takes a JobSpec, got {type(spec).__name__}")
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is shutting down")
+            self._seq += 1
+            job = Job(f"{spec.key()[:12]}-{self._seq}", spec)
+            self._jobs[job.id] = job
+        job.emit({"event": "queued", "id": job.id, "key": job.key})
+        self._queue.put(job)
+        return job
+
+    def job(self, job_id: str) -> Job:
+        """The job with this id (raises ``KeyError`` if unknown)."""
+        with self._lock:
+            return self._jobs[job_id]
+
+    def jobs(self) -> List[dict]:
+        """Snapshots of every known job, in submission order."""
+        with self._lock:
+            return [job.snapshot() for job in self._jobs.values()]
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until the job reaches a terminal state (or timeout)."""
+        job = self.job(job_id)
+        job.finished.wait(timeout=timeout)
+        return job
+
+    def stats(self) -> dict:
+        """JSON-ready service health: jobs, caches, latencies, backend.
+
+        Includes the session's own counters plus the process-global
+        layout/grid probes — the numbers the CI smoke asserts on.
+        """
+        from repro.grid.compiled import GRID_STATS
+        from repro.sim.circuits import LAYOUT_STATS
+
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            latencies = list(self._latencies)
+        return {
+            "uptime_s": round(time.time() - self.started_s, 3),
+            "workers": self.workers,
+            "jobs": states,
+            "session": self.session.stats.to_dict(),
+            "store": {"records": len(self.store)},
+            "layout_stats": LAYOUT_STATS.to_dict(),
+            "grid_stats": GRID_STATS.to_dict(),
+            "backend": backend_info(),
+            "latency": _latency_summary(latencies),
+        }
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:  # shutdown sentinel
+                return
+            if job.finished.is_set():  # cancelled while queued
+                continue
+            job.state = _RUNNING
+            job.started_s = time.time()
+            job.emit({"event": "running", "id": job.id})
+            try:
+                if job.spec.request is not None:
+                    report = self.session.run(
+                        job.spec.request,
+                        resume=not job.spec.fresh,
+                        on_event=job.emit,
+                    )
+                    job.result = report.to_dict()
+                    cached = report.cached
+                else:
+                    job.result = self._run_campaign(job)
+                    cached = False
+                job._finish(_DONE)
+                with self._lock:
+                    self._latencies.append(
+                        (job.spec.kind, cached, job.elapsed_s)
+                    )
+            except Exception as exc:  # noqa: BLE001 - jobs must not kill workers
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.emit(
+                    {
+                        "event": "error",
+                        "id": job.id,
+                        "error": job.error,
+                        "traceback": traceback.format_exc(limit=8),
+                    }
+                )
+                job._finish(_FAILED)
+
+    def _run_campaign(self, job: Job) -> dict:
+        """Execute a campaign job against the shared result store."""
+        from repro.experiments import (
+            CampaignRunner,
+            CampaignSpec,
+            get_campaign,
+        )
+
+        spec = job.spec.campaign
+        campaign = (
+            get_campaign(spec)
+            if isinstance(spec, str)
+            else CampaignSpec.from_dict(spec)
+        )
+
+        def progress(trial, result, done, total):
+            job.emit(
+                {
+                    "event": "trial",
+                    "key": trial.key(),
+                    "done": done,
+                    "total": total,
+                    "rounds": result.rounds,
+                }
+            )
+
+        runner = CampaignRunner(store=self.store, workers=job.spec.workers)
+        report = runner.run(
+            campaign, resume=not job.spec.fresh, progress=progress
+        )
+        return {
+            "record": "campaign-report",
+            "campaign": report.campaign,
+            "trials": report.total,
+            "executed": report.executed,
+            "cache_hits": report.cache_hits,
+            "elapsed_s": report.elapsed_s,
+        }
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> dict:
+        """Stop accepting work, cancel queued jobs, drain the pool.
+
+        In-flight jobs run to completion (worker threads cannot be
+        interrupted mid-solve and a half-written result is worse than a
+        late one); queued-but-unstarted jobs flip to ``cancelled``.
+        With ``wait=True`` blocks until every worker has exited.
+        Idempotent.  Returns ``{"cancelled": <count>}``.
+        """
+        with self._lock:
+            already = self._closed
+            self._closed = True
+            pending = [j for j in self._jobs.values() if j.state == _QUEUED]
+        cancelled = 0
+        if not already:
+            for job in pending:
+                job.emit({"event": "cancelled", "id": job.id})
+                job._finish(_CANCELLED)
+                cancelled += 1
+            for _ in self._threads:
+                self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+        return {"cancelled": cancelled}
+
+
+def _latency_summary(samples: List[tuple]) -> dict:
+    """p50/p99 over completed jobs, split by cache outcome."""
+
+    def pct(values: List[float], q: float) -> float:
+        ordered = sorted(values)
+        index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+        return round(ordered[index], 6)
+
+    out: dict = {"completed": len(samples)}
+    elapsed = [s[2] for s in samples if s[2] is not None]
+    if elapsed:
+        out["p50_s"] = pct(elapsed, 0.50)
+        out["p99_s"] = pct(elapsed, 0.99)
+    warm = [s[2] for s in samples if s[1] and s[2] is not None]
+    cold = [s[2] for s in samples if not s[1] and s[2] is not None]
+    if warm:
+        out["warm"] = {"count": len(warm), "p50_s": pct(warm, 0.50)}
+    if cold:
+        out["cold"] = {"count": len(cold), "p50_s": pct(cold, 0.50)}
+    return out

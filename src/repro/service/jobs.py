@@ -1,0 +1,113 @@
+"""Jobs as data: the serializable envelope the daemon queues.
+
+A :class:`JobSpec` wraps exactly one of
+
+* a :class:`repro.api.SolveRequest` (kinds ``solve``/``route``/``churn``),
+  executed by the daemon's shared :class:`~repro.api.Session`; or
+* a *campaign* — a built-in name or an inline
+  :class:`~repro.experiments.spec.CampaignSpec` mapping — executed by a
+  :class:`~repro.experiments.runner.CampaignRunner` against the same
+  result store.
+
+Like every other unit of work in this repository, a job's identity is
+its content hash (:meth:`JobSpec.key`): solve-family jobs share their
+request's key, so a job submitted over HTTP, a ``repro solve`` CLI
+invocation, and a library ``session.run(...)`` all hit the same cached
+record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Union
+
+from repro.api import RequestError, SolveRequest
+from repro.experiments.spec import content_key
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One daemon job: a solve-family request or a campaign.
+
+    ``fresh=True`` bypasses the result-store cache (the job's identity
+    is unchanged — ``fresh`` asks for recomputation of the same work).
+    ``workers`` is the campaign fan-out (ignored for requests).
+    """
+
+    request: Optional[SolveRequest] = None
+    campaign: Optional[Union[str, Mapping]] = None
+    workers: int = 1
+    fresh: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.request is None) == (self.campaign is None):
+            raise RequestError(
+                "a job is exactly one of 'request' or 'campaign'"
+            )
+        if self.request is not None and not isinstance(self.request, SolveRequest):
+            raise RequestError(
+                f"job request must be a SolveRequest, got "
+                f"{type(self.request).__name__}"
+            )
+        if self.campaign is not None and not isinstance(
+            self.campaign, (str, Mapping)
+        ):
+            raise RequestError(
+                "job campaign must be a built-in name or a campaign mapping"
+            )
+        if self.workers < 1:
+            raise RequestError(f"workers must be positive, got {self.workers}")
+
+    @property
+    def kind(self) -> str:
+        """``solve``/``route``/``churn`` for requests, else ``campaign``."""
+        return self.request.kind if self.request is not None else "campaign"
+
+    def key(self) -> str:
+        """Content hash: the request's own key, or the campaign config's."""
+        if self.request is not None:
+            return self.request.key()
+        spec = (
+            self.campaign
+            if isinstance(self.campaign, str)
+            else dict(self.campaign)
+        )
+        return content_key({"job": "campaign", "campaign": spec})
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (inverse of :meth:`from_dict`)."""
+        out: Dict[str, object] = {"fresh": self.fresh}
+        if self.request is not None:
+            out["request"] = self.request.to_dict()
+        else:
+            out["campaign"] = (
+                self.campaign
+                if isinstance(self.campaign, str)
+                else dict(self.campaign)
+            )
+            out["workers"] = self.workers
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "JobSpec":
+        """Parse and validate a job mapping (an HTTP POST body)."""
+        if not isinstance(data, Mapping):
+            raise RequestError(f"job must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - {"request", "campaign", "workers", "fresh"}
+        if unknown:
+            raise RequestError(f"unknown job fields: {sorted(unknown)}")
+        request = data.get("request")
+        if request is not None:
+            request = SolveRequest.from_dict(request)
+        workers = data.get("workers", 1)
+        if not isinstance(workers, int) or isinstance(workers, bool):
+            raise RequestError(f"workers must be an int, got {workers!r}")
+        fresh = data.get("fresh", False)
+        if not isinstance(fresh, bool):
+            raise RequestError(f"fresh must be a bool, got {fresh!r}")
+        return cls(
+            request=request,
+            campaign=data.get("campaign"),
+            workers=workers,
+            fresh=fresh,
+        )

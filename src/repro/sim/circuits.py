@@ -106,6 +106,10 @@ class LayoutBuildStats:
         """Beep rounds executed over the array backend (either path)."""
         return self.indexed_rounds + self.mapped_rounds
 
+    def to_dict(self) -> dict:
+        """All counters as a JSON-ready mapping (``/stats`` payload)."""
+        return dict(vars(self))
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"LayoutBuildStats(full={self.full_builds}, "

@@ -1,7 +1,34 @@
-"""Public entry point for the (k, l)-shortest path forest problem."""
+"""Public entry point for the (k, l)-shortest path forest problem.
+
+Quickstart (the unified facade)::
+
+    from repro import Session, SolveRequest, hexagon, solve_spf
+
+    structure = hexagon(4)
+    nodes = sorted(structure.nodes)
+
+    # One-shot: the classic free function.
+    solution = solve_spf(structure, [nodes[0]], nodes[-5:])
+
+    # Reusing hot state across solves: a Session owns the engine
+    # configuration (backend, scheduler, layout caches) and hands the
+    # same engine policy to every call.
+    session = Session(scheduler="random:1")
+    solution = solve_spf(structure, [nodes[0]], nodes[-5:], session=session)
+    print(solution.rounds, solution.activations)
+
+    # Fully declarative (what `repro serve` executes): requests are
+    # serializable, content-hashed, and cached by the session's store.
+    report = session.run(SolveRequest(shape="hexagon:4", k=1, l=5))
+
+The ``scheduler=`` kwarg below is a deprecated alias for
+``session=Session(scheduler=...)`` and will be removed after one
+release.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, Optional, Set, Union
 
@@ -47,6 +74,8 @@ def solve_spf(
     engine: Optional[CircuitEngine] = None,
     allow_holes: bool = False,
     scheduler: Optional[Union[str, object]] = None,
+    *,
+    session: Optional[object] = None,
 ) -> SPFSolution:
     """Solve (k, l)-SPF on an amoebot structure.
 
@@ -61,22 +90,40 @@ def solve_spf(
     forest, but at ``Θ(max_d dist(S, d))`` rounds.  The returned
     ``algorithm`` field says which path was taken.
 
-    ``scheduler`` (a name like ``"random:3"`` or a
-    :class:`~repro.sched.schedulers.Scheduler` instance) runs the solve
-    on an event-driven :class:`~repro.sched.ActivationEngine` instead of
-    the plain synchronous engine — same forest, measured activation
-    cost.  Mutually exclusive with passing an ``engine``.
+    ``session`` (a :class:`repro.api.Session`) supplies the engine —
+    backend, scheduler, and shared layout caches in one object; the
+    session's ``allow_holes`` policy applies when the kwarg is left at
+    its default.  ``engine`` remains the low-level composition hook for
+    callers that manage an engine's lifecycle themselves (the dynamics
+    layer, the campaign runner); it is mutually exclusive with
+    ``session``.
+
+    .. deprecated::
+        ``scheduler=`` — pass ``session=Session(scheduler=...)``
+        instead.  The alias warns and will be removed after one
+        release.
     """
     source_set = set(sources)
     dest_set = set(destinations)
     if not source_set or not dest_set:
         raise ValueError("sources and destinations must be non-empty")
     if scheduler is not None:
-        if engine is not None:
-            raise ValueError("pass either engine or scheduler, not both")
+        warnings.warn(
+            "solve_spf(scheduler=...) is deprecated; pass "
+            "session=Session(scheduler=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if engine is not None or session is not None:
+            raise ValueError("pass one of engine, scheduler, or session — not both at once")
         from repro.sched import ActivationEngine
 
         engine = ActivationEngine(structure, scheduler=scheduler)
+    if session is not None:
+        if engine is not None:
+            raise ValueError("pass either engine or session, not both")
+        engine = session.engine_for(structure)
+        allow_holes = allow_holes or getattr(session, "allow_holes", False)
     if engine is None:
         engine = CircuitEngine(structure)
     start = engine.rounds.total

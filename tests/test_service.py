@@ -1,0 +1,253 @@
+"""The solver daemon: jobs, worker pool, HTTP endpoints, resume.
+
+Covers the service contract end to end: submit → stream → fetch round
+trips, cache hits on repeated identical jobs (with the layout/grid
+probes asserting nothing is rebuilt), failed jobs, campaign jobs,
+graceful shutdown mid-job, and resume-after-restart from the store.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import RequestError, Session, SolveRequest
+from repro.grid.compiled import GRID_STATS
+from repro.service import (
+    JobSpec,
+    ServiceClient,
+    ServiceClosed,
+    SolverService,
+    serve,
+)
+from repro.service.client import ServiceError
+from repro.sim.circuits import LAYOUT_STATS
+
+REQUEST = SolveRequest(shape="random:60:2", k=1, l=3, seed=1)
+
+
+@pytest.fixture
+def daemon():
+    """An HTTP daemon on an ephemeral port plus a connected client."""
+    server = serve(port=0, workers=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient("127.0.0.1", server.server_address[1], timeout=30)
+    try:
+        yield server.service, client
+    finally:
+        server.service.shutdown(wait=True)
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+class TestJobSpec:
+    def test_round_trip(self):
+        spec = JobSpec(request=REQUEST, fresh=True)
+        again = JobSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.key() == REQUEST.key()
+        assert again.kind == "solve"
+
+    def test_campaign_spec(self):
+        spec = JobSpec(campaign="spsp-small", workers=2)
+        again = JobSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.kind == "campaign"
+        assert again.key() != JobSpec(campaign="sssp-small").key()
+
+    def test_validation(self):
+        with pytest.raises(RequestError, match="exactly one"):
+            JobSpec()
+        with pytest.raises(RequestError, match="exactly one"):
+            JobSpec(request=REQUEST, campaign="spsp-small")
+        with pytest.raises(RequestError, match="unknown job fields"):
+            JobSpec.from_dict({"request": REQUEST.to_dict(), "turbo": True})
+
+
+class TestSolverService:
+    """The in-process daemon core, no HTTP involved."""
+
+    def test_submit_and_wait(self):
+        service = SolverService(workers=2)
+        job = service.wait(service.submit(JobSpec(request=REQUEST)).id)
+        assert job.state == "done"
+        assert job.result["rounds"] == Session().run(REQUEST).rounds
+        assert job.id.startswith(REQUEST.key()[:12])
+        service.shutdown()
+
+    def test_failed_job_does_not_kill_worker(self):
+        service = SolverService(workers=1)
+        bad = service.wait(
+            service.submit(
+                JobSpec(request=SolveRequest(shape="bogus:1"))
+            ).id
+        )
+        assert bad.state == "failed"
+        assert "bogus" in bad.error
+        good = service.wait(service.submit(JobSpec(request=REQUEST)).id)
+        assert good.state == "done"
+        service.shutdown()
+
+    def test_shutdown_cancels_queued_finishes_running(self):
+        service = SolverService(workers=1)
+        slow = service.submit(
+            JobSpec(request=SolveRequest(shape="random:300:5", k=1, l=3))
+        )
+        # Wait for the worker to pick the job up: only *running* jobs
+        # survive shutdown, queued ones are cancelled.
+        deadline = time.time() + 30
+        while slow.state != "running" and time.time() < deadline:
+            time.sleep(0.005)
+        queued = [
+            service.submit(
+                JobSpec(request=SolveRequest(shape="hexagon:2", seed=s))
+            )
+            for s in range(3)
+        ]
+        summary = service.shutdown(wait=True)
+        assert service.wait(slow.id).state == "done"
+        states = {service.wait(j.id).state for j in queued}
+        assert states <= {"cancelled", "done"}
+        assert summary["cancelled"] == sum(
+            1 for j in queued if j.state == "cancelled"
+        )
+        with pytest.raises(ServiceClosed):
+            service.submit(JobSpec(request=REQUEST))
+
+    def test_resume_after_restart(self, tmp_path):
+        path = tmp_path / "service.jsonl"
+        first = SolverService(store=path, workers=1)
+        done = first.wait(first.submit(JobSpec(request=REQUEST)).id)
+        first.shutdown()
+
+        revived = SolverService(store=path, workers=1)
+        again = revived.wait(revived.submit(JobSpec(request=REQUEST)).id)
+        assert again.result["cached"] is True
+        assert again.result["rounds"] == done.result["rounds"]
+        assert revived.session.stats.cache_hits == 1
+        revived.shutdown()
+
+    def test_fresh_bypasses_cache(self):
+        service = SolverService(workers=1)
+        service.wait(service.submit(JobSpec(request=REQUEST)).id)
+        redo = service.wait(
+            service.submit(JobSpec(request=REQUEST, fresh=True)).id
+        )
+        assert redo.result["cached"] is False
+        service.shutdown()
+
+    def test_campaign_job(self, tmp_path):
+        service = SolverService(store=tmp_path / "c.jsonl", workers=1)
+        campaign = {
+            "name": "tiny",
+            "description": "one-scenario smoke",
+            "scenarios": [{
+                "name": "s", "shape": "random:{n}:1", "sizes": [40],
+                "ks": [1], "ls": [2], "seeds": [0],
+            }],
+        }
+        job = service.wait(service.submit(JobSpec(campaign=campaign)).id)
+        assert job.state == "done"
+        assert job.result["record"] == "campaign-report"
+        assert job.result["trials"] == 1
+        # Re-submitting the campaign hits the shared store per trial.
+        again = service.wait(service.submit(JobSpec(campaign=campaign)).id)
+        assert again.result["cache_hits"] == 1
+        service.shutdown()
+
+
+class TestHTTPEndpoints:
+    def test_health_and_stats(self, daemon):
+        _service, client = daemon
+        assert client.health()["ok"] is True
+        stats = client.stats()
+        assert stats["workers"] == 2
+        assert "layout_stats" in stats and "grid_stats" in stats
+
+    def test_submit_stream_fetch_round_trip(self, daemon):
+        _service, client = daemon
+        job = client.submit(JobSpec(request=REQUEST))
+        events = list(client.stream(job["id"]))
+        names = [e["event"] for e in events]
+        assert names[0] == "queued"
+        assert "running" in names and "done" in names
+        assert names[-1] == "end" and events[-1]["state"] == "done"
+        rounds = [e["rounds"] for e in events if e["event"] == "round"]
+        assert rounds == sorted(rounds) and rounds
+        result = client.result(job["id"], timeout=30)
+        assert result["state"] == "done"
+        assert result["result"]["rounds"] == rounds[-1]
+
+    def test_repeated_job_hits_cache_without_rebuilds(self, daemon):
+        _service, client = daemon
+        cold = client.run(JobSpec(request=REQUEST), timeout=60)
+        assert cold["result"]["cached"] is False
+        LAYOUT_STATS.reset()
+        GRID_STATS.reset()
+        warm = client.run(JobSpec(request=REQUEST), timeout=60)
+        assert warm["result"]["cached"] is True
+        assert warm["result"]["rounds"] == cold["result"]["rounds"]
+        # Cache hits execute nothing: no index builds, no compilations.
+        assert GRID_STATS.full_builds == 0
+        assert LAYOUT_STATS.compiles == 0
+        assert client.stats()["session"]["cache_hits"] >= 1
+
+    def test_concurrent_clients(self, daemon):
+        _service, client = daemon
+        requests = [
+            SolveRequest(shape="random:40:3", k=1, l=2, seed=s)
+            for s in range(8)
+        ]
+        results: dict = {}
+
+        def drive(i: int) -> None:
+            results[i] = client.run(
+                JobSpec(request=requests[i]), timeout=120
+            )
+
+        threads = [
+            threading.Thread(target=drive, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert len(results) == 8
+        assert all(r["state"] == "done" for r in results.values())
+
+    def test_error_responses(self, daemon):
+        _service, client = daemon
+        with pytest.raises(ServiceError) as err:
+            client.job("no-such-job")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            client.submit({"request": {"shape": "hexagon:2", "bogus": 1}})
+        assert err.value.status == 400
+
+    def test_result_timeout_is_408(self, daemon):
+        service, client = daemon
+        job = client.submit(
+            JobSpec(request=SolveRequest(shape="random:400:9", k=1, l=3))
+        )
+        with pytest.raises(ServiceError) as err:
+            client.result(job["id"], timeout=0.001)
+        assert err.value.status == 408
+        service.wait(job["id"])  # drain before fixture shutdown
+
+    def test_http_shutdown_endpoint(self):
+        server = serve(port=0, workers=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient(
+            "127.0.0.1", server.server_address[1], timeout=30
+        )
+        assert client.shutdown()["shutting_down"] is True
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        server.server_close()
+        with pytest.raises(ServiceClosed):
+            server.service.submit(JobSpec(request=REQUEST))
