@@ -1,0 +1,263 @@
+"""Telemetry overhead: disabled tracing must be free, scraping must be cheap.
+
+The observability contract this pins down: (a) with no tracer active,
+the ``trace_span`` call sites threaded through the solve pipeline cost
+one thread-local read each — their total per-solve cost must stay
+within 2% of the solve wall-clock (in practice it is microseconds
+against hundreds of milliseconds); (b) an active *phase* tracer adds a
+handful of spans whose durations account for >= 90% of the root
+wall-clock without perturbing the computation — round counts stay
+bit-identical to an untraced run; (c) rendering the Prometheus
+exposition from a populated registry is fast enough to scrape every
+few seconds.
+
+The overhead check is deliberately a *bound*, not an A/B timing race:
+it counts the spans a phase tracer records for the workload, measures
+the per-call cost of a disabled ``trace_span`` in a tight loop, and
+asserts ``spans x per_call`` against 2% of the measured solve time.
+That is immune to scheduler noise, which an equal-work A/B comparison
+at the 2% level is not.
+
+Run quick in CI via ``BENCH_QUICK=1`` (shrinks the instance).  Running
+the module as a script writes ``BENCH_obs.json``, which doubles as a
+``check_regression.py`` baseline (``build_s`` carries structure+index
+construction, ``rounds_s`` the solve under a disabled tracer).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+from typing import Dict, List
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+N = 600 if QUICK else 2000
+SEED = 11
+NOOP_CALLS = 20_000 if QUICK else 100_000
+SCRAPES = 100 if QUICK else 500
+
+
+def _solve(structure, k: int = 1):
+    from repro.spf.api import solve_spf
+
+    nodes = sorted(structure.nodes)
+    return solve_spf(structure, nodes[:k], list(structure.nodes))
+
+
+def tracer_overhead(n: int = N) -> Dict[str, float]:
+    """Bound the disabled-tracer cost of one solve on ``random:n``.
+
+    Measures (1) the solve wall-clock with no tracer active — the
+    production default path; (2) the span count a phase tracer records
+    for the identical workload (also asserting round counts match the
+    untraced run bit-for-bit); (3) the per-call cost of ``trace_span``
+    with no tracer.  The reported ``overhead_pct`` is the worst-case
+    share of (1) that the disabled call sites can account for.
+    """
+    from repro.obs import Tracer, trace_span, use_tracer
+    from repro.workloads import random_hole_free
+
+    start = time.perf_counter()
+    structure = random_hole_free(n, seed=SEED)
+    structure.grid_index()
+    build_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    untraced = _solve(structure)
+    solve_s = time.perf_counter() - start
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        traced = _solve(structure)
+    assert traced.rounds == untraced.rounds, (traced.rounds, untraced.rounds)
+    spans = len(tracer)
+
+    start = time.perf_counter()
+    for _ in range(NOOP_CALLS):
+        trace_span("noop-probe")
+    per_call_s = (time.perf_counter() - start) / NOOP_CALLS
+
+    overhead_s = spans * per_call_s
+    return {
+        "build_s": build_s,
+        "rounds_s": solve_s,
+        "n": n,
+        "rounds": untraced.rounds,
+        "spans": spans,
+        "noop_per_call_us": round(per_call_s * 1e6, 3),
+        "overhead_s": round(overhead_s, 9),
+        "overhead_pct": round(100.0 * overhead_s / solve_s, 6),
+    }
+
+
+def phase_trace_coverage(n: int = N) -> Dict[str, float]:
+    """Solve under a phase tracer; report span coverage of the root.
+
+    ``build_s``/``rounds_s`` come from the *spans themselves* (the
+    ``build`` and ``rounds`` children of the root ``solve`` span), so a
+    drift in this workload localizes exactly like a flamegraph would
+    show it.
+    """
+    from repro.api import Session, SolveRequest
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        report = Session().run(
+            SolveRequest(shape=f"random:{n}:{SEED}", k=1, l=3)
+        )
+    records = tracer.records()
+    (root,) = [r for r in records if r["parent"] is None]
+    children = {r["name"]: r for r in records if r["parent"] == root["id"]}
+    coverage = sum(r["dur_s"] for r in children.values()) / root["dur_s"]
+    return {
+        "build_s": children["build"]["dur_s"],
+        "rounds_s": children["rounds"]["dur_s"],
+        "n": n,
+        "rounds": report.rounds,
+        "spans": len(records),
+        "root_s": root["dur_s"],
+        "coverage": round(coverage, 4),
+    }
+
+
+def metrics_scrape(scrapes: int = SCRAPES) -> Dict[str, float]:
+    """Render a realistically populated registry ``scrapes`` times.
+
+    The registry carries the daemon's shape: a labelled jobs counter,
+    the 19-bucket latency histogram fed across label combinations, and
+    the process views over the legacy stat globals — so the measured
+    render includes view collection, label formatting, and histogram
+    cumulation.  Every body is validated once.
+    """
+    from repro.obs import (
+        MetricsRegistry,
+        register_process_views,
+        validate_prometheus_text,
+    )
+
+    start = time.perf_counter()
+    registry = register_process_views(MetricsRegistry())
+    jobs = registry.counter("repro_jobs_total", "Jobs by state.")
+    latency = registry.histogram(
+        "repro_job_latency_seconds", "Wall-clock per job."
+    )
+    for i in range(2000):
+        state = ("done", "failed", "cancelled")[i % 3]
+        jobs.inc(state=state)
+        latency.observe(
+            (i % 50) * 0.01 + 0.001,
+            kind=("solve", "route", "campaign")[i % 3],
+            cached=("true", "false")[i % 2],
+        )
+    build_s = time.perf_counter() - start
+
+    body = registry.render_prometheus()
+    problems = validate_prometheus_text(body)
+    assert problems == [], problems
+
+    start = time.perf_counter()
+    for _ in range(scrapes):
+        registry.render_prometheus()
+    rounds_s = time.perf_counter() - start
+    return {
+        "build_s": build_s,
+        "rounds_s": rounds_s,
+        "scrapes": scrapes,
+        "body_bytes": len(body),
+        "scrape_ms": round(1000.0 * rounds_s / scrapes, 3),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest smoke (CI perf-smoke job)
+# ----------------------------------------------------------------------
+
+
+def test_disabled_tracer_overhead_within_2_percent():
+    result = tracer_overhead()
+    # The acceptance bar: the disabled call sites can account for at
+    # most 2% of the solve wall-clock (measured: ~0.001%).
+    assert result["overhead_pct"] <= 2.0, result
+    # Phase instrumentation stays phase-granular — no per-round spans
+    # leak in without the opt-in, so the span count cannot scale with
+    # the round count.
+    assert result["spans"] < result["rounds"], result
+
+
+def test_phase_trace_covers_90_percent_of_wallclock():
+    result = phase_trace_coverage()
+    assert result["coverage"] >= 0.90, result
+
+
+def test_metrics_scrape_is_cheap_and_valid():
+    result = metrics_scrape()
+    # A scrape of a populated registry must cost well under a typical
+    # 1s-interval scraper's budget.
+    assert result["scrape_ms"] < 50.0, result
+
+
+# ----------------------------------------------------------------------
+# scribe mode: python benchmarks/bench_obs.py
+# ----------------------------------------------------------------------
+
+
+def main() -> int:
+    """Measure and write ``BENCH_obs.json``."""
+    repeats = 3
+    workload_fns = {
+        "obs_tracer_off": tracer_overhead,
+        "obs_tracer_phase": phase_trace_coverage,
+        "obs_metrics_scrape": metrics_scrape,
+    }
+    workloads: Dict[str, Dict[str, object]] = {}
+    for name, fn in workload_fns.items():
+        fn()  # warm-up: imports, caches, pyc compilation
+        runs: List[Dict[str, float]] = []
+        totals: List[float] = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            runs.append(fn())
+            totals.append(round(time.perf_counter() - start, 6))
+        median = statistics.median
+        detail = runs[len(runs) // 2]
+        workloads[name] = {
+            "after_s": median(totals),
+            "build_s": median([r["build_s"] for r in runs]),
+            "rounds_s": median([r["rounds_s"] for r in runs]),
+            "backend": "python",
+            "detail": {
+                k: v for k, v in detail.items() if k not in ("build_s", "rounds_s")
+            },
+        }
+        print(f"measured {name}: {json.dumps(workloads[name], sort_keys=True)}")
+    payload = {
+        "description": (
+            "Telemetry overhead: obs_tracer_off solves random:2000 with no "
+            "tracer active and bounds the disabled trace_span cost at "
+            "spans x per-call (contract: <= 2% of the solve); "
+            "obs_tracer_phase solves under a phase tracer (contract: child "
+            "spans cover >= 90% of the root, rounds bit-identical); "
+            "obs_metrics_scrape renders the Prometheus exposition of a "
+            "daemon-shaped registry. after_s medians gate "
+            "check_regression.py."
+        ),
+        "instance": {"shape": f"random:{N}:{SEED}", "scrapes": SCRAPES},
+        "workloads": workloads,
+    }
+    with open("BENCH_obs.json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print("wrote BENCH_obs.json")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -110,6 +110,20 @@ def _service() -> Dict[str, float]:
     return {"build_s": result["build_s"], "rounds_s": result["rounds_s"]}
 
 
+def _obs(workload: str) -> Dict[str, float]:
+    from benchmarks import bench_obs
+
+    result = getattr(bench_obs, workload)()
+    # The telemetry contracts gate alongside the timings: a disabled
+    # tracer stays within 2% of the solve, a phase trace accounts for
+    # >= 90% of the root wall-clock.
+    if "overhead_pct" in result:
+        assert result["overhead_pct"] <= 2.0, result
+    if "coverage" in result:
+        assert result["coverage"] >= 0.90, result
+    return {"build_s": result["build_s"], "rounds_s": result["rounds_s"]}
+
+
 #: Workload name -> (backend, zero-argument callable) returning the
 #: per-phase wall clock: ``build_s`` (workload/structure/index
 #: construction) and ``rounds_s`` (round execution).  Names must match
@@ -129,6 +143,9 @@ WORKLOADS: Dict[str, Tuple[str, Callable[[], Dict[str, float]]]] = {
     "sched_random_random200": ("python", lambda: _sched("random:1")),
     # Daemon HTTP round trips: build_s = cold p50, rounds_s = warm p50.
     "service_roundtrip": ("python", _service),
+    # Telemetry: disabled-tracer solve and Prometheus scrape cost.
+    "obs_tracer_off": ("python", lambda: _obs("tracer_overhead")),
+    "obs_metrics_scrape": ("python", lambda: _obs("metrics_scrape")),
     "pasc_chain_m1024_np": ("numpy", lambda: _pasc_chain(1024)),
     "sssp_random200_np": ("numpy", lambda: _spf(200, seed=7, k=1)),
     "forest_random200_k4_np": ("numpy", lambda: _spf(200, seed=7, k=4)),
@@ -293,7 +310,12 @@ def main(argv: List[str] | None = None) -> int:
     baselines = args.baseline
     if baselines is None:
         baselines = ["BENCH_grid_index.json"]
-        for extra in ("BENCH_sched.json", "BENCH_numpy_kernel.json"):
+        for extra in (
+            "BENCH_sched.json",
+            "BENCH_numpy_kernel.json",
+            "BENCH_service.json",
+            "BENCH_obs.json",
+        ):
             if os.path.exists(extra):
                 baselines.append(extra)
 

@@ -60,7 +60,8 @@ from repro.experiments.spec import (
 from repro.experiments.store import ResultStore
 from repro.grid.coords import Node
 from repro.grid.structure import AmoebotStructure
-from repro.sim.circuits import LayoutCache
+from repro.obs.trace import current_tracer, trace_span
+from repro.sim.circuits import LAYOUT_STATS, LayoutCache
 from repro.sim.engine import CircuitEngine
 from repro.workloads.samplers import sample_sources_destinations, spread_nodes
 from repro.workloads.specs import build_structure
@@ -442,8 +443,10 @@ class Session:
                 self._structures.move_to_end(shape)
                 self.stats.structure_hits += 1
                 return self._structures[shape]
-        structure = build_structure(shape)
-        structure.grid_index()  # warm: one build, reused by every layout
+        with trace_span("structure", shape=shape):
+            structure = build_structure(shape)
+        with trace_span("grid_index", n=len(structure)):
+            structure.grid_index()  # warm: one build, reused by every layout
         with self._lock:
             self.stats.structures_built += 1
             if cache:
@@ -522,54 +525,80 @@ class Session:
                     self.stats.cache_hits += 1
                 report = SolveReport.from_dict(record)
                 report.cached = True
-                emit({"event": "cached", "key": key, "rounds": report.rounds})
+                with trace_span(request.kind, key=key, cached=True,
+                                rounds=report.rounds):
+                    emit({"event": "cached", "key": key, "rounds": report.rounds})
                 return report
 
         emit({"event": "start", "key": key, "kind": request.kind,
               "shape": request.shape})
         started = time.perf_counter()
-        structure = self.structure(request.shape, cache=request.kind != "churn")
-        sources, destinations = _pick_endpoints(structure, request)
-        emit({"event": "structure", "n": len(structure), "k": len(sources),
-              "l": len(destinations)})
-        engine = self.engine_for(
-            structure,
-            scheduler=request.scheduler or None,
-            backend=request.backend or None,
-        )
-        previous_hook = engine.rounds.on_tick
-        engine.rounds.on_tick = lambda total: emit(
-            {"event": "round", "rounds": total}
-        )
-        try:
-            if request.kind == "churn":
-                report = self._run_churn(
-                    request, structure, sources, destinations, engine, emit
+        cache_hits0 = LAYOUT_STATS.cache_hits
+        cache_misses0 = LAYOUT_STATS.cache_misses
+        with trace_span(request.kind, key=key, shape=request.shape,
+                        cached=False) as root_span:
+            with trace_span("build", shape=request.shape) as build_span:
+                structure = self.structure(
+                    request.shape, cache=request.kind != "churn"
                 )
-            else:
-                report = self._run_solve(
-                    request, structure, sources, destinations, engine, emit
-                )
-        finally:
-            engine.rounds.on_tick = previous_hook
-        report.elapsed_s = round(time.perf_counter() - started, 6)
-        report.backend = engine.backend
-        report.scheduler = request.scheduler or (
-            self.scheduler if isinstance(self.scheduler, str) else ""
-        )
-        sched_stats = getattr(engine, "stats", None)
-        if sched_stats is not None:
-            report.sched_time = round(sched_stats.time, 6)
-            report.sched = {
-                "name": engine.scheduler.name,
-                "activations": sched_stats.activations,
-                "epochs": sched_stats.epochs,
-                "time": round(sched_stats.time, 6),
-                "retransmissions": sched_stats.retransmissions,
-            }
-        with self._lock:
-            self.stats.executed += 1
-        self.store.add(report.to_dict())
+                sources, destinations = _pick_endpoints(structure, request)
+                build_span.set(n=len(structure))
+            emit({"event": "structure", "n": len(structure), "k": len(sources),
+                  "l": len(destinations)})
+            engine = self.engine_for(
+                structure,
+                scheduler=request.scheduler or None,
+                backend=request.backend or None,
+            )
+            tracer = current_tracer()
+            if tracer is not None and tracer.trace_rounds:
+                engine.enable_round_tracing()
+            root_span.set(
+                n=len(structure),
+                backend=engine.backend,
+                scheduler=request.scheduler
+                or (self.scheduler if isinstance(self.scheduler, str) else "")
+                or "sync",
+            )
+            previous_hook = engine.rounds.on_tick
+            engine.rounds.on_tick = lambda total: emit(
+                {"event": "round", "rounds": total}
+            )
+            try:
+                if request.kind == "churn":
+                    report = self._run_churn(
+                        request, structure, sources, destinations, engine, emit
+                    )
+                else:
+                    report = self._run_solve(
+                        request, structure, sources, destinations, engine, emit
+                    )
+            finally:
+                engine.rounds.on_tick = previous_hook
+            report.elapsed_s = round(time.perf_counter() - started, 6)
+            report.backend = engine.backend
+            report.scheduler = request.scheduler or (
+                self.scheduler if isinstance(self.scheduler, str) else ""
+            )
+            sched_stats = getattr(engine, "stats", None)
+            if sched_stats is not None:
+                report.sched_time = round(sched_stats.time, 6)
+                report.sched = {
+                    "name": engine.scheduler.name,
+                    "activations": sched_stats.activations,
+                    "epochs": sched_stats.epochs,
+                    "time": round(sched_stats.time, 6),
+                    "retransmissions": sched_stats.retransmissions,
+                }
+            with self._lock:
+                self.stats.executed += 1
+            with trace_span("store"):
+                self.store.add(report.to_dict())
+            root_span.set(
+                rounds=report.rounds,
+                layout_cache_hits=LAYOUT_STATS.cache_hits - cache_hits0,
+                layout_cache_misses=LAYOUT_STATS.cache_misses - cache_misses0,
+            )
         emit({"event": "done", "key": key, "rounds": report.rounds,
               "elapsed_s": report.elapsed_s})
         return report
@@ -646,9 +675,14 @@ class Session:
         return forest, "wave"
 
     def _run_solve(self, request, structure, sources, destinations, engine, emit):
-        forest, resolved = self._solve_forest(
-            request, structure, sources, destinations, engine
-        )
+        rounds_before = engine.rounds.total
+        with trace_span("rounds", algorithm=request.algorithm) as rounds_span:
+            forest, resolved = self._solve_forest(
+                request, structure, sources, destinations, engine
+            )
+            rounds_span.set(
+                algorithm=resolved, rounds=engine.rounds.total - rounds_before
+            )
         emit({"event": "solved", "algorithm": resolved,
               "members": len(forest.members)})
         report = self._base_report(
@@ -658,7 +692,9 @@ class Session:
             from repro.motion.routing import RoutingPlan, route_tokens
 
             origins = _token_origins(request, forest, sources, destinations)
-            stats = route_tokens(RoutingPlan(forest, origins))
+            with trace_span("route", tokens=len(origins)) as route_span:
+                stats = route_tokens(RoutingPlan(forest, origins))
+                route_span.set(steps=stats.steps, moves=stats.total_moves)
             report.routing = stats.to_dict()
             report.routing["tokens"] = len(origins)
             report.routing_stats = stats
@@ -682,15 +718,17 @@ class Session:
                 crashed=crashed, drop_prob=request.drop, seed=request.seed
             )
         initial_n = len(structure)
-        dyn = DynamicSPF(
-            structure,
-            sources,
-            destinations if request.l != ALL_NODES else None,
-            threshold=request.threshold,
-            faults=faults,
-            session=_BoundEngineSession(engine),
-        )
-        initial_rounds = dyn.engine.rounds.total
+        with trace_span("rounds") as solve_span:
+            dyn = DynamicSPF(
+                structure,
+                sources,
+                destinations if request.l != ALL_NODES else None,
+                threshold=request.threshold,
+                faults=faults,
+                session=_BoundEngineSession(engine),
+            )
+            initial_rounds = dyn.engine.rounds.total
+            solve_span.set(algorithm="dynamic", rounds=initial_rounds)
         initial_members = len(dyn.forest.members)
         emit({"event": "solved", "algorithm": "dynamic",
               "members": len(dyn.forest.members), "rounds": initial_rounds})
@@ -716,15 +754,17 @@ class Session:
         # point for how much the incremental repairs saved.
         from repro.spf.api import solve_spf
 
-        reference = solve_spf(
-            dyn.structure,
-            sources,
-            destinations
-            if request.l != ALL_NODES
-            else list(dyn.structure.nodes),
-            engine=self.engine_for(dyn.structure, scheduler=""),
-            allow_holes=request.allow_holes or self.allow_holes,
-        )
+        with trace_span("reference") as ref_span:
+            reference = solve_spf(
+                dyn.structure,
+                sources,
+                destinations
+                if request.l != ALL_NODES
+                else list(dyn.structure.nodes),
+                engine=self.engine_for(dyn.structure, scheduler=""),
+                allow_holes=request.allow_holes or self.allow_holes,
+            )
+            ref_span.set(rounds=reference.rounds)
         report.repair = {
             "initial_n": initial_n,
             "initial_rounds": initial_rounds,

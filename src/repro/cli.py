@@ -24,6 +24,9 @@ Commands
     Run the solver daemon: a long-lived :class:`~repro.api.Session`
     behind an HTTP job API with JSONL progress streaming and a
     persistent result store (see :mod:`repro.service`).
+``trace``
+    Render a JSONL span trace (written by ``solve --trace`` or a
+    campaign's ``--trace-dir``) as a text flamegraph.
 ``info``
     Describe a generated structure (portals, diameter, holes).
 
@@ -88,11 +91,27 @@ def _request_from_args(args: argparse.Namespace, kind: str, **extra):
         raise SystemExit(str(exc)) from exc
 
 
-def _run_request(request):
-    """Execute one request on a throwaway session (user errors exit)."""
+def _run_request(request, trace_path=None, trace_rounds=False):
+    """Execute one request on a throwaway session (user errors exit).
+
+    ``trace_path`` activates the span tracer for the run and dumps the
+    JSONL trace there (render it with ``repro trace <file>``);
+    ``trace_rounds`` additionally wraps every beep round in its own
+    span.  Without a path, no tracer is installed and the run executes
+    the uninstrumented fast path.
+    """
     from repro.api import Session
 
     try:
+        if trace_path:
+            from repro.obs import Tracer, use_tracer
+
+            tracer = Tracer(trace_rounds=trace_rounds)
+            with use_tracer(tracer):
+                report = Session().run(request)
+            count = tracer.dump(trace_path)
+            print(f"trace: {count} spans -> {trace_path}", file=sys.stderr)
+            return report
         return Session().run(request)
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
@@ -113,7 +132,11 @@ def _print_scheduler_report(sched: dict) -> None:
 
 def cmd_solve(args: argparse.Namespace) -> int:
     """Handle ``repro solve``."""
-    report = _run_request(_request_from_args(args, "solve"))
+    report = _run_request(
+        _request_from_args(args, "solve"),
+        trace_path=args.trace,
+        trace_rounds=args.trace_rounds,
+    )
     print(f"n = {report.n}, k = {args.k}, l = {args.l}")
     print(f"algorithm: {report.algorithm}")
     print(f"synchronous rounds: {report.rounds}")
@@ -139,7 +162,11 @@ def cmd_solve(args: argparse.Namespace) -> int:
 
 def cmd_route(args: argparse.Namespace) -> int:
     """Handle ``repro route`` — token routing along a solved forest."""
-    report = _run_request(_request_from_args(args, "route", tokens=args.tokens))
+    report = _run_request(
+        _request_from_args(args, "route", tokens=args.tokens),
+        trace_path=args.trace,
+        trace_rounds=args.trace_rounds,
+    )
     routing = report.routing
     print(f"n = {report.n}, k = {args.k}, l = {args.l}")
     print(f"algorithm: {report.algorithm} ({report.rounds} solve rounds)")
@@ -163,7 +190,9 @@ def cmd_churn(args: argparse.Namespace) -> int:
             threshold=args.threshold,
             crash=args.crash,
             drop=args.drop,
-        )
+        ),
+        trace_path=args.trace,
+        trace_rounds=args.trace_rounds,
     )
     repair = report.repair
     print(f"n = {repair['initial_n']}, k = {args.k}, l = {args.l}")
@@ -203,13 +232,19 @@ def cmd_churn(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     """Handle ``repro serve`` — the solver daemon (see :mod:`repro.service`)."""
     from repro.api import Session
+    from repro.obs import configure_logging
     from repro.service import SolverService, serve
 
     try:
+        configure_logging(level=args.log_level, fmt=args.log_format)
         session = Session(scheduler=args.scheduler, store=args.store)
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
-    service = SolverService(session=session, workers=args.workers)
+    service = SolverService(
+        session=session,
+        workers=args.workers,
+        metrics_interval=args.metrics_interval,
+    )
     server = serve(host=args.host, port=args.port, service=service)
     host, port = server.server_address[:2]
     print(f"repro serve: listening on http://{host}:{port} "
@@ -334,7 +369,11 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         )
         sys.stdout.flush()
 
-    runner = CampaignRunner(store=store, workers=args.workers)
+    runner = CampaignRunner(
+        store=store,
+        workers=args.workers,
+        trace_dir=getattr(args, "trace_dir", None),
+    )
     try:
         report = runner.run(
             campaign,
@@ -392,6 +431,18 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return cmd_campaign_summarize(args)
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Handle ``repro trace`` — render a JSONL span trace as text."""
+    from repro.obs import load_trace, render_trace
+
+    try:
+        records = load_trace(args.file)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+    print(render_trace(records, width=args.width))
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     """Handle ``repro info``."""
     structure = make_structure(args.shape)
@@ -405,6 +456,20 @@ def cmd_info(args: argparse.Namespace) -> int:
         print(f"{axis.name}-portals: {system.portal_count()} "
               f"(tree: {system.is_portal_graph_tree()})")
     return 0
+
+
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    """Add the shared ``--trace`` / ``--trace-rounds`` flags."""
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a JSONL span trace of the run (view: repro trace FILE)",
+    )
+    parser.add_argument(
+        "--trace-rounds",
+        action="store_true",
+        help="with --trace: one span per beep round (verbose, slower)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -436,6 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
         "adversarial:DELTA, weighted:SEED",
     )
     solve.add_argument("--ascii", action="store_true", help="render the forest")
+    _add_trace_flags(solve)
     solve.set_defaults(func=cmd_solve)
 
     route = sub.add_parser(
@@ -453,6 +519,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="route this many tokens from random forest members "
         "(default: one token per destination)",
     )
+    _add_trace_flags(route)
     route.set_defaults(func=cmd_route)
 
     churn = sub.add_parser(
@@ -489,6 +556,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="event-driven activation scheduler (see 'solve --help')",
     )
     churn.add_argument("--ascii", action="store_true", help="render the final frame")
+    _add_trace_flags(churn)
     churn.set_defaults(func=cmd_churn)
 
     sweep = sub.add_parser("sweep", help="round-complexity sweeps")
@@ -529,6 +597,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--quiet", action="store_true", help="suppress per-trial progress lines"
     )
+    campaign.add_argument(
+        "--trace-dir",
+        help="run/resume: spool one JSONL span trace per worker into "
+        "this directory (view: repro trace <dir>/trials-<pid>.jsonl)",
+    )
     campaign.set_defaults(func=cmd_campaign)
 
     serve = sub.add_parser(
@@ -550,7 +623,38 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME[:PARAM]",
         help="session-wide default activation scheduler (see 'solve --help')",
     )
+    from repro.obs.logs import LOG_FORMATS, LOG_LEVELS
+
+    serve.add_argument(
+        "--log-level",
+        choices=list(LOG_LEVELS),
+        default="info",
+        help="structured log verbosity on stderr (debug also logs HTTP access)",
+    )
+    serve.add_argument(
+        "--log-format",
+        choices=list(LOG_FORMATS),
+        default="text",
+        help="log line format: human text or one JSON object per line",
+    )
+    serve.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="with --store: append a metrics snapshot to metrics.jsonl "
+        "next to the store every SECONDS (0 = off)",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    trace = sub.add_parser(
+        "trace", help="render a JSONL span trace as a text flamegraph"
+    )
+    trace.add_argument("file", help="trace file written by --trace / --trace-dir")
+    trace.add_argument(
+        "--width", type=int, default=40, help="bar width of a 100%% span"
+    )
+    trace.set_defaults(func=cmd_trace)
 
     info = sub.add_parser("info", help="describe a generated structure")
     info.add_argument("--shape", default="hexagon:3")

@@ -66,6 +66,7 @@ from repro.grid.directions import opposite
 from repro.grid.oracle import bfs_distances
 from repro.grid.structure import AmoebotStructure
 from repro.motion.routing import RoutingPlan, RoutingStats, route_tokens
+from repro.obs.trace import trace_span
 from repro.sim.circuits import CircuitLayout, LayoutCache
 from repro.sim.engine import CircuitEngine
 from repro.spf.types import Forest
@@ -446,8 +447,17 @@ class DynamicSPF:
 
         Raises :class:`EditError` (leaving the structure untouched) if
         the batch is illegal; sources and explicit destinations are
-        protected.
+        protected.  Each batch is one ``repair`` telemetry span
+        (no-op unless a tracer is active) carrying the repair mode and
+        round cost.
         """
+        with trace_span("repair", ops=batch.size) as span:
+            stats = self._apply(batch)
+            span.set(mode=stats.mode, rounds=stats.rounds, region=stats.region)
+            return stats
+
+    def _apply(self, batch: EditBatch) -> RepairStats:
+        """The untraced edit-application body (see :meth:`apply`)."""
         start_rounds = self.engine.rounds.total
         old_structure = self.structure
         removed = tuple(batch.remove)

@@ -17,6 +17,7 @@ state, so serial and parallel runs produce bit-identical records.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -28,10 +29,24 @@ from repro.experiments.store import ResultStore
 from repro.grid.coords import Node
 from repro.grid.oracle import structure_diameter
 from repro.grid.structure import AmoebotStructure
+from repro.obs import Tracer, trace_span, use_tracer
 from repro.sim.circuits import LayoutCache
 from repro.sim.engine import CircuitEngine
 from repro.workloads.samplers import sample_sources_destinations, spread_nodes
 from repro.workloads.specs import build_structure
+
+#: Directory per-trial span traces are spooled into, or ``None`` (off).
+#: A module global (not runner state) because trials execute in worker
+#: *processes*: the pool initializer sets it in each worker, and every
+#: worker appends to its own ``trials-<pid>.jsonl`` — no cross-process
+#: file contention, no pickling of tracer objects.
+_TRACE_DIR: Optional[str] = None
+
+
+def _set_trace_dir(path: Optional[str]) -> None:
+    """Install the trace spool directory (process-pool initializer)."""
+    global _TRACE_DIR
+    _TRACE_DIR = path
 
 #: Process-wide layout cache shared by every trial a worker executes.
 #: Keys are scoped by the trial structure's node set, so trials over the
@@ -219,16 +234,48 @@ def _execute_churn_trial(
 
 
 def execute_trial(trial: TrialSpec) -> TrialResult:
-    """Run one trial and measure rounds, forest size and wall time."""
-    structure = build_structure(trial.shape)
-    sources, destinations = _pick_endpoints(structure, trial)
+    """Run one trial and measure rounds, forest size and wall time.
+
+    When a trace spool directory is installed (``--trace-dir``), the
+    whole trial runs under a span tracer whose records are appended —
+    tagged with the trial key — to this process's
+    ``trials-<pid>.jsonl`` in that directory.
+    """
+    if _TRACE_DIR is None:
+        return _run_trial(trial)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with trace_span(
+            "trial",
+            scenario=trial.scenario,
+            shape=trial.shape,
+            seed=trial.seed,
+            algorithm=trial.algorithm,
+        ) as span:
+            result = _run_trial(trial)
+            span.set(rounds=result.rounds)
+    tracer.dump(
+        os.path.join(_TRACE_DIR, f"trials-{os.getpid()}.jsonl"),
+        append=True,
+        extra={"trial": trial.key()},
+    )
+    return result
+
+
+def _run_trial(trial: TrialSpec) -> TrialResult:
+    """The untraced trial body (see :func:`execute_trial`)."""
+    with trace_span("build", shape=trial.shape):
+        structure = build_structure(trial.shape)
+        sources, destinations = _pick_endpoints(structure, trial)
     resolved = trial.algorithm
     start = time.perf_counter()
 
     if trial.churn:
-        members, total_rounds, extras, activations, sched_time = _execute_churn_trial(
-            trial, structure, sources, destinations
-        )
+        with trace_span("rounds", algorithm="dynamic") as churn_span:
+            (
+                members, total_rounds, extras, activations, sched_time,
+            ) = _execute_churn_trial(trial, structure, sources, destinations)
+            churn_span.set(rounds=total_rounds)
         elapsed = time.perf_counter() - start
         sections: Dict[str, int] = dict(extras)
         return TrialResult(
@@ -255,41 +302,43 @@ def execute_trial(trial: TrialSpec) -> TrialResult:
         )
 
     engine = _trial_engine(structure, trial.scheduler)
-    if trial.algorithm == "auto":
-        from repro.spf.api import solve_spf
+    with trace_span("rounds", algorithm=trial.algorithm) as rounds_span:
+        if trial.algorithm == "auto":
+            from repro.spf.api import solve_spf
 
-        solution = solve_spf(structure, sources, destinations, engine=engine)
-        members = len(solution.forest.members)
-        resolved = solution.algorithm
-    elif trial.algorithm == "spt":
-        from repro.spf.spt import shortest_path_tree
+            solution = solve_spf(structure, sources, destinations, engine=engine)
+            members = len(solution.forest.members)
+            resolved = solution.algorithm
+        elif trial.algorithm == "spt":
+            from repro.spf.spt import shortest_path_tree
 
-        spt = shortest_path_tree(engine, structure, sources[0], destinations)
-        members = len(spt.members)
-    elif trial.algorithm == "forest":
-        from repro.spf.forest import shortest_path_forest
+            spt = shortest_path_tree(engine, structure, sources[0], destinations)
+            members = len(spt.members)
+        elif trial.algorithm == "forest":
+            from repro.spf.forest import shortest_path_forest
 
-        forest = shortest_path_forest(
-            engine,
-            structure,
-            sources,
-            destinations if trial.l != ALL_NODES else None,
-        )
-        members = len(forest.members)
-    elif trial.algorithm == "sequential":
-        from repro.baselines.sequential_merge import sequential_merge_forest
+            forest = shortest_path_forest(
+                engine,
+                structure,
+                sources,
+                destinations if trial.l != ALL_NODES else None,
+            )
+            members = len(forest.members)
+        elif trial.algorithm == "sequential":
+            from repro.baselines.sequential_merge import sequential_merge_forest
 
-        forest = sequential_merge_forest(engine, structure, sources)
-        members = len(forest.members)
-    elif trial.algorithm == "wave":
-        from repro.baselines.bfs_wave import bfs_wave_forest
+            forest = sequential_merge_forest(engine, structure, sources)
+            members = len(forest.members)
+        elif trial.algorithm == "wave":
+            from repro.baselines.bfs_wave import bfs_wave_forest
 
-        forest = bfs_wave_forest(
-            engine, structure, set(sources), set(destinations)
-        )
-        members = len(forest.members)
-    else:  # pragma: no cover - spec validation rejects this earlier
-        raise ValueError(f"unknown algorithm {trial.algorithm!r}")
+            forest = bfs_wave_forest(
+                engine, structure, set(sources), set(destinations)
+            )
+            members = len(forest.members)
+        else:  # pragma: no cover - spec validation rejects this earlier
+            raise ValueError(f"unknown algorithm {trial.algorithm!r}")
+        rounds_span.set(algorithm=resolved, rounds=engine.rounds.total)
 
     elapsed = time.perf_counter() - start
     sched_stats = getattr(engine, "stats", None)
@@ -359,11 +408,24 @@ class CampaignRunner:
     workers:
         ``<= 1`` runs inline; otherwise a ``ProcessPoolExecutor`` with
         that many workers.  Results are identical either way.
+    trace_dir:
+        When set, every trial runs under a span tracer and each worker
+        process appends its trials' spans to ``trials-<pid>.jsonl`` in
+        this directory (created if missing).  ``None`` (default) runs
+        the uninstrumented path.
     """
 
-    def __init__(self, store: Optional[ResultStore] = None, workers: int = 1):
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: int = 1,
+        trace_dir: Optional[os.PathLike] = None,
+    ):
         self.store = store if store is not None else ResultStore()
         self.workers = max(1, int(workers))
+        self.trace_dir = str(trace_dir) if trace_dir else None
+        if self.trace_dir:
+            os.makedirs(self.trace_dir, exist_ok=True)
 
     def run(
         self,
@@ -427,11 +489,20 @@ class CampaignRunner:
                 progress(trial, result, done, total)
 
         if self.workers == 1:
-            for trial in todo:
-                done += 1
-                record(trial, execute_trial(trial), done)
+            previous = _TRACE_DIR
+            _set_trace_dir(self.trace_dir or previous)
+            try:
+                for trial in todo:
+                    done += 1
+                    record(trial, execute_trial(trial), done)
+            finally:
+                _set_trace_dir(previous)
             return out
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_set_trace_dir,
+            initargs=(self.trace_dir,),
+        ) as pool:
             futures = {pool.submit(execute_trial, trial): trial for trial in todo}
             for future in as_completed(futures):
                 done += 1

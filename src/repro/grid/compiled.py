@@ -38,6 +38,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.backend import numpy_or_none, resolve_backend
 from repro.grid.coords import Node
 from repro.grid.directions import DIRECTION_OFFSETS, OPPOSITE_VALUES as _OPP, Direction
+from repro.obs.trace import trace_span
 
 #: Direction offsets in direction-value order (E, NE, NW, W, SW, SE).
 _OFFSETS: Tuple[Tuple[int, int], ...] = tuple(
@@ -181,12 +182,13 @@ class GridIndex:
         node_list = list(set(nodes))
         if not node_list:
             raise ValueError("grid index requires at least one node")
-        built = None
-        if len(node_list) >= _VECTORIZE_MIN and resolve_backend() == "numpy":
-            built = _build_tables_np(node_list, numpy_or_none())
-        if built is None:
-            ordered = sorted(node_list)
-            built = (ordered, *_build_tables_py(ordered))
+        with trace_span("grid_tables", n=len(node_list)):
+            built = None
+            if len(node_list) >= _VECTORIZE_MIN and resolve_backend() == "numpy":
+                built = _build_tables_np(node_list, numpy_or_none())
+            if built is None:
+                ordered = sorted(node_list)
+                built = (ordered, *_build_tables_py(ordered))
         ordered, nbr, deg, boundary = built
         self.nodes: List[Optional[Node]] = list(ordered)
         self.n_slots = len(ordered)

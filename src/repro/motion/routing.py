@@ -55,6 +55,20 @@ class RoutingStats:
             },
         }
 
+    def reset(self) -> None:
+        """Zero every counter (symmetry with the other stat objects).
+
+        Routing stats are per-simulation values rather than cumulative
+        process counters, but exposing the same ``to_dict``/``reset``
+        pair lets the metrics registry treat every stats object
+        uniformly.
+        """
+        self.steps = 0
+        self.total_moves = 0
+        self.lower_bound = 0
+        self.token_paths = {}
+        self.rescued = 0
+
 
 @dataclass
 class RoutingPlan:

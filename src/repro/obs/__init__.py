@@ -1,0 +1,68 @@
+"""Unified telemetry: span tracing, metrics registry, exposition.
+
+Zero-dependency observability for the whole solve pipeline, in three
+layers (see ``README.md`` "Observability"):
+
+* :mod:`repro.obs.trace` — nested, timed **spans**
+  (``build -> grid_index -> compile -> rounds -> repair``) with
+  attributes (n, backend, scheduler, cache hit/miss).  The tracer is a
+  no-op unless explicitly activated: library code calls
+  :func:`trace_span`, which returns a shared do-nothing span whenever
+  no tracer is installed on the current thread, so the hot paths cost
+  one thread-local read when tracing is off.
+* :mod:`repro.obs.metrics` — typed Counter / Gauge / Histogram
+  instruments in a :class:`MetricsRegistry`, plus *views* re-exporting
+  the legacy stat globals (``LAYOUT_STATS``, ``GRID_STATS``, session
+  counters) without touching their hot ``+= 1`` attribute paths.
+* :mod:`repro.obs.expose` — Prometheus text exposition
+  (``GET /metrics`` on ``repro serve``), a format validator used by
+  tests and CI, and a periodic JSONL metrics snapshotter.
+
+Traces dump as JSONL (one span per line) and render as a text
+flamegraph via ``repro trace <file>`` (:mod:`repro.obs.render`).
+"""
+
+from repro.obs.logs import JsonLogFormatter, configure_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    exponential_buckets,
+)
+from repro.obs.expose import (
+    MetricsSnapshotter,
+    register_process_views,
+    validate_prometheus_text,
+)
+from repro.obs.render import render_trace
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Tracer,
+    current_tracer,
+    load_trace,
+    trace_span,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLogFormatter",
+    "MetricError",
+    "MetricsRegistry",
+    "MetricsSnapshotter",
+    "NOOP_SPAN",
+    "Tracer",
+    "configure_logging",
+    "current_tracer",
+    "exponential_buckets",
+    "load_trace",
+    "register_process_views",
+    "render_trace",
+    "trace_span",
+    "use_tracer",
+    "validate_prometheus_text",
+]

@@ -1,0 +1,84 @@
+"""Structured logging for the solver daemon (stdlib ``logging`` only).
+
+``repro serve --log-level info`` turns the previously silent daemon
+into one emitting request accept/finish lines (job id, latency, cache
+outcome); ``--log-format json`` swaps the human formatter for
+:class:`JsonLogFormatter`, which serializes every record — message
+plus any ``extra={...}`` fields — as one JSON object per line, ready
+for log shippers.
+
+The library itself only ever *gets* loggers under the ``"repro"``
+namespace; :func:`configure_logging` is the single place a handler is
+attached, and only the CLI (or a test) calls it — importing repro
+never touches global logging state.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Optional, TextIO
+
+#: Attributes present on every LogRecord — anything else came from
+#: ``extra=`` and is included in the JSON document.
+_RESERVED = frozenset(
+    vars(
+        logging.LogRecord("x", logging.INFO, __file__, 0, "", (), None)
+    )
+) | {"message", "asctime", "taskName"}
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+LOG_FORMATS = ("text", "json")
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record: ts/level/logger/msg plus extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Serialize ``record`` (and its ``extra`` fields) as JSON."""
+        out = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                out[key] = value
+        if record.exc_info:
+            out["exc"] = self.formatException(record.exc_info)
+        return json.dumps(out, sort_keys=True, default=str)
+
+
+def configure_logging(
+    level: str = "info",
+    fmt: str = "text",
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """Configure (and return) the ``"repro"`` root logger.
+
+    Replaces any prior repro handlers (idempotent — safe to call per
+    test), logs to ``stream`` (default stderr, keeping stdout clean
+    for command output), and disables propagation so embedding
+    applications keep full control of their own root logger.
+    """
+    if level not in LOG_LEVELS:
+        raise ValueError(f"log level must be one of {LOG_LEVELS}, got {level!r}")
+    if fmt not in LOG_FORMATS:
+        raise ValueError(f"log format must be one of {LOG_FORMATS}, got {fmt!r}")
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level.upper()))
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if fmt == "json":
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(levelname)s %(name)s: %(message)s",
+                datefmt="%H:%M:%S",
+            )
+        )
+    logger.handlers[:] = [handler]
+    logger.propagate = False
+    return logger

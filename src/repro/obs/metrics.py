@@ -1,0 +1,434 @@
+"""Typed metric instruments and the pull-model registry.
+
+Three instrument kinds, deliberately Prometheus-shaped:
+
+* :class:`Counter` — monotonically increasing totals (``inc``).
+* :class:`Gauge` — point-in-time values (``set`` / ``inc`` / ``dec``).
+* :class:`Histogram` — observations bucketed by **exponential** upper
+  bounds (:func:`exponential_buckets`), with per-labelset sum and
+  count.  Bounded memory by construction — this is what replaces the
+  daemon's unbounded per-job latency sample list — and quantiles are
+  estimated from the bucket bounds (:meth:`Histogram.quantile`).
+
+Every instrument supports labels as keyword arguments at observation
+time (``hist.observe(0.2, kind="solve", cached="false")``); a labelset
+is one time series.
+
+The :class:`MetricsRegistry` is *pull-model*: besides owning
+instruments it accepts **views** — zero-cost read-throughs over the
+legacy stat globals (``LAYOUT_STATS``, ``GRID_STATS``, session
+counters).  The globals keep their plain ``+= 1`` attribute API (the
+hot paths are untouched and existing test assertions keep passing);
+the registry simply calls their ``to_dict()`` at collection time and
+renders the numeric fields as gauges named ``<prefix>_<field>``.
+String fields (e.g. backend names) collapse into one ``<prefix>_info``
+sample with the strings as labels, the standard ``*_info`` pattern.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class MetricError(ValueError):
+    """Invalid metric name/label, or a name registered with two types."""
+
+
+def exponential_buckets(
+    start: float = 0.001, factor: float = 2.0, count: int = 18
+) -> Tuple[float, ...]:
+    """``count`` exponentially growing histogram upper bounds.
+
+    The defaults span 1 ms to ~131 s in doublings — wide enough for
+    both a cached-job hit (sub-millisecond lands in the first bucket)
+    and a cold large-structure solve.  ``+Inf`` is implicit: every
+    histogram keeps one overflow bucket beyond the last bound.
+    """
+    if start <= 0 or factor <= 1 or count < 1:
+        raise MetricError(
+            f"need start > 0, factor > 1, count >= 1; "
+            f"got {start}, {factor}, {count}"
+        )
+    bounds = []
+    value = start
+    for _ in range(count):
+        bounds.append(value)
+        value *= factor
+    return tuple(bounds)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name or ""):
+        raise MetricError(f"invalid metric name {name!r}")
+    return name
+
+
+def _label_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    """Canonical hashable identity of a labelset (validates names)."""
+    for label in labels:
+        if not _LABEL_RE.match(label):
+            raise MetricError(f"invalid label name {label!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _matches(key: Tuple[Tuple[str, str], ...], subset: Dict[str, str]) -> bool:
+    """Does a series' label key contain every ``subset`` item?"""
+    have = dict(key)
+    return all(have.get(k) == str(v) for k, v in subset.items())
+
+
+class _Metric:
+    """Shared plumbing: name, help text, lock-protected series map."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):  # noqa: A002 - prometheus term
+        self.name = _check_name(name)
+        self.help = help
+        self._lock = threading.Lock()
+        self._series: "OrderedDict[tuple, object]" = OrderedDict()
+
+    def clear(self) -> None:
+        """Drop every series (registry ``reset`` uses this)."""
+        with self._lock:
+            self._series.clear()
+
+    def series(self) -> List[Tuple[Dict[str, str], object]]:
+        """Snapshot of ``(labels, state)`` pairs, insertion order."""
+        with self._lock:
+            return [(dict(key), value) for key, value in self._series.items()]
+
+
+class Counter(_Metric):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        """Add ``amount`` (must be >= 0) to the labelset's series."""
+        if amount < 0:
+            raise MetricError(f"counter {self.name} cannot decrease ({amount})")
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        """Current total summed over series matching the label subset."""
+        with self._lock:
+            return sum(
+                v for k, v in self._series.items() if _matches(k, labels)
+            )
+
+
+class Gauge(_Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        """Set the labelset's series to ``value``."""
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = value
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        """Add ``amount`` (may be negative) to the labelset's series."""
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels) -> None:
+        """Subtract ``amount`` from the labelset's series."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        """Current value summed over series matching the label subset."""
+        with self._lock:
+            return sum(
+                v for k, v in self._series.items() if _matches(k, labels)
+            )
+
+
+class _HistSeries:
+    """Per-labelset histogram state: bucket counts, sum, count."""
+
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int):
+        self.counts = [0] * (n_buckets + 1)  # + overflow (+Inf)
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Observations in exponential buckets — bounded, mergeable, cheap.
+
+    Memory per labelset is ``len(buckets) + 1`` integers plus a float
+    sum, independent of how many observations arrive: the cap that
+    replaces the daemon's unbounded latency list.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",  # noqa: A002 - prometheus term
+        buckets: Optional[Iterable[float]] = None,
+    ):
+        super().__init__(name, help)
+        bounds = tuple(buckets) if buckets is not None else exponential_buckets()
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise MetricError(f"histogram {name}: buckets must strictly increase")
+        if not bounds:
+            raise MetricError(f"histogram {name}: need at least one bucket")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation into the labelset's series."""
+        key = _label_key(labels)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistSeries(len(self.buckets))
+            series.counts[index] += 1
+            series.sum += value
+            series.count += 1
+
+    def _merged(self, labels: Dict[str, str]) -> _HistSeries:
+        merged = _HistSeries(len(self.buckets))
+        with self._lock:
+            for key, series in self._series.items():
+                if _matches(key, labels):
+                    for i, c in enumerate(series.counts):
+                        merged.counts[i] += c
+                    merged.sum += series.sum
+                    merged.count += series.count
+        return merged
+
+    def count(self, **labels) -> int:
+        """Observations in series matching the label subset."""
+        return self._merged(labels).count
+
+    def total_count(self) -> int:
+        """Observations across every series."""
+        return self._merged({}).count
+
+    def quantile(self, q: float, **labels) -> Optional[float]:
+        """Estimated ``q``-quantile from the bucket upper bounds.
+
+        Returns the upper bound of the bucket containing the quantile
+        (the conservative estimate bounded histograms can give), the
+        last finite bound for overflow observations, or ``None`` when
+        the matching series are empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile must be in [0, 1], got {q}")
+        merged = self._merged(labels)
+        if not merged.count:
+            return None
+        rank = q * merged.count
+        cumulative = 0
+        for i, bound in enumerate(self.buckets):
+            cumulative += merged.counts[i]
+            if cumulative >= rank and cumulative > 0:
+                return bound
+        return self.buckets[-1]
+
+
+#: A view's reader: () -> JSON-ready mapping of field -> value.
+ViewFn = Callable[[], Dict[str, object]]
+
+
+class MetricsRegistry:
+    """Owner of instruments plus pull-model views of legacy stats.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create (the same
+    name always returns the same instrument; a kind mismatch raises).
+    :meth:`register_view` adds a named read-through whose fields are
+    collected lazily — at ``/stats``, ``/metrics``, or snapshot time —
+    so the underlying stat objects keep their plain attribute API.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "OrderedDict[str, _Metric]" = OrderedDict()
+        self._views: "OrderedDict[str, Tuple[str, ViewFn]]" = OrderedDict()
+
+    # -- instruments ----------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str, **kw):  # noqa: A002
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise MetricError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            metric = cls(name, help, **kw)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:  # noqa: A002
+        """Get or create the :class:`Counter` named ``name``."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:  # noqa: A002
+        """Get or create the :class:`Gauge` named ``name``."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",  # noqa: A002 - prometheus term
+        buckets: Optional[Iterable[float]] = None,
+    ) -> Histogram:
+        """Get or create the :class:`Histogram` named ``name``."""
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def reset(self) -> None:
+        """Zero every instrument's series (views read live state)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.clear()
+
+    # -- views ----------------------------------------------------------
+    def register_view(self, key: str, fn: ViewFn, prefix: str) -> None:
+        """Register (or replace) the view ``key`` exposing ``fn()``.
+
+        ``prefix`` names the exposition family: numeric fields render
+        as ``<prefix>_<field>`` gauges, string/bool-free leftovers fold
+        into ``<prefix>_info``.  ``key`` is the plain-dict name under
+        which ``/stats`` reports the view (``layout_stats``, ...).
+        """
+        _check_name(prefix)
+        with self._lock:
+            self._views[key] = (prefix, fn)
+
+    def views_dict(self) -> Dict[str, Dict[str, object]]:
+        """Every view's current fields: ``{key: fn()}`` (the ``/stats`` body)."""
+        with self._lock:
+            views = list(self._views.items())
+        return {key: dict(fn()) for key, (_prefix, fn) in views}
+
+    # -- collection -----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of instruments and views (JSONL snapshots)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        instruments: Dict[str, object] = {}
+        for metric in metrics:
+            if isinstance(metric, Histogram):
+                instruments[metric.name] = {
+                    "type": metric.kind,
+                    "buckets": list(metric.buckets),
+                    "series": [
+                        {
+                            "labels": labels,
+                            "counts": list(state.counts),
+                            "sum": round(state.sum, 6),
+                            "count": state.count,
+                        }
+                        for labels, state in metric.series()
+                    ],
+                }
+            else:
+                instruments[metric.name] = {
+                    "type": metric.kind,
+                    "series": [
+                        {"labels": labels, "value": value}
+                        for labels, value in metric.series()
+                    ],
+                }
+        return {"instruments": instruments, "views": self.views_dict()}
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format 0.0.4."""
+        lines: List[str] = []
+        with self._lock:
+            metrics = list(self._metrics.values())
+            views = list(self._views.items())
+        for metric in metrics:
+            _render_family(lines, metric)
+        for _key, (prefix, fn) in views:
+            _render_view(lines, prefix, fn())
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def _format_value(value: float) -> str:
+    """Shortest faithful decimal for a sample value."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.10g}"
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for name in sorted(labels):
+        value = (
+            str(labels[name])
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+        parts.append(f'{name}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _render_family(lines: List[str], metric: _Metric) -> None:
+    if metric.help:
+        lines.append(f"# HELP {metric.name} {metric.help}")
+    lines.append(f"# TYPE {metric.name} {metric.kind}")
+    if isinstance(metric, Histogram):
+        for labels, state in metric.series():
+            cumulative = 0
+            for bound, count in zip(metric.buckets, state.counts):
+                cumulative += count
+                le = dict(labels, le=_format_value(bound))
+                lines.append(
+                    f"{metric.name}_bucket{_format_labels(le)} {cumulative}"
+                )
+            le = dict(labels, le="+Inf")
+            lines.append(f"{metric.name}_bucket{_format_labels(le)} {state.count}")
+            label_str = _format_labels(labels)
+            lines.append(f"{metric.name}_sum{label_str} {_format_value(state.sum)}")
+            lines.append(f"{metric.name}_count{label_str} {state.count}")
+    else:
+        for labels, value in metric.series():
+            lines.append(
+                f"{metric.name}{_format_labels(labels)} {_format_value(value)}"
+            )
+
+
+def _render_view(lines: List[str], prefix: str, fields: Dict[str, object]) -> None:
+    """Numeric fields as ``<prefix>_<field>`` gauges, strings as ``_info``."""
+    info: Dict[str, str] = {}
+    for field in sorted(fields):
+        value = fields[field]
+        if isinstance(value, bool):
+            value = int(value)
+        if isinstance(value, (int, float)):
+            if not _LABEL_RE.match(field):
+                continue  # a field name that cannot become a metric name
+            name = f"{prefix}_{field}"
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_format_value(value)}")
+        elif isinstance(value, str) and _LABEL_RE.match(field):
+            info[field] = value
+    if info:
+        name = f"{prefix}_info"
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{_format_labels(info)} 1")

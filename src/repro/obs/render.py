@@ -1,0 +1,79 @@
+"""Text flamegraph rendering of JSONL span traces (``repro trace``).
+
+The renderer rebuilds the span tree from ``id``/``parent`` links and
+prints one line per span: indentation for depth, the duration, a bar
+proportional to the share of the root span's wall-clock, the
+percentage, and the span's attributes.  Multiple roots (a trace file
+holding several requests, or a campaign's spooled per-trial traces)
+render as consecutive trees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1000:.1f}ms"
+
+
+def _format_attrs(attrs: Dict[str, object]) -> str:
+    return " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+
+
+def render_trace(records: Sequence[dict], width: int = 40) -> str:
+    """Render span records (from :func:`repro.obs.load_trace`) as text.
+
+    ``width`` is the bar length of a span covering 100% of its root.
+    Spans are ordered by start time within each tree; orphaned spans
+    (parent id missing from the file) are treated as roots.
+    """
+    if not records:
+        return "(empty trace)"
+    by_id = {r.get("id"): r for r in records if r.get("id") is not None}
+    children: Dict[object, List[dict]] = {}
+    roots: List[dict] = []
+    for record in records:
+        parent = record.get("parent")
+        if parent is None or parent not in by_id:
+            roots.append(record)
+        else:
+            children.setdefault(parent, []).append(record)
+    roots.sort(key=lambda r: r.get("start_s", 0.0))
+    for kids in children.values():
+        kids.sort(key=lambda r: r.get("start_s", 0.0))
+
+    lines: List[str] = []
+    name_width = max(
+        len("  " * int(r.get("depth", 0)) + str(r.get("name", "?")))
+        for r in records
+    )
+
+    def emit(record: dict, root_dur: float, depth: int) -> None:
+        dur = float(record.get("dur_s", 0.0))
+        share = dur / root_dur if root_dur > 0 else 0.0
+        bar_len = int(round(share * width))
+        if dur > 0 and bar_len == 0:
+            bar_len = 1
+        label = "  " * depth + str(record.get("name", "?"))
+        attrs = record.get("attrs") or {}
+        extra = record.get("trial")
+        if extra is not None:
+            attrs = dict(attrs, trial=extra)
+        line = (
+            f"{label:<{name_width}}  {_format_duration(dur):>9}  "
+            f"{'█' * bar_len:<{width}} {share * 100:5.1f}%"
+        )
+        if attrs:
+            line += f"  {_format_attrs(attrs)}"
+        lines.append(line.rstrip())
+        for child in children.get(record.get("id"), []):
+            emit(child, root_dur, depth + 1)
+
+    for index, root in enumerate(roots):
+        if index:
+            lines.append("")
+        emit(root, float(root.get("dur_s", 0.0)), 0)
+    return "\n".join(lines)

@@ -66,6 +66,32 @@ class ActivationStats:
     #: schedulers).
     per_node: Dict[int, int] = field(default_factory=dict)
 
+    def to_dict(self) -> dict:
+        """Scalar counters as a JSON-ready mapping (metrics view).
+
+        ``per_node`` is folded to its size (``participants``) — the full
+        per-id map is test-probe detail, not a telemetry series.
+        """
+        return {
+            "activations": self.activations,
+            "wasted": self.wasted,
+            "epochs": self.epochs,
+            "time": round(self.time, 6),
+            "retransmissions": self.retransmissions,
+            "checksum": self.checksum,
+            "participants": len(self.per_node),
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (tests reset before probing a run)."""
+        self.activations = 0
+        self.wasted = 0
+        self.epochs = 0
+        self.time = 0.0
+        self.retransmissions = 0
+        self.checksum = 0
+        self.per_node = {}
+
 
 class ActivationEngine(CircuitEngine):
     """A :class:`CircuitEngine` driven by per-amoebot activation events.

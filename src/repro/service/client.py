@@ -81,6 +81,23 @@ class ServiceClient:
         """``GET /stats``."""
         return self._request("GET", "/stats")
 
+    def metrics(self) -> str:
+        """``GET /metrics`` — the raw Prometheus text body (not JSON)."""
+        conn = self._connect()
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            body = response.read().decode("utf-8")
+            if response.status >= 400:
+                raise ServiceError(response.status, body.strip())
+            return body
+        finally:
+            conn.close()
+
+    def trace(self, job_id: str) -> dict:
+        """``GET /jobs/<id>/trace`` — the job's span records."""
+        return self._request("GET", f"/jobs/{job_id}/trace")
+
     def submit(self, spec: Union[JobSpec, Dict]) -> dict:
         """``POST /jobs`` — returns the job snapshot (with its ``id``)."""
         body = spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)

@@ -16,6 +16,7 @@ and killed-daemon resume sound.
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
@@ -23,8 +24,16 @@ import traceback
 from typing import Dict, Iterator, List, Optional
 
 from repro.api import Session
-from repro.backend import backend_info
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSnapshotter,
+    Tracer,
+    register_process_views,
+    use_tracer,
+)
 from repro.service.jobs import JobSpec
+
+logger = logging.getLogger("repro.service.daemon")
 
 _QUEUED, _RUNNING, _DONE, _FAILED, _CANCELLED = (
     "queued",
@@ -60,6 +69,9 @@ class Job:
         self.started_s: Optional[float] = None
         self.elapsed_s: Optional[float] = None
         self.finished = threading.Event()
+        #: Span records of this job's execution (set on completion;
+        #: served by ``GET /jobs/<id>/trace``).
+        self.trace: Optional[List[dict]] = None
         self._events: List[dict] = []
         self._cond = threading.Condition()
 
@@ -129,6 +141,10 @@ class SolverService:
         what makes a restarted daemon resume finished work.
     workers:
         Worker thread count (jobs execute concurrently up to this).
+    metrics_interval:
+        When positive and the result store is file-backed, a
+        :class:`~repro.obs.MetricsSnapshotter` appends one registry
+        snapshot per interval to ``metrics.jsonl`` next to the store.
     """
 
     def __init__(
@@ -136,6 +152,7 @@ class SolverService:
         session: Optional[Session] = None,
         store: Optional[object] = None,
         workers: int = 2,
+        metrics_interval: float = 0.0,
     ):
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -148,8 +165,30 @@ class SolverService:
         self._lock = threading.Lock()
         self._closed = False
         self.started_s = time.time()
-        #: Completed-job latency samples: (kind, cached, elapsed_s).
-        self._latencies: List[tuple] = []
+        #: Per-service metrics registry: process-global stat views plus
+        #: this service's own instruments.  Private per instance so
+        #: parallel test daemons never share counter state.
+        self.metrics = register_process_views(MetricsRegistry())
+        self.metrics.register_view(
+            "session", self.session.stats.to_dict, "repro_session"
+        )
+        self._jobs_total = self.metrics.counter(
+            "repro_jobs_total", "Jobs reaching a terminal state, by state."
+        )
+        #: Bounded replacement for the historical unbounded per-job
+        #: latency list: exponential buckets, fixed memory forever.
+        self._job_latency = self.metrics.histogram(
+            "repro_job_latency_seconds",
+            "Completed job wall-clock latency, by kind and cache outcome.",
+        )
+        self._snapshotter: Optional[MetricsSnapshotter] = None
+        store_path = getattr(self.store, "path", None)
+        if metrics_interval > 0 and store_path is not None:
+            self._snapshotter = MetricsSnapshotter(
+                self.metrics,
+                store_path.parent / "metrics.jsonl",
+                interval_s=metrics_interval,
+            ).start()
         self._threads = [
             threading.Thread(
                 target=self._worker, name=f"repro-worker-{i}", daemon=True
@@ -158,6 +197,9 @@ class SolverService:
         ]
         for thread in self._threads:
             thread.start()
+        logger.info(
+            "service started", extra={"workers": workers, "store": str(store_path)}
+        )
 
     # ------------------------------------------------------------------
     # submission & queries
@@ -179,6 +221,10 @@ class SolverService:
             job = Job(f"{spec.key()[:12]}-{self._seq}", spec)
             self._jobs[job.id] = job
         job.emit({"event": "queued", "id": job.id, "key": job.key})
+        logger.info(
+            "job accepted",
+            extra={"job": job.id, "kind": spec.kind, "key": job.key},
+        )
         self._queue.put(job)
         return job
 
@@ -201,28 +247,43 @@ class SolverService:
     def stats(self) -> dict:
         """JSON-ready service health: jobs, caches, latencies, backend.
 
-        Includes the session's own counters plus the process-global
-        layout/grid probes — the numbers the CI smoke asserts on.
+        Every sub-document is pulled through the metrics registry's
+        views (the single collection path ``/metrics`` also renders),
+        so ``/stats`` and the Prometheus exposition can never drift
+        apart.  The latency summary is derived from the bounded
+        histogram — no per-job samples are retained.
         """
-        from repro.grid.compiled import GRID_STATS
-        from repro.sim.circuits import LAYOUT_STATS
-
         with self._lock:
             states: Dict[str, int] = {}
             for job in self._jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
-            latencies = list(self._latencies)
+        views = self.metrics.views_dict()
         return {
             "uptime_s": round(time.time() - self.started_s, 3),
             "workers": self.workers,
             "jobs": states,
-            "session": self.session.stats.to_dict(),
+            "session": views["session"],
             "store": {"records": len(self.store)},
-            "layout_stats": LAYOUT_STATS.to_dict(),
-            "grid_stats": GRID_STATS.to_dict(),
-            "backend": backend_info(),
-            "latency": _latency_summary(latencies),
+            "layout_stats": views["layout_stats"],
+            "grid_stats": views["grid_stats"],
+            "backend": views["backend"],
+            "latency": self._latency_summary(),
         }
+
+    def _latency_summary(self) -> dict:
+        """p50/p99 over completed jobs (histogram-derived), by outcome."""
+        hist = self._job_latency
+        out: dict = {"completed": hist.total_count()}
+        if out["completed"]:
+            out["p50_s"] = hist.quantile(0.50)
+            out["p99_s"] = hist.quantile(0.99)
+        warm = hist.count(cached="true")
+        cold = hist.count(cached="false")
+        if warm:
+            out["warm"] = {"count": warm, "p50_s": hist.quantile(0.50, cached="true")}
+        if cold:
+            out["cold"] = {"count": cold, "p50_s": hist.quantile(0.50, cached="false")}
+        return out
 
     # ------------------------------------------------------------------
     # execution
@@ -237,25 +298,45 @@ class SolverService:
             job.state = _RUNNING
             job.started_s = time.time()
             job.emit({"event": "running", "id": job.id})
+            logger.info(
+                "job started",
+                extra={"job": job.id, "kind": job.spec.kind, "key": job.key},
+            )
+            tracer = Tracer()
             try:
-                if job.spec.request is not None:
-                    report = self.session.run(
-                        job.spec.request,
-                        resume=not job.spec.fresh,
-                        on_event=job.emit,
-                    )
-                    job.result = report.to_dict()
-                    cached = report.cached
-                else:
-                    job.result = self._run_campaign(job)
-                    cached = False
+                with use_tracer(tracer):
+                    if job.spec.request is not None:
+                        report = self.session.run(
+                            job.spec.request,
+                            resume=not job.spec.fresh,
+                            on_event=job.emit,
+                        )
+                        job.result = report.to_dict()
+                        cached = report.cached
+                    else:
+                        job.result = self._run_campaign(job)
+                        cached = False
+                job.trace = tracer.records()
                 job._finish(_DONE)
-                with self._lock:
-                    self._latencies.append(
-                        (job.spec.kind, cached, job.elapsed_s)
+                if job.elapsed_s is not None:
+                    self._job_latency.observe(
+                        job.elapsed_s,
+                        kind=job.spec.kind,
+                        cached="true" if cached else "false",
                     )
+                self._jobs_total.inc(state=_DONE)
+                logger.info(
+                    "job finished",
+                    extra={
+                        "job": job.id,
+                        "kind": job.spec.kind,
+                        "latency_s": job.elapsed_s,
+                        "cached": cached,
+                    },
+                )
             except Exception as exc:  # noqa: BLE001 - jobs must not kill workers
                 job.error = f"{type(exc).__name__}: {exc}"
+                job.trace = tracer.records()
                 job.emit(
                     {
                         "event": "error",
@@ -265,6 +346,11 @@ class SolverService:
                     }
                 )
                 job._finish(_FAILED)
+                self._jobs_total.inc(state=_FAILED)
+                logger.error(
+                    "job failed",
+                    extra={"job": job.id, "kind": job.spec.kind, "error": job.error},
+                )
 
     def _run_campaign(self, job: Job) -> dict:
         """Execute a campaign job against the shared result store."""
@@ -326,32 +412,15 @@ class SolverService:
             for job in pending:
                 job.emit({"event": "cancelled", "id": job.id})
                 job._finish(_CANCELLED)
+                self._jobs_total.inc(state=_CANCELLED)
                 cancelled += 1
             for _ in self._threads:
                 self._queue.put(None)
         if wait:
             for thread in self._threads:
                 thread.join()
+        if not already:
+            if self._snapshotter is not None:
+                self._snapshotter.stop()
+            logger.info("service stopped", extra={"cancelled": cancelled})
         return {"cancelled": cancelled}
-
-
-def _latency_summary(samples: List[tuple]) -> dict:
-    """p50/p99 over completed jobs, split by cache outcome."""
-
-    def pct(values: List[float], q: float) -> float:
-        ordered = sorted(values)
-        index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
-        return round(ordered[index], 6)
-
-    out: dict = {"completed": len(samples)}
-    elapsed = [s[2] for s in samples if s[2] is not None]
-    if elapsed:
-        out["p50_s"] = pct(elapsed, 0.50)
-        out["p99_s"] = pct(elapsed, 0.99)
-    warm = [s[2] for s in samples if s[1] and s[2] is not None]
-    cold = [s[2] for s in samples if not s[1] and s[2] is not None]
-    if warm:
-        out["warm"] = {"count": len(warm), "p50_s": pct(warm, 0.50)}
-    if cold:
-        out["cold"] = {"count": len(cold), "p50_s": pct(cold, 0.50)}
-    return out

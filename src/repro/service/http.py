@@ -10,10 +10,12 @@ Endpoints::
 
     GET  /healthz                  {"ok": true, ...}
     GET  /stats                    service + cache counters, latencies
+    GET  /metrics                  Prometheus text exposition (0.0.4)
     GET  /jobs                     snapshots of every known job
     GET  /jobs/<id>                one job's snapshot
     GET  /jobs/<id>/result?timeout=S   block for the result (408 on timeout)
     GET  /jobs/<id>/stream         chunked JSONL progress events
+    GET  /jobs/<id>/trace          the job's span records (JSON)
     POST /jobs                     submit a JobSpec body -> 202 + snapshot
     POST /shutdown                 graceful stop (finishes in-flight jobs)
 
@@ -26,6 +28,7 @@ ambiguity.
 from __future__ import annotations
 
 import json
+import logging
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
@@ -34,6 +37,11 @@ from urllib.parse import parse_qs, urlparse
 from repro.api import RequestError
 from repro.service.daemon import ServiceClosed, SolverService
 from repro.service.jobs import JobSpec
+
+logger = logging.getLogger("repro.service.http")
+
+#: Prometheus text exposition format content type (version 0.0.4).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -68,7 +76,9 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        pass  # quiet by default; the CLI prints its own lines
+        # Routed through the repro logger at debug level: silent unless
+        # ``repro serve --log-level debug`` (or a test) configures it.
+        logger.debug("%s %s", self.address_string(), format % args)
 
     # -- plumbing -------------------------------------------------------
     def _send_json(self, status: int, payload: dict) -> None:
@@ -106,6 +116,8 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             elif parts == ["stats"]:
                 self._send_json(200, self.service.stats())
+            elif parts == ["metrics"]:
+                self._send_metrics()
             elif parts == ["jobs"]:
                 self._send_json(200, {"jobs": self.service.jobs()})
             elif len(parts) == 2 and parts[0] == "jobs":
@@ -114,12 +126,31 @@ class _Handler(BaseHTTPRequestHandler):
                 self._get_result(parts[1], url.query)
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "stream":
                 self._stream(parts[1])
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "trace":
+                self._get_trace(parts[1])
             else:
                 self._error(404, f"no such endpoint: {url.path}")
         except KeyError:
             self._error(404, f"no such job: {parts[1]}")
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
             pass  # client went away mid-stream; nothing to clean up
+
+    def _send_metrics(self) -> None:
+        body = self.service.metrics.render_prometheus().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _get_trace(self, job_id: str) -> None:
+        job = self.service.job(job_id)
+        if job.trace is None:
+            self._error(409, f"job {job_id} has no trace yet ({job.state})")
+            return
+        self._send_json(
+            200, {"id": job.id, "state": job.state, "spans": job.trace}
+        )
 
     def _get_result(self, job_id: str, query: str) -> None:
         params = parse_qs(query)

@@ -56,6 +56,7 @@ from repro.sim.compiled import (
     compile_wiring_ids,
     recompile_derived,
 )
+from repro.obs.trace import trace_span
 from repro.sim.errors import PinConfigurationError
 from repro.sim.pins import PartitionSetId, Pin
 
@@ -630,10 +631,14 @@ class CircuitLayout:
         """
         if self._frozen:
             return
-        if self._base_compiled is not None:
-            self._freeze_incremental()
-        else:
-            self._freeze_full()
+        incremental = self._base_compiled is not None
+        with trace_span(
+            "compile", kind="incremental" if incremental else "full"
+        ):
+            if incremental:
+                self._freeze_incremental()
+            else:
+                self._freeze_full()
         self._frozen = True
 
     def _freeze_full(self) -> None:

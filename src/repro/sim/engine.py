@@ -361,6 +361,34 @@ class CircuitEngine:
         for beeps, listen in activations:
             yield self.run_round_indexed(layout, beeps, listen)
 
+    def enable_round_tracing(self) -> None:
+        """Wrap this engine's round entry points in telemetry spans.
+
+        Opt-in per engine instance (``repro solve --trace-rounds``): the
+        class methods stay untouched, so engines without tracing run the
+        exact seed bytecode — the wrappers are installed as *instance*
+        attributes that shadow :meth:`run_round` /
+        :meth:`run_round_indexed` only on this object.  Idempotent.
+        """
+        if "run_round_indexed" in self.__dict__:
+            return
+        from repro.obs.trace import trace_span
+
+        cls = type(self)
+        base_indexed = cls.run_round_indexed
+        base_mapped = cls.run_round
+
+        def traced_indexed(layout, beeps, listen=None):
+            with trace_span("round"):
+                return base_indexed(self, layout, beeps, listen)
+
+        def traced_mapped(layout, beeps, listen=None):
+            with trace_span("round"):
+                return base_mapped(self, layout, beeps, listen)
+
+        self.run_round_indexed = traced_indexed
+        self.run_round = traced_mapped
+
     def charge_local_round(self, rounds: int = 1) -> None:
         """Charge rounds for steps with no beeps (pure local recomputation).
 

@@ -22,6 +22,7 @@ from repro.service import (
     SolverService,
     serve,
 )
+from repro.obs import validate_prometheus_text
 from repro.service.client import ServiceError
 from repro.sim.circuits import LAYOUT_STATS
 
@@ -237,6 +238,76 @@ class TestHTTPEndpoints:
             client.result(job["id"], timeout=0.001)
         assert err.value.status == 408
         service.wait(job["id"])  # drain before fixture shutdown
+
+    def test_metrics_endpoint_is_valid_prometheus(self, daemon):
+        _service, client = daemon
+        client.run(JobSpec(request=REQUEST), timeout=60)
+        body = client.metrics()
+        assert validate_prometheus_text(body) == []
+        assert "repro_jobs_total" in body
+        assert "repro_job_latency_seconds_bucket" in body
+        assert "repro_session_cache_hits" in body
+        assert "repro_layout_cache_hits" in body
+        assert "repro_backend_info" in body
+
+    def test_trace_endpoint(self, daemon):
+        _service, client = daemon
+        job = client.run(JobSpec(request=REQUEST), timeout=60)
+        trace = client.trace(job["id"])
+        assert trace["state"] == "done"
+        names = {span["name"] for span in trace["spans"]}
+        assert "solve" in names
+        with pytest.raises(ServiceError) as err:
+            client.trace("no-such-job")
+        assert err.value.status == 404
+
+
+class TestTelemetry:
+    def test_latency_memory_is_bounded(self):
+        """Per-job latency tracking must not grow with job count."""
+        service = SolverService(workers=1)
+        # The old implementation kept an unbounded per-job list; the
+        # histogram keeps a fixed bucket vector regardless of volume.
+        assert not hasattr(service, "_latencies")
+        for seed in range(4):
+            service.wait(
+                service.submit(
+                    JobSpec(request=SolveRequest(shape="hexagon:2", seed=seed))
+                ).id
+            )
+        for _labels, state in service._job_latency.series():
+            assert len(state.counts) == len(service._job_latency.buckets) + 1
+        summary = service.stats()["latency"]
+        assert summary["completed"] == 4
+        assert summary["cold"]["count"] == 4
+        assert summary["cold"]["p50_s"] is not None
+        service.shutdown()
+
+    def test_latency_summary_splits_warm_and_cold(self):
+        service = SolverService(workers=1)
+        service.wait(service.submit(JobSpec(request=REQUEST)).id)
+        service.wait(service.submit(JobSpec(request=REQUEST)).id)
+        summary = service.stats()["latency"]
+        assert summary["completed"] == 2
+        assert summary["warm"]["count"] == 1
+        assert summary["cold"]["count"] == 1
+        service.shutdown()
+
+    def test_metrics_snapshot_file(self, tmp_path):
+        import json
+
+        service = SolverService(
+            store=tmp_path / "jobs.jsonl", workers=1, metrics_interval=0.05
+        )
+        service.wait(service.submit(JobSpec(request=REQUEST)).id)
+        time.sleep(0.12)
+        service.shutdown()
+        lines = (tmp_path / "metrics.jsonl").read_text().splitlines()
+        assert lines
+        last = json.loads(lines[-1])
+        instruments = last["metrics"]["instruments"]
+        assert "repro_jobs_total" in instruments
+        assert last["metrics"]["views"]["session"]["executed"] >= 1
 
     def test_http_shutdown_endpoint(self):
         server = serve(port=0, workers=1)
