@@ -42,6 +42,7 @@ hook the library itself uses.
 
 from __future__ import annotations
 
+import logging
 import random as _random
 import threading
 import time
@@ -61,6 +62,7 @@ from repro.experiments.store import ResultStore
 from repro.grid.coords import Node
 from repro.grid.structure import AmoebotStructure
 from repro.obs.trace import current_tracer, trace_span
+from repro.resilience import Cancelled, CancellationToken
 from repro.sim.circuits import LAYOUT_STATS, LayoutCache
 from repro.sim.engine import CircuitEngine
 from repro.workloads.samplers import sample_sources_destinations, spread_nodes
@@ -77,6 +79,8 @@ _CHURN_KINDS = ("growth", "erosion", "tunnel", "block_move", "mixed")
 
 #: Event callback for streaming progress (see :meth:`Session.run`).
 EventFn = Callable[[Dict[str, object]], None]
+
+logger = logging.getLogger("repro.api")
 
 
 class RequestError(ValueError):
@@ -129,6 +133,8 @@ class SolveRequest:
     threshold: float = 0.2
     crash: int = 0
     drop: float = 0.0
+    # Quality-of-service (identity-neutral: never part of the key).
+    deadline_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in REQUEST_KINDS:
@@ -190,6 +196,16 @@ class SolveRequest:
             raise RequestError(f"drop must be in [0, 1], got {self.drop}")
         if (self.crash or self.drop) and self.kind != "churn":
             raise RequestError("fault injection is only wired for kind='churn'")
+        if not isinstance(self.deadline_s, (int, float)) or isinstance(
+            self.deadline_s, bool
+        ):
+            raise RequestError(
+                f"deadline_s must be a number, got {self.deadline_s!r}"
+            )
+        if self.deadline_s < 0:
+            raise RequestError(
+                f"deadline_s must be >= 0 (0 = no deadline), got {self.deadline_s}"
+            )
 
     # ------------------------------------------------------------------
     # identity & serialization
@@ -200,7 +216,9 @@ class SolveRequest:
         Kind-specific and override fields enter only when set, so a
         plain solve keeps the same key whether it was built before or
         after a new knob existed — the same stability contract as
-        :meth:`TrialSpec.config`.
+        :meth:`TrialSpec.config`.  ``deadline_s`` never enters: it is a
+        quality-of-service bound, not part of what the work *is*, so a
+        request keeps its cache identity however impatient the caller.
         """
         out: Dict[str, object] = {
             "kind": self.kind,
@@ -233,7 +251,10 @@ class SolveRequest:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready mapping (inverse of :meth:`from_dict`)."""
-        return self.config()
+        out = self.config()
+        if self.deadline_s:
+            out["deadline_s"] = self.deadline_s
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "SolveRequest":
@@ -348,6 +369,9 @@ class SessionStats:
     cache_hits: int = 0
     structures_built: int = 0
     structure_hits: int = 0
+    #: Result-store writes that failed; the report is still returned
+    #: (a flaky store degrades caching, it must not fail the solve).
+    store_failures: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -363,6 +387,7 @@ class SessionStats:
             "hit_rate": round(self.hit_rate, 4),
             "structures_built": self.structures_built,
             "structure_hits": self.structure_hits,
+            "store_failures": self.store_failures,
         }
 
 
@@ -494,6 +519,7 @@ class Session:
         request: SolveRequest,
         resume: bool = True,
         on_event: Optional[EventFn] = None,
+        token: Optional[CancellationToken] = None,
     ) -> SolveReport:
         """Execute ``request`` (or serve it from the result store).
 
@@ -504,6 +530,16 @@ class Session:
         JSONL.  With ``resume=True`` (default) a request whose key is
         already in the store returns the recorded report immediately
         with ``cached=True``.
+
+        ``token`` plugs in cooperative cancellation: it is checked at
+        every emitted event boundary (per synchronous round, per churn
+        batch, at phase transitions), so a tripped token raises
+        :class:`~repro.resilience.Cancelled` (or
+        :class:`~repro.resilience.DeadlineExceeded`) within one round
+        of the trip, with the partial progress attached.  When the
+        request carries a ``deadline_s`` and no token is given, one is
+        armed automatically.  Cache hits never consult the token —
+        the warm path stays check-free.
         """
         if not isinstance(request, SolveRequest):
             raise TypeError(
@@ -511,9 +547,15 @@ class Session:
                 "(build one with SolveRequest(...) or SolveRequest.from_dict)"
             )
 
+        progress: Dict[str, object] = {}
+
         def emit(event: Dict[str, object]) -> None:
             if on_event is not None:
                 on_event(event)
+            if token is not None:
+                if event.get("event") == "round":
+                    progress["rounds"] = event["rounds"]
+                token.check()
 
         with self._lock:
             self.stats.requests += 1
@@ -527,14 +569,42 @@ class Session:
                 report.cached = True
                 with trace_span(request.kind, key=key, cached=True,
                                 rounds=report.rounds):
-                    emit({"event": "cached", "key": key, "rounds": report.rounds})
+                    # Deliberately not emit(): a warm hit is served even
+                    # under a cancelled or long-expired token — reading
+                    # a finished record costs nothing worth cancelling.
+                    if on_event is not None:
+                        on_event({"event": "cached", "key": key,
+                                  "rounds": report.rounds})
                 return report
 
+        if token is None and request.deadline_s:
+            token = CancellationToken(deadline_s=request.deadline_s)
         emit({"event": "start", "key": key, "kind": request.kind,
               "shape": request.shape})
         started = time.perf_counter()
         cache_hits0 = LAYOUT_STATS.cache_hits
         cache_misses0 = LAYOUT_STATS.cache_misses
+        try:
+            return self._execute(
+                request, key, emit, started, cache_hits0, cache_misses0
+            )
+        except Cancelled as exc:
+            exc.partial.update(progress)
+            exc.partial.setdefault("key", key)
+            exc.partial.setdefault("kind", request.kind)
+            exc.partial["elapsed_s"] = round(time.perf_counter() - started, 6)
+            raise
+
+    def _execute(
+        self,
+        request: SolveRequest,
+        key: str,
+        emit: EventFn,
+        started: float,
+        cache_hits0: int,
+        cache_misses0: int,
+    ) -> SolveReport:
+        """The cold path of :meth:`run`: build, solve, persist, report."""
         with trace_span(request.kind, key=key, shape=request.shape,
                         cached=False) as root_span:
             with trace_span("build", shape=request.shape) as build_span:
@@ -593,7 +663,15 @@ class Session:
             with self._lock:
                 self.stats.executed += 1
             with trace_span("store"):
-                self.store.add(report.to_dict())
+                try:
+                    self.store.add(report.to_dict())
+                except Exception:
+                    # A flaky store loses a cache entry, never a result.
+                    with self._lock:
+                        self.stats.store_failures += 1
+                    logger.warning(
+                        "result store write failed for %s", key, exc_info=True
+                    )
             root_span.set(
                 rounds=report.rounds,
                 layout_cache_hits=LAYOUT_STATS.cache_hits - cache_hits0,

@@ -24,6 +24,11 @@ Commands
     Run the solver daemon: a long-lived :class:`~repro.api.Session`
     behind an HTTP job API with JSONL progress streaming and a
     persistent result store (see :mod:`repro.service`).
+``chaos``
+    Resilience smoke drill: drive the fault injectors in
+    ``tests/chaos.py`` (flaky store writes, expiring deadlines, a full
+    queue, worker processes killed mid-trial) and verify every
+    guarantee of the resilience layer holds.
 ``trace``
     Render a JSONL span trace (written by ``solve --trace`` or a
     campaign's ``--trace-dir``) as a text flamegraph.
@@ -85,6 +90,7 @@ def _request_from_args(args: argparse.Namespace, kind: str, **extra):
             seed=args.seed,
             placement="spread" if getattr(args, "spread", False) else "random",
             scheduler=getattr(args, "scheduler", "") or "",
+            deadline_s=getattr(args, "deadline", 0.0) or 0.0,
             **extra,
         )
     except RequestError as exc:
@@ -101,6 +107,7 @@ def _run_request(request, trace_path=None, trace_rounds=False):
     the uninstrumented fast path.
     """
     from repro.api import Session
+    from repro.resilience import Cancelled
 
     try:
         if trace_path:
@@ -113,6 +120,12 @@ def _run_request(request, trace_path=None, trace_rounds=False):
             print(f"trace: {count} spans -> {trace_path}", file=sys.stderr)
             return report
         return Session().run(request)
+    except Cancelled as exc:
+        rounds = exc.partial.get("rounds", 0)
+        elapsed = exc.partial.get("elapsed_s", 0.0)
+        raise SystemExit(
+            f"{exc} after {elapsed}s ({rounds} rounds completed)"
+        ) from exc
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
 
@@ -243,6 +256,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     service = SolverService(
         session=session,
         workers=args.workers,
+        max_queue=args.queue_depth,
         metrics_interval=args.metrics_interval,
     )
     server = serve(host=args.host, port=args.port, service=service)
@@ -261,6 +275,184 @@ def cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
         if summary["cancelled"]:
             print(f"cancelled {summary['cancelled']} queued job(s)")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Handle ``repro chaos`` — the resilience smoke drill.
+
+    Drives the fault injectors from ``tests/chaos.py`` against an
+    in-process :class:`~repro.service.SolverService` and a real
+    multi-process :class:`~repro.experiments.runner.CampaignRunner`:
+    flaky store writes, a deadline that expires mid-run, a full queue
+    shedding cold work while warm cache hits are still served, and
+    worker processes killed mid-trial.  Prints what happened and exits
+    nonzero if any resilience guarantee was violated.
+    """
+    import os
+    import tempfile
+    import time
+
+    try:
+        from tests.chaos import (
+            CHAOS_DIR_ENV,
+            FlakyStore,
+            GatedSession,
+            arm_crash_once,
+            arm_poison,
+            chaos_crash_trial,
+        )
+    except ImportError as exc:
+        raise SystemExit(
+            "repro chaos needs tests/chaos.py importable (run it from a "
+            f"source checkout root): {exc}"
+        ) from exc
+
+    from repro.api import Session, SolveRequest
+    from repro.experiments import CampaignRunner, ResultStore
+    from repro.experiments.spec import CampaignSpec, ScenarioSpec
+    from repro.resilience import RetryPolicy
+    from repro.service import JobSpec, ServiceOverloaded, SolverService
+
+    failures: List[str] = []
+
+    def check(ok: bool, label: str) -> None:
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+        if not ok:
+            failures.append(label)
+
+    # -- phase 1: daemon drill (flaky store, deadline, backpressure) ----
+    print("phase 1: solver daemon under chaos")
+    store = FlakyStore(fail_every=2)
+    warm_request = SolveRequest(shape="hexagon:3", k=1, l=3, seed=1)
+    # Pre-warm the store through a plain session so the daemon has one
+    # cacheable record (FlakyStore write #1 — the one that succeeds).
+    Session(store=store).run(warm_request)
+
+    gated = GatedSession(Session(store=store))
+    service = SolverService(session=gated, workers=1, max_queue=1)
+    try:
+        # Cold job with a deadline: it blocks on the gate until the
+        # deadline trips, so the worker frees itself without our help.
+        doomed = service.submit(
+            JobSpec(
+                request=SolveRequest(shape="hexagon:4", k=2, l=4, seed=2),
+                deadline_s=0.2,
+            )
+        )
+        gated.entered.wait(timeout=5.0)
+        # Second cold job fills the queue (depth 1 of 1)...
+        queued = service.submit(
+            JobSpec(request=SolveRequest(shape="hexagon:3", k=1, l=2, seed=3))
+        )
+        status = service.health()["status"]
+        check(
+            status in ("degraded", "overloaded"),
+            f"/healthz degrades under load (status={status})",
+        )
+        # ...so the next cold submission must be shed with a hint...
+        try:
+            service.submit(
+                JobSpec(
+                    request=SolveRequest(shape="hexagon:3", k=1, l=2, seed=4)
+                )
+            )
+            shed_info = "no ServiceOverloaded raised"
+            shed_ok = False
+        except ServiceOverloaded as exc:
+            shed_info = f"retry_after_s={exc.retry_after_s}"
+            shed_ok = exc.retry_after_s >= 1
+        check(shed_ok, f"cold submission shed when full ({shed_info})")
+        # ...while a warm cache hit is still served, never 500.
+        warm = service.submit(JobSpec(request=warm_request))
+        check(
+            warm.state == "done" and warm.result.get("cached") is True,
+            "warm cache hit served while overloaded",
+        )
+        timed_out = service.wait(doomed.id, timeout=10.0)
+        check(
+            timed_out.state == "timeout",
+            f"deadline job reached state=timeout (state={timed_out.state})",
+        )
+        gated.release()
+        finished = service.wait(queued.id, timeout=30.0)
+        check(
+            finished.state == "done",
+            "queued job completes after the worker frees up",
+        )
+        check(
+            gated.stats.store_failures >= 1,
+            f"flaky store writes survived as store_failures="
+            f"{gated.stats.store_failures}, not errors",
+        )
+        terminal = {"done", "failed", "timeout", "shed"}
+        states = [job["state"] for job in service.jobs()]
+        check(
+            all(state in terminal for state in states),
+            f"every job reached a terminal state ({states})",
+        )
+        print(
+            "  counters: sheds={:g} timeouts={:g}".format(
+                service._sheds_total.value(), service._timeouts_total.value()
+            )
+        )
+    finally:
+        service.shutdown(wait=True)
+
+    # -- phase 2: campaign with crashing workers ------------------------
+    print(f"phase 2: {args.trials}-trial campaign, workers killed mid-job")
+    campaign = CampaignSpec(
+        name="chaos-drill",
+        scenarios=(
+            ScenarioSpec(
+                name="chaos",
+                shape="random:30:1",
+                ks=(1,),
+                ls=(1,),
+                seeds=tuple(range(args.trials)),
+            ),
+        ),
+    )
+    trials = campaign.trials()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        for trial in trials[1:4]:
+            arm_crash_once(tmp, trial)  # 3 transient worker crashes
+        arm_poison(tmp, trials[0])  # 1 trial that always kills its worker
+        os.environ[CHAOS_DIR_ENV] = tmp
+        try:
+            runner = CampaignRunner(
+                store=ResultStore(Path(tmp) / "results.jsonl"),
+                workers=args.workers,
+                retry=RetryPolicy(attempts=3, base_delay_s=0.01,
+                                  max_delay_s=0.05),
+                trial_fn=chaos_crash_trial,
+            )
+            started = time.monotonic()
+            report = runner.run(campaign, resume=False)
+        finally:
+            os.environ.pop(CHAOS_DIR_ENV, None)
+    check(
+        len(report.results) == args.trials - 1,
+        f"{len(report.results)}/{args.trials} trials recovered "
+        "(all but the poison trial)",
+    )
+    check(
+        report.retries >= 3,
+        f"crashed trials were retried on fresh workers "
+        f"(retries={report.retries})",
+    )
+    quarantined_keys = {rec["key"] for rec in report.quarantined}
+    check(
+        quarantined_keys == {trials[0].key()},
+        "exactly the poison trial was quarantined "
+        f"({len(report.quarantined)} record(s))",
+    )
+    print(f"  campaign wall time: {time.monotonic() - started:.1f}s")
+
+    if failures:
+        print(f"chaos drill FAILED: {len(failures)} violation(s)")
+        return 1
+    print("chaos drill passed: all resilience guarantees held")
     return 0
 
 
@@ -501,6 +693,10 @@ def build_parser() -> argparse.ArgumentParser:
         "adversarial:DELTA, weighted:SEED",
     )
     solve.add_argument("--ascii", action="store_true", help="render the forest")
+    solve.add_argument(
+        "--deadline", type=float, default=0.0, metavar="SECONDS",
+        help="give up after this much wall time (0 = unbounded)",
+    )
     _add_trace_flags(solve)
     solve.set_defaults(func=cmd_solve)
 
@@ -518,6 +714,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="route this many tokens from random forest members "
         "(default: one token per destination)",
+    )
+    route.add_argument(
+        "--deadline", type=float, default=0.0, metavar="SECONDS",
+        help="give up after this much wall time (0 = unbounded)",
     )
     _add_trace_flags(route)
     route.set_defaults(func=cmd_route)
@@ -556,6 +756,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="event-driven activation scheduler (see 'solve --help')",
     )
     churn.add_argument("--ascii", action="store_true", help="render the final frame")
+    churn.add_argument(
+        "--deadline", type=float, default=0.0, metavar="SECONDS",
+        help="give up after this much wall time (0 = unbounded)",
+    )
     _add_trace_flags(churn)
     churn.set_defaults(func=cmd_churn)
 
@@ -613,6 +817,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=2,
                        help="worker threads executing jobs")
     serve.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="bound on queued jobs: beyond it cold submissions get "
+        "429 + Retry-After while warm cache hits are still served",
+    )
+    serve.add_argument(
         "--store",
         help="JSONL result store path: results persist and a restarted "
         "daemon resumes from them (default: in-memory)",
@@ -646,6 +855,21 @@ def build_parser() -> argparse.ArgumentParser:
         "next to the store every SECONDS (0 = off)",
     )
     serve.set_defaults(func=cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="resilience smoke drill: flaky store, deadlines, "
+        "backpressure, crashing workers",
+    )
+    chaos.add_argument(
+        "--trials", type=int, default=12, metavar="N",
+        help="campaign size for the worker-crash drill",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="campaign process fan-out (crashes need workers >= 2)",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     trace = sub.add_parser(
         "trace", help="render a JSONL span trace as a text flamegraph"

@@ -17,10 +17,12 @@ state, so serial and parallel runs produce bit-identical records.
 
 from __future__ import annotations
 
+import logging
 import os
 import random
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -30,10 +32,19 @@ from repro.grid.coords import Node
 from repro.grid.oracle import structure_diameter
 from repro.grid.structure import AmoebotStructure
 from repro.obs import Tracer, trace_span, use_tracer
+from repro.resilience import CancellationToken, RetryPolicy
 from repro.sim.circuits import LayoutCache
 from repro.sim.engine import CircuitEngine
 from repro.workloads.samplers import sample_sources_destinations, spread_nodes
 from repro.workloads.specs import build_structure
+
+logger = logging.getLogger("repro.experiments.runner")
+
+#: ``record`` marker of the structured failure records a quarantined
+#: trial leaves in the store.  Resume treats them as *not* cached — a
+#: later run re-attempts the trial — but campaign reports surface them
+#: so a poisoned trial is an accountable line item, not a lost abort.
+QUARANTINE_RECORD = "quarantined-trial"
 
 #: Directory per-trial span traces are spooled into, or ``None`` (off).
 #: A module global (not runner state) because trials execute in worker
@@ -375,11 +386,16 @@ class CampaignReport:
     executed: int
     cache_hits: int
     elapsed_s: float
+    #: Structured failure records of trials that exhausted their retry
+    #: budget (see :data:`QUARANTINE_RECORD`); empty on a clean run.
+    quarantined: List[Dict[str, object]] = field(default_factory=list)
+    #: Trial re-executions after worker crashes or in-worker errors.
+    retries: int = 0
 
     @property
     def total(self) -> int:
-        """Total trials in the campaign (executed + cached)."""
-        return len(self.results)
+        """Total trials in the campaign (executed + cached + quarantined)."""
+        return len(self.results) + len(self.quarantined)
 
     def records(self) -> List[Dict[str, object]]:
         """All results as plain dicts (aggregate-ready)."""
@@ -387,11 +403,17 @@ class CampaignReport:
 
     def summary(self) -> str:
         """One human-readable line: totals, cache hits, wall time."""
-        return (
+        line = (
             f"campaign {self.campaign!r}: {self.total} trials, "
             f"{self.executed} executed, {self.cache_hits} cache hits "
             f"({self.elapsed_s:.2f}s)"
         )
+        if self.retries or self.quarantined:
+            line += (
+                f" [{self.retries} retries, "
+                f"{len(self.quarantined)} quarantined]"
+            )
+        return line
 
 
 ProgressFn = Callable[[TrialSpec, TrialResult, int, int], None]
@@ -413,6 +435,18 @@ class CampaignRunner:
         process appends its trials' spans to ``trials-<pid>.jsonl`` in
         this directory (created if missing).  ``None`` (default) runs
         the uninstrumented path.
+    retry:
+        Retry budget for crashed or erroring trials
+        (:class:`~repro.resilience.RetryPolicy`; ``attempts`` is total
+        tries per trial).  A trial that exhausts the budget is
+        *quarantined*: a structured failure record lands in the store
+        and on :attr:`CampaignReport.quarantined`, and the rest of the
+        campaign keeps running — a dead worker process
+        (``BrokenProcessPool``) no longer aborts anything.
+    trial_fn:
+        The trial executor (module-level, hence picklable).  Chaos
+        tests swap in fault-injecting wrappers; everyone else keeps
+        :func:`execute_trial`.
     """
 
     def __init__(
@@ -420,24 +454,39 @@ class CampaignRunner:
         store: Optional[ResultStore] = None,
         workers: int = 1,
         trace_dir: Optional[os.PathLike] = None,
+        retry: Optional[RetryPolicy] = None,
+        trial_fn: Callable[[TrialSpec], TrialResult] = execute_trial,
     ):
         self.store = store if store is not None else ResultStore()
         self.workers = max(1, int(workers))
         self.trace_dir = str(trace_dir) if trace_dir else None
         if self.trace_dir:
             os.makedirs(self.trace_dir, exist_ok=True)
+        self.retry = retry if retry is not None else RetryPolicy(
+            attempts=3, base_delay_s=0.05, max_delay_s=0.5
+        )
+        self.trial_fn = trial_fn
+        #: Store writes that failed (results are kept in memory and the
+        #: campaign continues; see :meth:`_store_add`).
+        self.store_failures = 0
 
     def run(
         self,
         campaign: CampaignSpec,
         resume: bool = True,
         progress: Optional[ProgressFn] = None,
+        token: Optional[CancellationToken] = None,
     ) -> CampaignReport:
         """Execute every trial of ``campaign`` not already in the store.
 
         With ``resume=False`` cached records are ignored (and
         overwritten in the store's in-memory view; the JSONL log keeps
-        both, last write wins on reload).
+        both, last write wins on reload).  Quarantine records never
+        count as cached — a re-run re-attempts those trials.
+
+        ``token`` is checked at trial boundaries: a deadline or cancel
+        raises :class:`~repro.resilience.Cancelled` mid-campaign, with
+        everything completed so far already persisted in the store.
         """
         trials = expand_trials(campaign.trials())
         started = time.perf_counter()
@@ -445,29 +494,85 @@ class CampaignRunner:
         todo: List[TrialSpec] = []
         for trial in trials:
             record = self.store.get(trial.key()) if resume else None
-            if record is not None:
+            if record is not None and record.get("record") is None:
                 # Cached results keep their originally recorded scenario
                 # label, so the report always matches the store contents
                 # (a hit may come from another campaign's scenario).
+                # Marked records (quarantine entries) are not results.
                 result = TrialResult.from_dict(record)
                 result.cached = True
                 cached[trial.key()] = result
             else:
                 todo.append(trial)
 
-        fresh = self._execute(todo, progress, total=len(trials), done=len(cached))
+        fresh, quarantined, retries = self._execute(
+            todo, progress, total=len(trials), done=len(cached), token=token
+        )
 
         results: List[TrialResult] = []
         for trial in trials:
             key = trial.key()
-            results.append(cached[key] if key in cached else fresh[key])
+            if key in cached:
+                results.append(cached[key])
+            elif key in fresh:
+                results.append(fresh[key])
+            # else: quarantined — reported separately, not a result
         return CampaignReport(
             campaign=campaign.name,
             results=results,
             executed=len(fresh),
             cache_hits=len(cached),
             elapsed_s=round(time.perf_counter() - started, 6),
+            quarantined=quarantined,
+            retries=retries,
         )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _store_add(self, record: Dict[str, object]) -> None:
+        """Persist one record, tolerating store faults.
+
+        A failed write costs a cache entry (and a resume point), never
+        the in-memory result — campaigns outlive flaky disks.
+        """
+        try:
+            self.store.add(record)
+        except Exception:  # noqa: BLE001 - persistence is best-effort here
+            self.store_failures += 1
+            logger.warning(
+                "store write failed for %s", record.get("key"), exc_info=True
+            )
+
+    def _quarantine(
+        self, trial: TrialSpec, exc: BaseException, attempts: int
+    ) -> Dict[str, object]:
+        """Build + persist the structured failure record for one trial."""
+        record = {
+            "key": trial.key(),
+            "record": QUARANTINE_RECORD,
+            "scenario": trial.scenario,
+            "shape": trial.shape,
+            "seed": trial.seed,
+            "algorithm": trial.algorithm,
+            "error": f"{type(exc).__name__}: {exc}",
+            "attempts": attempts,
+        }
+        self._store_add(record)
+        logger.warning(
+            "trial quarantined after %d attempts: %s (%s)",
+            attempts,
+            trial.key(),
+            record["error"],
+        )
+        return record
+
+    def _retry_delay(self, failures: int) -> float:
+        """Backoff before re-attempting a trial that failed ``failures`` times."""
+        delays = self.retry.delays()
+        if not delays:
+            return 0.0
+        return delays[min(failures - 1, len(delays) - 1)]
 
     def _execute(
         self,
@@ -475,39 +580,141 @@ class CampaignRunner:
         progress: Optional[ProgressFn],
         total: int,
         done: int,
-    ) -> Dict[str, TrialResult]:
+        token: Optional[CancellationToken] = None,
+    ) -> Tuple[Dict[str, TrialResult], List[Dict[str, object]], int]:
         out: Dict[str, TrialResult] = {}
+        quarantined: List[Dict[str, object]] = []
+        retries = 0
         if not todo:
-            return out
+            return out, quarantined, retries
 
         def record(trial: TrialSpec, result: TrialResult, done: int) -> None:
             # Persist immediately so an interrupted campaign resumes
             # from the last completed trial, not from scratch.
             out[trial.key()] = result
-            self.store.add(result.to_dict())
+            self._store_add(result.to_dict())
             if progress is not None:
                 progress(trial, result, done, total)
+
+        budget = self.retry.attempts
 
         if self.workers == 1:
             previous = _TRACE_DIR
             _set_trace_dir(self.trace_dir or previous)
             try:
                 for trial in todo:
-                    done += 1
-                    record(trial, execute_trial(trial), done)
+                    if token is not None:
+                        token.check(trials_done=done)
+                    failures = 0
+                    while True:
+                        try:
+                            result = self.trial_fn(trial)
+                        except Exception as exc:  # noqa: BLE001
+                            failures += 1
+                            if failures >= budget:
+                                done += 1
+                                quarantined.append(
+                                    self._quarantine(trial, exc, failures)
+                                )
+                                break
+                            retries += 1
+                            time.sleep(self._retry_delay(failures))
+                            continue
+                        done += 1
+                        record(trial, result, done)
+                        break
             finally:
                 _set_trace_dir(previous)
-            return out
-        with ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=_set_trace_dir,
-            initargs=(self.trace_dir,),
-        ) as pool:
-            futures = {pool.submit(execute_trial, trial): trial for trial in todo}
-            for future in as_completed(futures):
+            return out, quarantined, retries
+
+        # Parallel execution, crash-tolerant.  Optimistic pass: fan the
+        # whole batch over one pool.  If a worker process dies the pool
+        # is broken and attribution is impossible (every outstanding
+        # future raises BrokenProcessPool regardless of guilt) — so the
+        # survivors move to a careful isolation pass, one fresh
+        # single-worker pool per trial, where a crash is unambiguous.
+        # Only solo crashes and in-worker exceptions charge a trial's
+        # retry budget; being collateral of someone else's crash never
+        # quarantines an innocent trial.
+        failures: Dict[str, int] = {t.key(): 0 for t in todo}
+        last_error: Dict[str, BaseException] = {}
+        pending: List[TrialSpec] = list(todo)
+        while pending:
+            if token is not None:
+                token.check(trials_done=done)
+            batch = pending
+            pending = []
+            broke = False
+            settled: set = set()
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_set_trace_dir,
+                initargs=(self.trace_dir,),
+            ) as pool:
+                futures = {
+                    pool.submit(self.trial_fn, trial): trial for trial in batch
+                }
+                for future in as_completed(futures):
+                    trial = futures[future]
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        broke = True
+                        break  # every outstanding future is doomed too
+                    except Exception as exc:  # noqa: BLE001 - in-worker error
+                        settled.add(trial.key())
+                        failures[trial.key()] += 1
+                        last_error[trial.key()] = exc
+                        if failures[trial.key()] >= budget:
+                            done += 1
+                            quarantined.append(
+                                self._quarantine(
+                                    trial, exc, failures[trial.key()]
+                                )
+                            )
+                        else:
+                            retries += 1
+                            pending.append(trial)
+                        continue
+                    settled.add(trial.key())
+                    done += 1
+                    record(trial, result, done)
+            if not broke:
+                continue
+            # Isolation pass over everything the broken pool left
+            # unsettled.  Each run here is a re-execution (the trial was
+            # already submitted once), hence counts as a retry.
+            unsettled = [t for t in batch if t.key() not in settled]
+            logger.warning(
+                "worker pool broke; isolating %d unsettled trials",
+                len(unsettled),
+            )
+            for trial in unsettled:
+                if token is not None:
+                    token.check(trials_done=done)
+                retries += 1
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=1,
+                        initializer=_set_trace_dir,
+                        initargs=(self.trace_dir,),
+                    ) as solo:
+                        result = solo.submit(self.trial_fn, trial).result()
+                except Exception as exc:  # noqa: BLE001 - incl. BrokenProcessPool
+                    failures[trial.key()] += 1
+                    last_error[trial.key()] = exc
+                    if failures[trial.key()] >= budget:
+                        done += 1
+                        quarantined.append(
+                            self._quarantine(trial, exc, failures[trial.key()])
+                        )
+                    else:
+                        time.sleep(self._retry_delay(failures[trial.key()]))
+                        pending.append(trial)
+                    continue
                 done += 1
-                record(futures[future], future.result(), done)
-        return out
+                record(trial, result, done)
+        return out, quarantined, retries
 
 
 def run_campaign(
@@ -516,8 +723,9 @@ def run_campaign(
     workers: int = 1,
     resume: bool = True,
     progress: Optional[ProgressFn] = None,
+    token: Optional[CancellationToken] = None,
 ) -> CampaignReport:
     """Convenience wrapper: ``CampaignRunner(store, workers).run(...)``."""
     return CampaignRunner(store=store, workers=workers).run(
-        campaign, resume=resume, progress=progress
+        campaign, resume=resume, progress=progress, token=token
     )

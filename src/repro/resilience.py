@@ -1,0 +1,304 @@
+"""Shared resilience primitives: deadlines, retries, circuit breaking.
+
+Three small, dependency-free building blocks used across the service
+stack (:mod:`repro.service`), the campaign runner
+(:mod:`repro.experiments.runner`), and the :mod:`repro.api` session:
+
+* :class:`CancellationToken` — cooperative cancellation with an
+  optional deadline.  The token is *checked*, never enforced: the
+  session checks it at round and phase boundaries (via its event
+  stream), the campaign runner between trials.  A tripped check raises
+  :class:`Cancelled` / :class:`DeadlineExceeded` carrying whatever
+  partial progress the checker recorded, so a timed-out job can report
+  how far it got instead of vanishing.
+
+* :class:`RetryPolicy` — a frozen description of an exponential-backoff
+  retry schedule with *deterministic seeded jitter*: two policies with
+  equal fields produce byte-identical delay sequences, which keeps
+  retry behavior reproducible in tests and chaos drills.  Retrying a
+  solver request is always safe because requests are content-hashed —
+  resubmitting the same key is idempotent by construction.
+
+* :class:`CircuitBreaker` — the classic closed → open → half-open state
+  machine bounding how hard a client hammers a dead daemon.  Purely
+  clock-driven (injectable clock, trivially testable), thread-safe.
+
+Everything here is deliberately free of imports from the rest of the
+package so any layer may depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type
+
+__all__ = [
+    "Cancelled",
+    "DeadlineExceeded",
+    "CancellationToken",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CircuitOpen",
+]
+
+
+class Cancelled(RuntimeError):
+    """Cooperative cancellation tripped (see :class:`CancellationToken`).
+
+    :attr:`partial` carries the progress snapshot recorded by whoever
+    called :meth:`CancellationToken.check` — for a solver run that is
+    the rounds completed so far.
+    """
+
+    def __init__(self, message: str, partial: Optional[Dict[str, object]] = None):
+        super().__init__(message)
+        self.partial: Dict[str, object] = dict(partial or {})
+
+
+class DeadlineExceeded(Cancelled):
+    """A :class:`CancellationToken` deadline expired."""
+
+    def __init__(
+        self, deadline_s: float, partial: Optional[Dict[str, object]] = None
+    ):
+        super().__init__(f"deadline of {deadline_s:g}s exceeded", partial)
+        self.deadline_s = deadline_s
+
+
+class CancellationToken:
+    """Cooperative cancellation handle with an optional deadline.
+
+    The token never interrupts anything by itself — cancellation is a
+    contract between the creator (who may :meth:`cancel` or set a
+    ``deadline_s``) and the executor (who calls :meth:`check` at
+    natural boundaries: after a structure build, per beep round, per
+    churn batch, per campaign trial).  A check costs one monotonic
+    clock read when a deadline is armed, nothing otherwise.
+    """
+
+    def __init__(
+        self,
+        deadline_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive (or None for no deadline), "
+                f"got {deadline_s}"
+            )
+        self._clock = clock
+        self.deadline_s = deadline_s
+        self.started = clock()
+        self.expires_at = (
+            self.started + deadline_s if deadline_s is not None else None
+        )
+        self._cancelled: Optional[str] = None
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Trip the token; the next :meth:`check` raises :class:`Cancelled`."""
+        self._cancelled = reason
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled is not None
+
+    @property
+    def expired(self) -> bool:
+        """Whether the deadline (if any) has passed."""
+        return self.expires_at is not None and self._clock() >= self.expires_at
+
+    def remaining_s(self) -> Optional[float]:
+        """Seconds left before the deadline, or ``None`` without one."""
+        if self.expires_at is None:
+            return None
+        return max(0.0, self.expires_at - self._clock())
+
+    def check(self, **progress: object) -> None:
+        """Raise if cancelled or past deadline; otherwise a no-op.
+
+        ``progress`` keyword arguments are attached to the raised
+        exception's ``partial`` dict (callers usually pass nothing and
+        let the catcher fill in a richer snapshot).
+        """
+        if self._cancelled is not None:
+            raise Cancelled(self._cancelled, progress)
+        if self.expired:
+            raise DeadlineExceeded(self.deadline_s, progress)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic, seeded jitter.
+
+    ``attempts`` is the *total* number of tries (1 = no retries).  Delay
+    before retry *i* (0-based) is
+    ``min(max_delay_s, base_delay_s * multiplier**i)`` scaled by a
+    jitter factor drawn from ``Random(seed)`` — so the full delay
+    sequence is a pure function of the policy's fields, and tests can
+    assert it exactly.
+    """
+
+    attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay_s < 0:
+            raise ValueError(
+                f"base_delay_s must be >= 0, got {self.base_delay_s}"
+            )
+        if self.max_delay_s < self.base_delay_s:
+            raise ValueError(
+                f"max_delay_s ({self.max_delay_s}) must be >= base_delay_s "
+                f"({self.base_delay_s})"
+            )
+        if self.multiplier < 1:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delays(self) -> List[float]:
+        """The deterministic backoff sequence (``attempts - 1`` entries)."""
+        rng = random.Random(self.seed)
+        out: List[float] = []
+        for i in range(self.attempts - 1):
+            delay = min(self.max_delay_s, self.base_delay_s * self.multiplier**i)
+            if self.jitter:
+                delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            out.append(round(max(0.0, delay), 6))
+        return out
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    ) -> object:
+        """Run ``fn`` under this policy; re-raise after the last attempt.
+
+        ``on_retry(attempt, exc, delay)`` (1-based attempt that just
+        failed) observes each retry — the service client uses it to
+        count retries into metrics.
+        """
+        delays: Iterable[Optional[float]] = [*self.delays(), None]
+        for attempt, delay in enumerate(delays, start=1):
+            try:
+                return fn()
+            except retry_on as exc:
+                if delay is None:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class CircuitOpen(RuntimeError):
+    """The breaker is open: calls are refused without hitting the target."""
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker over any callable boundary.
+
+    After ``failure_threshold`` consecutive failures the breaker opens
+    and :meth:`allow` refuses everything for ``reset_timeout_s``; then
+    one probe call is let through (half-open).  A successful probe
+    closes the breaker, a failed one re-opens it for a fresh timeout.
+    Thread-safe; the clock is injectable so tests advance time
+    synthetically.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s <= 0:
+            raise ValueError(
+                f"reset_timeout_s must be positive, got {reset_timeout_s}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """Current state (``closed``/``open``/``half_open``)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = self.HALF_OPEN
+            self._probing = False
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (claims the probe slot)."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """Note a successful call: closes the breaker, clears failures."""
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """Note a failed call; may trip the breaker open."""
+        with self._lock:
+            self._failures += 1
+            if (
+                self._state == self.HALF_OPEN
+                or self._failures >= self.failure_threshold
+            ):
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+
+    def call(self, fn: Callable[[], object]) -> object:
+        """Run ``fn`` through the breaker (refuses with :class:`CircuitOpen`)."""
+        if not self.allow():
+            raise CircuitOpen(
+                f"circuit open after {self._failures} consecutive failures "
+                f"(retry in <= {self.reset_timeout_s:g}s)"
+            )
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

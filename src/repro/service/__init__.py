@@ -23,8 +23,13 @@ Layers (each importable on its own):
   client used by the CI smoke, benches, and tests.
 """
 
-from repro.service.client import ServiceClient
-from repro.service.daemon import Job, ServiceClosed, SolverService
+from repro.service.client import ServiceClient, ServiceError, TransportError
+from repro.service.daemon import (
+    Job,
+    ServiceClosed,
+    ServiceOverloaded,
+    SolverService,
+)
 from repro.service.http import ServiceHTTPServer, serve
 from repro.service.jobs import JobSpec
 
@@ -33,7 +38,10 @@ __all__ = [
     "JobSpec",
     "ServiceClient",
     "ServiceClosed",
+    "ServiceError",
     "ServiceHTTPServer",
+    "ServiceOverloaded",
     "SolverService",
+    "TransportError",
     "serve",
 ]

@@ -6,6 +6,21 @@ as plain lines).  It is what the CLI smoke, the service benchmark, and
 the tests drive — and a reasonable template for user code, though any
 HTTP client works against the daemon.
 
+Failure surface: every transport-level problem (refused connection,
+daemon death mid-response, idle-read timeout, truncated stream) raises
+:class:`TransportError` — a :class:`ServiceError` with ``status == 0``
+— so callers catch one exception family whether the daemon answered
+with an error or never answered at all.  Connect and idle-read
+timeouts are split: connecting to a dead host fails fast while a
+long-running stream may stay silent for much longer between events.
+
+Resilience is opt-in: pass a :class:`~repro.resilience.RetryPolicy`
+and idempotent requests (submission is content-hashed, so resubmitting
+is safe by construction) are retried on transport errors and on
+``429``/``503`` — honoring the daemon's ``Retry-After`` hint — and a
+:class:`~repro.resilience.CircuitBreaker` stops a client from hammering
+a daemon that keeps failing.
+
 Quickstart::
 
     from repro import SolveRequest
@@ -22,17 +37,35 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
+import time
 from typing import Dict, Iterator, Optional, Union
 
+from repro.resilience import CircuitBreaker, CircuitOpen, RetryPolicy
 from repro.service.jobs import JobSpec
+
+#: Statuses worth retrying: shed load (the daemon said when to come
+#: back) and transient unavailability.
+RETRYABLE_STATUSES = (429, 503)
 
 
 class ServiceError(RuntimeError):
-    """A non-2xx daemon response (carries the HTTP status)."""
+    """A non-2xx daemon response (carries the HTTP status and body)."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, payload: Optional[dict] = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.payload = payload if payload is not None else {}
+
+
+class TransportError(ServiceError):
+    """The daemon never (fully) answered: dead socket, timeout, truncation.
+
+    ``status`` is 0 — there was no HTTP response to take one from.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(0, message)
 
 
 class ServiceClient:
@@ -40,37 +73,153 @@ class ServiceClient:
 
     Streaming holds its own dedicated connection open for the life of
     the job, so a client can stream one job while submitting others.
+
+    Parameters
+    ----------
+    timeout:
+        Default for both timeouts below (back-compat single knob).
+    connect_timeout:
+        Bound on establishing the TCP connection.
+    read_timeout:
+        Bound on each *wait* for response bytes (per stream line, per
+        response) — not the whole exchange.
+    retry:
+        When set, idempotent requests are retried per the policy on
+        :class:`TransportError` and ``429``/``503`` responses.
+    breaker:
+        When set, every attempt passes through the circuit breaker
+        (transport errors and 5xx count as failures) and a tripped
+        breaker raises :class:`~repro.resilience.CircuitOpen` without
+        touching the network.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8100,
-                 timeout: Optional[float] = 60.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8100,
+        timeout: Optional[float] = 60.0,
+        connect_timeout: Optional[float] = None,
+        read_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_timeout = (
+            connect_timeout if connect_timeout is not None else timeout
+        )
+        self.read_timeout = read_timeout if read_timeout is not None else timeout
+        self.retry = retry
+        self.breaker = breaker
 
     # -- plumbing -------------------------------------------------------
     def _connect(self) -> http.client.HTTPConnection:
         return http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
+            self.host, self.port, timeout=self.connect_timeout
         )
 
-    def _request(
+    def _arm_read_timeout(self, conn: http.client.HTTPConnection) -> None:
+        # The connection was created with the connect timeout; once the
+        # request is on the wire, every further read is an idle wait.
+        if conn.sock is not None:
+            conn.sock.settimeout(self.read_timeout)
+
+    def _attempt(
         self, method: str, path: str, body: Optional[dict] = None
     ) -> dict:
+        """One request/response cycle; all transport faults typed."""
         conn = self._connect()
         try:
-            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            payload = (
+                json.dumps(body).encode("utf-8") if body is not None else None
+            )
             headers = {"Content-Type": "application/json"} if payload else {}
-            conn.request(method, path, body=payload, headers=headers)
-            response = conn.getresponse()
-            data = json.loads(response.read().decode("utf-8"))
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                self._arm_read_timeout(conn)
+                response = conn.getresponse()
+                raw = response.read()
+            except socket.timeout as exc:
+                raise TransportError(
+                    f"no response from {self.host}:{self.port} within "
+                    f"{self.read_timeout}s (idle-read timeout)"
+                ) from exc
+            except (OSError, http.client.HTTPException) as exc:
+                raise TransportError(
+                    f"{method} {path} failed: {type(exc).__name__}: {exc}"
+                ) from exc
+            try:
+                data = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise TransportError(
+                    f"{method} {path}: truncated or non-JSON response "
+                    f"({len(raw)} bytes)"
+                ) from exc
             if response.status >= 400:
                 raise ServiceError(
-                    response.status, data.get("error", "unknown error")
+                    response.status,
+                    data.get("error", "unknown error")
+                    if isinstance(data, dict)
+                    else "unknown error",
+                    payload=data if isinstance(data, dict) else None,
                 )
             return data
         finally:
             conn.close()
+
+    def _guarded(self, method: str, path: str, body: Optional[dict]) -> dict:
+        """One attempt through the circuit breaker (when configured)."""
+        if self.breaker is None:
+            return self._attempt(method, path, body)
+        if not self.breaker.allow():
+            raise CircuitOpen(
+                f"circuit open for {self.host}:{self.port}; not sending "
+                f"{method} {path}"
+            )
+        try:
+            result = self._attempt(method, path, body)
+        except TransportError:
+            self.breaker.record_failure()
+            raise
+        except ServiceError as exc:
+            # The daemon answered: only server-side breakage (5xx)
+            # counts against the circuit; 4xx means *we* were wrong.
+            if exc.status >= 500:
+                self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
+            raise
+        self.breaker.record_success()
+        return result
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        idempotent: bool = True,
+    ) -> dict:
+        if self.retry is None or not idempotent:
+            return self._guarded(method, path, body)
+        delays = self.retry.delays()
+        for attempt, delay in enumerate([*delays, None]):
+            try:
+                return self._guarded(method, path, body)
+            except (TransportError, ServiceError) as exc:
+                retryable = (
+                    isinstance(exc, TransportError)
+                    or exc.status in RETRYABLE_STATUSES
+                )
+                if not retryable or delay is None:
+                    raise
+                hint = exc.payload.get("retry_after_s")
+                if isinstance(hint, (int, float)) and hint > 0:
+                    # Honor the daemon's hint, but never beyond the
+                    # policy's own ceiling (tests keep that tiny).
+                    delay = min(max(delay, float(hint)), self.retry.max_delay_s)
+                time.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- API ------------------------------------------------------------
     def health(self) -> dict:
@@ -85,9 +234,19 @@ class ServiceClient:
         """``GET /metrics`` — the raw Prometheus text body (not JSON)."""
         conn = self._connect()
         try:
-            conn.request("GET", "/metrics")
-            response = conn.getresponse()
-            body = response.read().decode("utf-8")
+            try:
+                conn.request("GET", "/metrics")
+                self._arm_read_timeout(conn)
+                response = conn.getresponse()
+                body = response.read().decode("utf-8")
+            except socket.timeout as exc:
+                raise TransportError(
+                    f"no /metrics response within {self.read_timeout}s"
+                ) from exc
+            except (OSError, http.client.HTTPException) as exc:
+                raise TransportError(
+                    f"GET /metrics failed: {type(exc).__name__}: {exc}"
+                ) from exc
             if response.status >= 400:
                 raise ServiceError(response.status, body.strip())
             return body
@@ -99,7 +258,12 @@ class ServiceClient:
         return self._request("GET", f"/jobs/{job_id}/trace")
 
     def submit(self, spec: Union[JobSpec, Dict]) -> dict:
-        """``POST /jobs`` — returns the job snapshot (with its ``id``)."""
+        """``POST /jobs`` — returns the job snapshot (with its ``id``).
+
+        Safe to retry (and retried, when a policy is configured): job
+        identity is the spec's content hash, so a resubmission after an
+        ambiguous failure lands on the same cached work.
+        """
         body = spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
         return self._request("POST", "/jobs", body=body)
 
@@ -115,7 +279,8 @@ class ServiceClient:
         """``GET /jobs/<id>/result`` — block until terminal, return it.
 
         ``timeout`` bounds the *server-side* wait; the raised
-        :class:`ServiceError` has ``status == 408`` on expiry.
+        :class:`ServiceError` has ``status == 408`` on expiry, with the
+        job's current state and queue position in ``payload``.
         """
         path = f"/jobs/{job_id}/result"
         if timeout is not None:
@@ -126,23 +291,62 @@ class ServiceClient:
         """``GET /jobs/<id>/stream`` — yield progress events as dicts.
 
         Ends after the terminal ``{"event": "end", "state": ...}`` line.
+        A daemon that dies mid-stream (socket cut, chunk truncated, or
+        a clean close without the ``end`` event) raises
+        :class:`TransportError`; an idle-read timeout does too.
         """
         conn = self._connect()
         try:
-            conn.request("GET", f"/jobs/{job_id}/stream")
-            response = conn.getresponse()
+            try:
+                conn.request("GET", f"/jobs/{job_id}/stream")
+                self._arm_read_timeout(conn)
+                response = conn.getresponse()
+            except socket.timeout as exc:
+                raise TransportError(
+                    f"no stream response within {self.read_timeout}s"
+                ) from exc
+            except (OSError, http.client.HTTPException) as exc:
+                raise TransportError(
+                    f"stream connect failed: {type(exc).__name__}: {exc}"
+                ) from exc
             if response.status >= 400:
                 data = json.loads(response.read().decode("utf-8"))
                 raise ServiceError(
-                    response.status, data.get("error", "unknown error")
+                    response.status, data.get("error", "unknown error"),
+                    payload=data,
                 )
             while True:
-                line = response.readline()
+                try:
+                    line = response.readline()
+                except socket.timeout as exc:
+                    raise TransportError(
+                        f"stream of job {job_id} idle for more than "
+                        f"{self.read_timeout}s"
+                    ) from exc
+                except (OSError, http.client.HTTPException) as exc:
+                    raise TransportError(
+                        f"daemon died mid-stream of job {job_id}: "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
                 if not line:
-                    return
+                    # A stream that closes cleanly but never sent the
+                    # terminal line still means the daemon went away.
+                    raise TransportError(
+                        f"stream of job {job_id} ended without the "
+                        "terminal 'end' event (daemon died mid-stream)"
+                    )
                 line = line.strip()
-                if line:
-                    yield json.loads(line.decode("utf-8"))
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise TransportError(
+                        f"stream of job {job_id} truncated mid-line"
+                    ) from exc
+                yield event
+                if event.get("event") == "end":
+                    return
         finally:
             conn.close()
 
@@ -153,5 +357,9 @@ class ServiceClient:
         return self.result(job["id"], timeout=timeout)
 
     def shutdown(self) -> dict:
-        """``POST /shutdown`` — ask the daemon to stop gracefully."""
-        return self._request("POST", "/shutdown")
+        """``POST /shutdown`` — ask the daemon to stop gracefully.
+
+        Never retried: after an ambiguous failure the daemon may
+        already be gone, and hammering it helps nobody.
+        """
+        return self._request("POST", "/shutdown", idempotent=False)

@@ -23,7 +23,7 @@ import time
 import traceback
 from typing import Dict, Iterator, List, Optional
 
-from repro.api import Session
+from repro.api import Session, SolveReport
 from repro.obs import (
     MetricsRegistry,
     MetricsSnapshotter,
@@ -31,16 +31,19 @@ from repro.obs import (
     register_process_views,
     use_tracer,
 )
+from repro.resilience import Cancelled, CancellationToken
 from repro.service.jobs import JobSpec
 
 logger = logging.getLogger("repro.service.daemon")
 
-_QUEUED, _RUNNING, _DONE, _FAILED, _CANCELLED = (
+_QUEUED, _RUNNING, _DONE, _FAILED, _CANCELLED, _TIMEOUT, _SHED = (
     "queued",
     "running",
     "done",
     "failed",
     "cancelled",
+    "timeout",
+    "shed",
 )
 
 
@@ -48,14 +51,28 @@ class ServiceClosed(RuntimeError):
     """Raised by :meth:`SolverService.submit` after shutdown began."""
 
 
+class ServiceOverloaded(RuntimeError):
+    """The bounded job queue is full and the work has no warm result.
+
+    Carries the shed :class:`Job` (terminal state ``shed``) and a
+    ``retry_after_s`` hint derived from observed job latency — the HTTP
+    layer maps this to ``429`` + ``Retry-After``.
+    """
+
+    def __init__(self, message: str, retry_after_s: int, job: "Job"):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.job = job
+
+
 class Job:
     """Runtime record of one submitted job: state, result, event stream.
 
     Events are JSON-ready dicts buffered in order; :meth:`events` is a
     blocking iterator over them (this is what the HTTP layer streams as
-    chunked JSONL).  Terminal states are ``done``, ``failed``, and
-    ``cancelled``; :attr:`finished` is set exactly once, on entry to a
-    terminal state.
+    chunked JSONL).  Terminal states are ``done``, ``failed``,
+    ``cancelled``, ``timeout``, and ``shed``; :attr:`finished` is set
+    exactly once, on entry to a terminal state.
     """
 
     def __init__(self, job_id: str, spec: JobSpec):
@@ -68,6 +85,9 @@ class Job:
         self.submitted_s = time.time()
         self.started_s: Optional[float] = None
         self.elapsed_s: Optional[float] = None
+        #: Cooperative cancellation handle, armed at submission when the
+        #: spec carries a deadline (so queue wait counts against it).
+        self.token: Optional[CancellationToken] = None
         self.finished = threading.Event()
         #: Span records of this job's execution (set on completion;
         #: served by ``GET /jobs/<id>/trace``).
@@ -141,6 +161,12 @@ class SolverService:
         what makes a restarted daemon resume finished work.
     workers:
         Worker thread count (jobs execute concurrently up to this).
+    max_queue:
+        Bound on queued-but-unstarted jobs.  At the bound, cold
+        submissions are shed (:class:`ServiceOverloaded` → HTTP 429)
+        while warm cache hits are still served inline — degraded, not
+        down.  The bound is enforced by a depth counter rather than
+        ``Queue(maxsize=...)`` so shutdown sentinels never block.
     metrics_interval:
         When positive and the result store is file-backed, a
         :class:`~repro.obs.MetricsSnapshotter` appends one registry
@@ -152,14 +178,19 @@ class SolverService:
         session: Optional[Session] = None,
         store: Optional[object] = None,
         workers: int = 2,
+        max_queue: int = 64,
         metrics_interval: float = 0.0,
     ):
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be positive, got {max_queue}")
         self.session = session if session is not None else Session(store=store)
         self.store = self.session.store
         self.workers = workers
+        self.max_queue = max_queue
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._depth = 0  # queued-but-unstarted jobs, guarded by _lock
         self._jobs: "Dict[str, Job]" = {}
         self._seq = 0
         self._lock = threading.Lock()
@@ -180,6 +211,20 @@ class SolverService:
         self._job_latency = self.metrics.histogram(
             "repro_job_latency_seconds",
             "Completed job wall-clock latency, by kind and cache outcome.",
+        )
+        self._sheds_total = self.metrics.counter(
+            "repro_sheds_total", "Cold submissions shed at a full queue."
+        )
+        self._timeouts_total = self.metrics.counter(
+            "repro_timeouts_total", "Jobs cancelled at their deadline."
+        )
+        self._trial_retries_total = self.metrics.counter(
+            "repro_trial_retries_total",
+            "Campaign trials retried after a worker-process crash.",
+        )
+        self._quarantined_total = self.metrics.counter(
+            "repro_quarantined_total",
+            "Campaign trials quarantined after exhausting their retry budget.",
         )
         self._snapshotter: Optional[MetricsSnapshotter] = None
         store_path = getattr(self.store, "path", None)
@@ -211,6 +256,12 @@ class SolverService:
         identical work visibly identical across submissions, the
         sequence number keeps ids unique when the same spec is
         submitted twice.
+
+        Backpressure: with :attr:`max_queue` jobs already waiting, a
+        submission whose result is warm in the store is served inline
+        (the degraded mode keeps cache hits cheap and available), and
+        anything cold is shed — the job finishes in state ``shed`` and
+        :class:`ServiceOverloaded` tells the caller when to retry.
         """
         if not isinstance(spec, JobSpec):
             raise TypeError(f"submit() takes a JobSpec, got {type(spec).__name__}")
@@ -220,6 +271,32 @@ class SolverService:
             self._seq += 1
             job = Job(f"{spec.key()[:12]}-{self._seq}", spec)
             self._jobs[job.id] = job
+            full = self._depth >= self.max_queue
+            if not full:
+                self._depth += 1
+        if full:
+            warm = self._serve_warm(job)
+            if warm is not None:
+                return warm
+            retry_after = self._retry_after_s()
+            job.error = (
+                f"queue full ({self.max_queue} jobs waiting); "
+                f"retry in ~{retry_after}s"
+            )
+            job.emit(
+                {"event": "shed", "id": job.id, "retry_after_s": retry_after}
+            )
+            job._finish(_SHED)
+            self._jobs_total.inc(state=_SHED)
+            self._sheds_total.inc()
+            logger.warning(
+                "job shed",
+                extra={"job": job.id, "kind": spec.kind, "retry_after_s": retry_after},
+            )
+            raise ServiceOverloaded(job.error, retry_after, job)
+        deadline = spec.effective_deadline_s
+        if deadline is not None:
+            job.token = CancellationToken(deadline_s=deadline)
         job.emit({"event": "queued", "id": job.id, "key": job.key})
         logger.info(
             "job accepted",
@@ -227,6 +304,81 @@ class SolverService:
         )
         self._queue.put(job)
         return job
+
+    def _serve_warm(self, job: Job) -> Optional[Job]:
+        """Serve a cache hit inline on the caller's thread, or ``None``.
+
+        Used only when the queue is full: a warm result costs one store
+        lookup, so degraded mode answers it directly from the record
+        instead of shedding — the cache-hit path must survive overload.
+        """
+        spec = job.spec
+        if spec.request is None or spec.fresh:
+            return None
+        try:
+            record = self.store.get(job.key)
+        except Exception:  # noqa: BLE001 - a flaky store is a cache miss
+            return None
+        if record is None or record.get("record") != SolveReport.RECORD:
+            return None
+        job.state = _RUNNING
+        job.started_s = time.time()
+        result = dict(record)
+        result["cached"] = True
+        job.result = result
+        job.emit({"event": "cached", "key": job.key, "rounds": record.get("rounds")})
+        job._finish(_DONE)
+        if job.elapsed_s is not None:
+            self._job_latency.observe(
+                job.elapsed_s, kind=spec.kind, cached="true"
+            )
+        self._jobs_total.inc(state=_DONE)
+        return job
+
+    def _retry_after_s(self) -> int:
+        """Retry hint for shed callers: observed p50 scaled by backlog."""
+        p50 = 0.0
+        if self._job_latency.total_count():
+            p50 = self._job_latency.quantile(0.50) or 0.0
+        base = p50 if p50 > 0 else 1.0
+        estimate = base * max(1.0, self._depth / max(1, self.workers))
+        return int(min(60, max(1, round(estimate))))
+
+    def health(self) -> dict:
+        """Load-aware health: ``ok`` | ``degraded`` | ``overloaded``.
+
+        ``degraded`` begins at half queue depth (cold work still
+        accepted, but latency is climbing); ``overloaded`` means cold
+        submissions are being shed and only warm hits are served.  The
+        boolean ``ok`` stays true while cold work is accepted.
+        """
+        with self._lock:
+            depth = self._depth
+            closed = self._closed
+        if closed or depth >= self.max_queue:
+            status = "overloaded"
+        elif depth * 2 >= self.max_queue:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "ok": status != "overloaded",
+            "status": status,
+            "queue_depth": depth,
+            "queue_limit": self.max_queue,
+            "workers": self.workers,
+        }
+
+    def queue_position(self, job_id: str) -> Optional[int]:
+        """Queued jobs ahead of this one (``None`` once it leaves the queue)."""
+        with self._lock:
+            ahead = 0
+            for jid, other in self._jobs.items():
+                if jid == job_id:
+                    return ahead if other.state == _QUEUED else None
+                if other.state == _QUEUED:
+                    ahead += 1
+        raise KeyError(job_id)
 
     def job(self, job_id: str) -> Job:
         """The job with this id (raises ``KeyError`` if unknown)."""
@@ -258,9 +410,15 @@ class SolverService:
             for job in self._jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
         views = self.metrics.views_dict()
+        health = self.health()
         return {
             "uptime_s": round(time.time() - self.started_s, 3),
             "workers": self.workers,
+            "status": health["status"],
+            "queue": {
+                "depth": health["queue_depth"],
+                "limit": health["queue_limit"],
+            },
             "jobs": states,
             "session": views["session"],
             "store": {"records": len(self.store)},
@@ -293,7 +451,17 @@ class SolverService:
             job = self._queue.get()
             if job is None:  # shutdown sentinel
                 return
+            with self._lock:
+                self._depth -= 1
             if job.finished.is_set():  # cancelled while queued
+                continue
+            if job.token is not None and (
+                job.token.cancelled or job.token.expired
+            ):
+                # The deadline elapsed while the job sat in the queue:
+                # time it out without charging a worker at all.
+                job.started_s = time.time()
+                self._timeout(job, Cancelled("deadline expired in queue"))
                 continue
             job.state = _RUNNING
             job.started_s = time.time()
@@ -310,6 +478,7 @@ class SolverService:
                             job.spec.request,
                             resume=not job.spec.fresh,
                             on_event=job.emit,
+                            token=job.token,
                         )
                         job.result = report.to_dict()
                         cached = report.cached
@@ -334,6 +503,9 @@ class SolverService:
                         "cached": cached,
                     },
                 )
+            except Cancelled as exc:
+                job.trace = tracer.records()
+                self._timeout(job, exc)
             except Exception as exc:  # noqa: BLE001 - jobs must not kill workers
                 job.error = f"{type(exc).__name__}: {exc}"
                 job.trace = tracer.records()
@@ -351,6 +523,35 @@ class SolverService:
                     "job failed",
                     extra={"job": job.id, "kind": job.spec.kind, "error": job.error},
                 )
+
+    def _timeout(self, job: Job, exc: Cancelled) -> None:
+        """Finish ``job`` in state ``timeout``, keeping partial progress."""
+        job.error = f"{type(exc).__name__}: {exc}"
+        job.result = {
+            "record": "timeout",
+            "key": job.key,
+            "deadline_s": job.spec.effective_deadline_s,
+            "partial": dict(exc.partial),
+        }
+        job.emit(
+            {
+                "event": "timeout",
+                "id": job.id,
+                "error": job.error,
+                "partial": dict(exc.partial),
+            }
+        )
+        job._finish(_TIMEOUT)
+        self._jobs_total.inc(state=_TIMEOUT)
+        self._timeouts_total.inc()
+        logger.warning(
+            "job timed out",
+            extra={
+                "job": job.id,
+                "kind": job.spec.kind,
+                "deadline_s": job.spec.effective_deadline_s,
+            },
+        )
 
     def _run_campaign(self, job: Job) -> dict:
         """Execute a campaign job against the shared result store."""
@@ -380,14 +581,23 @@ class SolverService:
 
         runner = CampaignRunner(store=self.store, workers=job.spec.workers)
         report = runner.run(
-            campaign, resume=not job.spec.fresh, progress=progress
+            campaign,
+            resume=not job.spec.fresh,
+            progress=progress,
+            token=job.token,
         )
+        if report.retries:
+            self._trial_retries_total.inc(amount=report.retries)
+        if report.quarantined:
+            self._quarantined_total.inc(amount=len(report.quarantined))
         return {
             "record": "campaign-report",
             "campaign": report.campaign,
             "trials": report.total,
             "executed": report.executed,
             "cache_hits": report.cache_hits,
+            "retries": report.retries,
+            "quarantined": len(report.quarantined),
             "elapsed_s": report.elapsed_s,
         }
 

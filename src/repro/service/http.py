@@ -8,15 +8,17 @@ job.  No routing framework, no dependencies.
 
 Endpoints::
 
-    GET  /healthz                  {"ok": true, ...}
+    GET  /healthz                  {"ok": ..., "status": ok|degraded|overloaded}
     GET  /stats                    service + cache counters, latencies
     GET  /metrics                  Prometheus text exposition (0.0.4)
     GET  /jobs                     snapshots of every known job
     GET  /jobs/<id>                one job's snapshot
-    GET  /jobs/<id>/result?timeout=S   block for the result (408 on timeout)
+    GET  /jobs/<id>/result?timeout=S   block for the result (408 + state
+                                   and queue position on timeout)
     GET  /jobs/<id>/stream         chunked JSONL progress events
     GET  /jobs/<id>/trace          the job's span records (JSON)
     POST /jobs                     submit a JobSpec body -> 202 + snapshot
+                                   (429 + Retry-After when shedding load)
     POST /shutdown                 graceful stop (finishes in-flight jobs)
 
 The stream endpoint writes one JSON object per line with
@@ -35,7 +37,7 @@ from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.api import RequestError
-from repro.service.daemon import ServiceClosed, SolverService
+from repro.service.daemon import ServiceClosed, ServiceOverloaded, SolverService
 from repro.service.jobs import JobSpec
 
 logger = logging.getLogger("repro.service.http")
@@ -81,11 +83,15 @@ class _Handler(BaseHTTPRequestHandler):
         logger.debug("%s %s", self.address_string(), format % args)
 
     # -- plumbing -------------------------------------------------------
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, headers: Optional[dict] = None
+    ) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
@@ -111,9 +117,7 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in url.path.split("/") if p]
         try:
             if parts == ["healthz"]:
-                self._send_json(
-                    200, {"ok": True, "workers": self.service.workers}
-                )
+                self._send_json(200, self.service.health())
             elif parts == ["stats"]:
                 self._send_json(200, self.service.stats())
             elif parts == ["metrics"]:
@@ -164,7 +168,17 @@ class _Handler(BaseHTTPRequestHandler):
         job = self.service.job(job_id)
         job.finished.wait(timeout=timeout)
         if not job.finished.is_set():
-            self._error(408, f"job {job_id} still {job.state}")
+            # Enough context to decide whether to keep waiting: current
+            # state plus how many queued jobs are still ahead.
+            self._send_json(
+                408,
+                {
+                    "error": f"job {job_id} still {job.state}",
+                    "id": job.id,
+                    "state": job.state,
+                    "queue_position": self.service.queue_position(job_id),
+                },
+            )
             return
         payload = job.snapshot()
         payload["result"] = job.result
@@ -200,6 +214,13 @@ class _Handler(BaseHTTPRequestHandler):
                 job = self.service.submit(spec)
             except RequestError as exc:
                 self._error(400, str(exc))
+            except ServiceOverloaded as exc:
+                payload = exc.job.snapshot()
+                payload["error"] = str(exc)
+                payload["retry_after_s"] = exc.retry_after_s
+                self._send_json(
+                    429, payload, headers={"Retry-After": exc.retry_after_s}
+                )
             except ServiceClosed as exc:
                 self._error(503, str(exc))
             else:

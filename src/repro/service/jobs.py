@@ -32,12 +32,18 @@ class JobSpec:
     ``fresh=True`` bypasses the result-store cache (the job's identity
     is unchanged — ``fresh`` asks for recomputation of the same work).
     ``workers`` is the campaign fan-out (ignored for requests).
+    ``deadline_s`` bounds wall-clock execution: a job still running
+    past its deadline is cooperatively cancelled and finishes in state
+    ``timeout`` (``None`` = inherit the request's own ``deadline_s``,
+    or run unbounded).  Like the request-level field it never enters
+    :meth:`key` — impatience does not change what the work is.
     """
 
     request: Optional[SolveRequest] = None
     campaign: Optional[Union[str, Mapping]] = None
     workers: int = 1
     fresh: bool = False
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if (self.request is None) == (self.campaign is None):
@@ -57,6 +63,17 @@ class JobSpec:
             )
         if self.workers < 1:
             raise RequestError(f"workers must be positive, got {self.workers}")
+        if self.deadline_s is not None:
+            if not isinstance(self.deadline_s, (int, float)) or isinstance(
+                self.deadline_s, bool
+            ):
+                raise RequestError(
+                    f"deadline_s must be a number, got {self.deadline_s!r}"
+                )
+            if self.deadline_s <= 0:
+                raise RequestError(
+                    f"deadline_s must be positive, got {self.deadline_s}"
+                )
 
     @property
     def kind(self) -> str:
@@ -74,6 +91,15 @@ class JobSpec:
         )
         return content_key({"job": "campaign", "campaign": spec})
 
+    @property
+    def effective_deadline_s(self) -> Optional[float]:
+        """The deadline that governs execution (job-level wins)."""
+        if self.deadline_s is not None:
+            return self.deadline_s
+        if self.request is not None and self.request.deadline_s:
+            return self.request.deadline_s
+        return None
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready mapping (inverse of :meth:`from_dict`)."""
         out: Dict[str, object] = {"fresh": self.fresh}
@@ -86,6 +112,8 @@ class JobSpec:
                 else dict(self.campaign)
             )
             out["workers"] = self.workers
+        if self.deadline_s is not None:
+            out["deadline_s"] = self.deadline_s
         return out
 
     @classmethod
@@ -93,7 +121,9 @@ class JobSpec:
         """Parse and validate a job mapping (an HTTP POST body)."""
         if not isinstance(data, Mapping):
             raise RequestError(f"job must be a mapping, got {type(data).__name__}")
-        unknown = set(data) - {"request", "campaign", "workers", "fresh"}
+        unknown = set(data) - {
+            "request", "campaign", "workers", "fresh", "deadline_s"
+        }
         if unknown:
             raise RequestError(f"unknown job fields: {sorted(unknown)}")
         request = data.get("request")
@@ -110,4 +140,5 @@ class JobSpec:
             campaign=data.get("campaign"),
             workers=workers,
             fresh=fresh,
+            deadline_s=data.get("deadline_s"),
         )

@@ -75,6 +75,7 @@ class TestPublicSurface:
             "kind", "shape", "k", "l", "seed", "placement", "algorithm",
             "allow_holes", "scheduler", "backend", "tokens", "churn",
             "churn_steps", "churn_batch", "threshold", "crash", "drop",
+            "deadline_s",
         ]
 
     def test_solve_spf_signature(self):

@@ -1,0 +1,316 @@
+"""Resilience primitives and their integration into requests and jobs.
+
+:mod:`repro.resilience` is deliberately deterministic — seeded jitter,
+injectable clocks — so this suite asserts exact delay sequences and
+drives the circuit breaker's state machine with a synthetic clock.  The
+integration half pins the contracts the rest of the stack builds on:
+``deadline_s`` never enters a content key (impatience does not change
+what the work is), ``Session.run`` surfaces partial progress on
+cancellation, and the service layer rejects malformed QoS fields by
+name.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RequestError, Session, SolveRequest
+from repro.resilience import (
+    CancellationToken,
+    Cancelled,
+    CircuitBreaker,
+    CircuitOpen,
+    DeadlineExceeded,
+    RetryPolicy,
+)
+from repro.service import JobSpec
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestCancellationToken:
+    def test_plain_token_never_trips(self):
+        token = CancellationToken()
+        token.check(rounds=7)
+        assert not token.cancelled and not token.expired
+        assert token.remaining_s() is None
+
+    def test_cancel_raises_with_progress(self):
+        token = CancellationToken()
+        token.cancel("caller went away")
+        with pytest.raises(Cancelled, match="caller went away") as err:
+            token.check(rounds=12)
+        assert err.value.partial == {"rounds": 12}
+
+    def test_deadline_expiry(self):
+        clock = FakeClock()
+        token = CancellationToken(deadline_s=5.0, clock=clock)
+        token.check()
+        assert token.remaining_s() == 5.0
+        clock.advance(4.999)
+        token.check()
+        clock.advance(0.001)
+        assert token.expired
+        assert token.remaining_s() == 0.0
+        with pytest.raises(DeadlineExceeded, match="deadline of 5s") as err:
+            token.check(rounds=3)
+        assert err.value.deadline_s == 5.0
+        assert err.value.partial == {"rounds": 3}
+        assert isinstance(err.value, Cancelled)  # one catch clause suffices
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_non_positive_deadline_rejected(self, bad):
+        with pytest.raises(ValueError, match="deadline_s must be positive"):
+            CancellationToken(deadline_s=bad)
+
+
+class TestRetryPolicy:
+    def test_delays_are_deterministic_and_bounded(self):
+        policy = RetryPolicy(
+            attempts=5, base_delay_s=0.1, max_delay_s=0.5, multiplier=2.0
+        )
+        assert policy.delays() == policy.delays()
+        assert policy.delays() == RetryPolicy(
+            attempts=5, base_delay_s=0.1, max_delay_s=0.5, multiplier=2.0
+        ).delays()
+        assert len(policy.delays()) == 4
+        for delay, ceiling in zip(policy.delays(), [0.1, 0.2, 0.4, 0.5]):
+            assert delay <= ceiling * 1.1  # jitter widens by at most 10%
+            assert delay >= ceiling * 0.9
+
+    def test_seed_changes_jitter_only(self):
+        a = RetryPolicy(attempts=4, seed=0)
+        b = RetryPolicy(attempts=4, seed=1)
+        assert a.delays() != b.delays()
+        assert RetryPolicy(attempts=4, jitter=0.0, seed=0).delays() == (
+            RetryPolicy(attempts=4, jitter=0.0, seed=1).delays()
+        )
+
+    def test_no_jitter_is_exact_exponential(self):
+        policy = RetryPolicy(
+            attempts=4, base_delay_s=0.1, max_delay_s=10.0,
+            multiplier=3.0, jitter=0.0,
+        )
+        assert policy.delays() == [0.1, 0.3, 0.9]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError, match="max_delay_s"):
+            RetryPolicy(base_delay_s=1.0, max_delay_s=0.5)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+    def test_call_retries_then_succeeds(self):
+        policy = RetryPolicy(attempts=3, base_delay_s=0.01, max_delay_s=0.02)
+        calls = {"n": 0}
+        slept: list = []
+        retried: list = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        result = policy.call(
+            flaky,
+            sleep=slept.append,
+            on_retry=lambda attempt, exc, delay: retried.append(attempt),
+        )
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert slept == policy.delays()
+        assert retried == [1, 2]
+
+    def test_call_reraises_after_budget(self):
+        policy = RetryPolicy(attempts=2, base_delay_s=0.0, max_delay_s=0.0)
+        calls = {"n": 0}
+
+        def always_fails():
+            calls["n"] += 1
+            raise OSError(f"fault {calls['n']}")
+
+        with pytest.raises(OSError, match="fault 2"):
+            policy.call(always_fails, sleep=lambda _s: None)
+        assert calls["n"] == 2
+
+    def test_call_does_not_catch_unlisted_exceptions(self):
+        policy = RetryPolicy(attempts=3)
+        calls = {"n": 0}
+
+        def typo():
+            calls["n"] += 1
+            raise KeyError("not retryable here")
+
+        with pytest.raises(KeyError):
+            policy.call(typo, retry_on=(OSError,), sleep=lambda _s: None)
+        assert calls["n"] == 1
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_recovers(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_timeout_s=10.0, clock=clock
+        )
+        assert breaker.state == CircuitBreaker.CLOSED
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()  # the single probe
+        assert not breaker.allow()  # second caller must wait for it
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        clock.advance(4.9)
+        assert not breaker.allow()  # fresh timeout from the failed probe
+        clock.advance(0.1)
+        assert breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_call_wraps_the_state_machine(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=5.0, clock=clock
+        )
+        with pytest.raises(OSError):
+            breaker.call(lambda: (_ for _ in ()).throw(OSError("down")))
+        with pytest.raises(CircuitOpen):
+            breaker.call(lambda: "never reached")
+        clock.advance(5.0)
+        assert breaker.call(lambda: "recovered") == "recovered"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="reset_timeout_s"):
+            CircuitBreaker(reset_timeout_s=0)
+
+
+class TestDeadlineOnRequests:
+    def test_deadline_never_enters_the_content_key(self):
+        patient = SolveRequest(shape="hexagon:3", l=2)
+        hurried = SolveRequest(shape="hexagon:3", l=2, deadline_s=0.5)
+        assert patient.key() == hurried.key()
+        assert "deadline_s" not in patient.config()
+        assert hurried.to_dict()["deadline_s"] == 0.5
+        assert "deadline_s" not in patient.to_dict()  # zero = omitted
+        assert SolveRequest.from_dict(hurried.to_dict()) == hurried
+
+    def test_request_rejects_bad_deadlines(self):
+        with pytest.raises(RequestError, match="deadline_s"):
+            SolveRequest(deadline_s=-1)
+        with pytest.raises(RequestError, match="deadline_s"):
+            SolveRequest(deadline_s="soon")
+
+    def test_jobspec_rejects_bad_deadline_and_workers_by_name(self):
+        request = SolveRequest(shape="hexagon:3", l=2)
+        with pytest.raises(RequestError, match="deadline_s must be positive"):
+            JobSpec(request=request, deadline_s=0)
+        with pytest.raises(RequestError, match="deadline_s must be positive"):
+            JobSpec(request=request, deadline_s=-2.5)
+        with pytest.raises(RequestError, match="deadline_s must be a number"):
+            JobSpec(request=request, deadline_s=True)
+        with pytest.raises(RequestError, match="workers must be positive"):
+            JobSpec(campaign="spsp-small", workers=0)
+
+    def test_jobspec_deadline_precedence(self):
+        request = SolveRequest(shape="hexagon:3", l=2, deadline_s=9.0)
+        assert JobSpec(request=request).effective_deadline_s == 9.0
+        assert (
+            JobSpec(request=request, deadline_s=1.5).effective_deadline_s == 1.5
+        )
+        plain = SolveRequest(shape="hexagon:3", l=2)
+        assert JobSpec(request=plain).effective_deadline_s is None
+        spec = JobSpec(request=request, deadline_s=1.5)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestSessionCancellation:
+    def test_cancelled_run_reports_partial_progress(self):
+        session = Session()
+        request = SolveRequest(shape="random:80:2", k=1, l=3)
+        token = CancellationToken()
+        rounds_seen: list = []
+
+        def cancel_after_two(event: dict) -> None:
+            if event.get("event") == "round":
+                rounds_seen.append(event["rounds"])
+                if len(rounds_seen) == 2:
+                    token.cancel("test says stop")
+
+        with pytest.raises(Cancelled, match="test says stop") as err:
+            session.run(request, on_event=cancel_after_two, token=token)
+        partial = err.value.partial
+        assert partial["rounds"] == 2
+        assert partial["key"] == request.key()
+        assert partial["kind"] == "solve"
+        assert partial["elapsed_s"] >= 0
+
+        # The session survives a cancelled run and still completes work.
+        report = session.run(request)
+        assert report.rounds >= 2
+
+    def test_cached_hit_ignores_even_an_expired_deadline(self):
+        session = Session()
+        request = SolveRequest(shape="hexagon:3", l=2)
+        session.run(request)
+        clock = FakeClock()
+        token = CancellationToken(deadline_s=0.001, clock=clock)
+        clock.advance(1.0)  # long expired
+        report = session.run(
+            SolveRequest(shape="hexagon:3", l=2, deadline_s=0.001), token=token
+        )
+        assert report.cached is True
+
+    def test_store_failures_counted_not_raised(self):
+        class ExplodingStore:
+            def get(self, key):
+                return None
+
+            def add(self, record):
+                raise OSError("disk on fire")
+
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore()
+        store.add = ExplodingStore().add  # type: ignore[method-assign]
+        session = Session(store=store)
+        report = session.run(SolveRequest(shape="hexagon:3", l=2))
+        assert report.rounds > 0
+        assert session.stats.store_failures == 1

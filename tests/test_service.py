@@ -3,7 +3,10 @@
 Covers the service contract end to end: submit → stream → fetch round
 trips, cache hits on repeated identical jobs (with the layout/grid
 probes asserting nothing is rebuilt), failed jobs, campaign jobs,
-graceful shutdown mid-job, and resume-after-restart from the store.
+graceful shutdown (including mid-stream, with queued jobs, and when
+requested twice concurrently), resume-after-restart from the store,
+and the HTTP shapes of the resilience features (429 shedding, 408
+bodies, field-named 400s).
 """
 
 from __future__ import annotations
@@ -322,3 +325,188 @@ class TestTelemetry:
         server.server_close()
         with pytest.raises(ServiceClosed):
             server.service.submit(JobSpec(request=REQUEST))
+
+
+def gated_server(**service_kw):
+    """An HTTP daemon over a GatedSession: jobs block until released."""
+    from tests.chaos import GatedSession
+
+    gated = GatedSession(Session())
+    service = SolverService(session=gated, **service_kw)
+    server = serve(port=0, service=service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient("127.0.0.1", server.server_address[1], timeout=30)
+    return gated, server, thread, client
+
+
+class TestShutdownEdgeCases:
+    def test_shutdown_during_inflight_stream(self):
+        """A stream open across /shutdown still delivers the terminal
+        events of its (finishing) job."""
+        gated, server, thread, client = gated_server(workers=1)
+        job = client.submit(JobSpec(request=REQUEST))
+        events: list = []
+
+        def drain() -> None:
+            for event in client.stream(job["id"]):
+                events.append(event)
+
+        streamer = threading.Thread(target=drain, daemon=True)
+        streamer.start()
+        assert gated.entered.wait(timeout=10)
+        assert client.shutdown()["shutting_down"] is True
+        gated.release()
+        streamer.join(timeout=60)
+        assert not streamer.is_alive()
+        names = [e["event"] for e in events]
+        assert "done" in names
+        assert names[-1] == "end" and events[-1]["state"] == "done"
+        thread.join(timeout=30)
+        server.server_close()
+
+    def test_shutdown_with_queued_jobs_cancels_them(self):
+        gated, server, thread, client = gated_server(workers=1)
+        running = client.submit(JobSpec(request=REQUEST))
+        assert gated.entered.wait(timeout=10)
+        queued = [
+            client.submit(
+                JobSpec(request=SolveRequest(shape="hexagon:2", seed=s))
+            )
+            for s in range(3)
+        ]
+        assert client.shutdown()["shutting_down"] is True
+        gated.release()
+        thread.join(timeout=60)
+        server.server_close()
+        service = server.service
+        assert service.wait(running["id"], timeout=30).state == "done"
+        states = [service.wait(j["id"], timeout=30).state for j in queued]
+        assert states == ["cancelled"] * 3
+
+    def test_double_concurrent_shutdown_is_idempotent(self):
+        gated, server, thread, client = gated_server(workers=1)
+        gated.release()  # nothing to block on in this test
+        job = client.submit(JobSpec(request=REQUEST))
+        server.service.wait(job["id"], timeout=60)
+        responses: list = []
+
+        def stop() -> None:
+            try:
+                responses.append(client.shutdown())
+            except ServiceError as exc:  # pragma: no cover - timing
+                responses.append(exc)
+
+        stoppers = [threading.Thread(target=stop) for _ in range(2)]
+        for t in stoppers:
+            t.start()
+        for t in stoppers:
+            t.join(timeout=30)
+        assert len(responses) == 2
+        assert all(
+            isinstance(r, dict) and r["shutting_down"] is True
+            for r in responses
+        )
+        thread.join(timeout=30)
+        server.server_close()
+        # A third, in-process shutdown is a no-op summary, not an error.
+        assert server.service.shutdown(wait=True) == {"cancelled": 0}
+        with pytest.raises(ServiceClosed):
+            server.service.submit(JobSpec(request=REQUEST))
+
+
+class TestResilienceOverHTTP:
+    def test_healthz_reports_status_and_queue(self, daemon):
+        _service, client = daemon
+        health = client.health()
+        assert health["ok"] is True
+        assert health["status"] == "ok"
+        assert health["queue_depth"] == 0
+        assert health["queue_limit"] >= 1
+        assert health["workers"] == 2
+
+    def test_submit_rejects_bad_qos_fields_by_name(self, daemon):
+        _service, client = daemon
+        with pytest.raises(ServiceError) as err:
+            client.submit({"request": REQUEST.to_dict(), "deadline_s": -1})
+        assert err.value.status == 400
+        assert "deadline_s" in str(err.value)
+        with pytest.raises(ServiceError) as err:
+            client.submit({"campaign": "spsp-small", "workers": 0})
+        assert err.value.status == 400
+        assert "workers" in str(err.value)
+
+    def test_result_408_body_names_state_and_queue_position(self):
+        gated, server, thread, client = gated_server(workers=1)
+        running = client.submit(JobSpec(request=REQUEST))
+        assert gated.entered.wait(timeout=10)
+        queued = client.submit(
+            JobSpec(request=SolveRequest(shape="hexagon:2", seed=1))
+        )
+        with pytest.raises(ServiceError) as err:
+            client.result(running["id"], timeout=0.01)
+        assert err.value.status == 408
+        assert err.value.payload["id"] == running["id"]
+        assert err.value.payload["state"] == "running"
+        assert err.value.payload["queue_position"] is None
+        with pytest.raises(ServiceError) as err:
+            client.result(queued["id"], timeout=0.01)
+        assert err.value.payload["state"] == "queued"
+        assert err.value.payload["queue_position"] == 0
+        gated.release()
+        server.service.wait(queued["id"], timeout=60)
+        server.service.shutdown(wait=True)
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=30)
+
+    def test_full_queue_is_429_with_retry_hint(self):
+        gated, server, thread, client = gated_server(workers=1, max_queue=1)
+        running = client.submit(JobSpec(request=REQUEST))
+        assert gated.entered.wait(timeout=10)
+        queued = client.submit(
+            JobSpec(request=SolveRequest(shape="hexagon:2", seed=1))
+        )
+        with pytest.raises(ServiceError) as err:
+            client.submit(
+                JobSpec(request=SolveRequest(shape="hexagon:2", seed=2))
+            )
+        assert err.value.status == 429
+        assert err.value.payload["retry_after_s"] >= 1
+        assert err.value.payload["state"] == "shed"
+        assert client.health()["status"] == "overloaded"
+        gated.release()
+        for job in (running, queued):
+            server.service.wait(job["id"], timeout=60)
+        server.service.shutdown(wait=True)
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=30)
+
+    def test_client_retries_429_until_accepted(self):
+        """A retry-configured client rides out a shed and lands the job
+        once the queue drains."""
+        from repro.resilience import RetryPolicy
+
+        gated, server, thread, client = gated_server(workers=1, max_queue=1)
+        client.retry = RetryPolicy(
+            attempts=4, base_delay_s=0.05, max_delay_s=0.1
+        )
+        running = client.submit(JobSpec(request=REQUEST))
+        assert gated.entered.wait(timeout=10)
+        queued = client.submit(
+            JobSpec(request=SolveRequest(shape="hexagon:2", seed=1))
+        )
+        releaser = threading.Timer(0.15, gated.release)
+        releaser.start()
+        third = client.submit(
+            JobSpec(request=SolveRequest(shape="hexagon:2", seed=2))
+        )
+        for job in (running, queued, third):
+            assert server.service.wait(job["id"], timeout=60).state == "done"
+        assert server.service._sheds_total.value() >= 1
+        releaser.join()
+        server.service.shutdown(wait=True)
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=30)
